@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dod"
+	"dod/internal/synth"
+)
+
+func TestParseDetector(t *testing.T) {
+	cases := map[string]dod.Detector{
+		"NestedLoop":    dod.NestedLoop,
+		"Nested-Loop":   dod.NestedLoop,
+		"CellBased":     dod.CellBased,
+		"Cell-Based":    dod.CellBased,
+		"CellBasedL2":   dod.CellBasedL2,
+		"Cell-Based-L2": dod.CellBasedL2,
+		"KDTree":        dod.KDTree,
+		"KD-Tree":       dod.KDTree,
+		"BruteForce":    dod.BruteForce,
+	}
+	for name, want := range cases {
+		got, err := parseDetector(name)
+		if err != nil {
+			t.Errorf("parseDetector(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("parseDetector(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := parseDetector("bogus"); err == nil {
+		t.Error("bogus detector accepted")
+	}
+}
+
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "points.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := synth.WriteCSV(f, synth.Segment(synth.Massachusetts, 2000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := writeTestCSV(t)
+	if err := run(5, 4, "DMT", "CellBased", 4, 1.0, 1, true, "", []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesPlanJSON(t *testing.T) {
+	path := writeTestCSV(t)
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	if err := run(5, 4, "DMT", "CellBased", 4, 1.0, 1, false, planPath, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name       string `json:"name"`
+		Partitions []any  `json:"partitions"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("plan file is not valid JSON: %v", err)
+	}
+	if decoded.Name != "DMT" || len(decoded.Partitions) == 0 {
+		t.Errorf("plan dump: name=%q partitions=%d", decoded.Name, len(decoded.Partitions))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	path := writeTestCSV(t)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"no args", func() error { return run(5, 4, "DMT", "CellBased", 4, 1, 1, false, "", nil) }},
+		{"two args", func() error { return run(5, 4, "DMT", "CellBased", 4, 1, 1, false, "", []string{"a", "b"}) }},
+		{"bad r", func() error { return run(0, 4, "DMT", "CellBased", 4, 1, 1, false, "", []string{path}) }},
+		{"bad k", func() error { return run(5, 0, "DMT", "CellBased", 4, 1, 1, false, "", []string{path}) }},
+		{"bad detector", func() error { return run(5, 4, "DMT", "nope", 4, 1, 1, false, "", []string{path}) }},
+		{"bad strategy", func() error { return run(5, 4, "nope", "CellBased", 4, 1, 1, false, "", []string{path}) }},
+		{"missing file", func() error { return run(5, 4, "DMT", "CellBased", 4, 1, 1, false, "", []string{"/nope.csv"}) }},
+	}
+	for _, tc := range cases {
+		if err := tc.err(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

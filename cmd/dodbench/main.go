@@ -1,0 +1,108 @@
+// Command dodbench regenerates the paper's evaluation figures (Sec. VI) on
+// the synthetic dataset analogs and prints each as a text table.
+//
+// Usage:
+//
+//	dodbench                       # run every figure at default scale
+//	dodbench -fig 9a -fig 10b      # run selected figures
+//	dodbench -segment-n 60000 -base-n 8000 -reducers 8 -seed 1
+//
+// Larger -segment-n / -base-n values reduce the laptop-scale artifacts
+// discussed in EXPERIMENTS.md at the price of longer runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dod/internal/experiments"
+)
+
+type figList []string
+
+func (f *figList) String() string     { return strings.Join(*f, ",") }
+func (f *figList) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	var figs figList
+	var (
+		segmentN    = flag.Int("segment-n", 20000, "points per dataset segment (Figs. 7, 9a)")
+		baseN       = flag.Int("base-n", 4000, "per-segment points of the hierarchical levels (Figs. 8, 9b)")
+		sweepN      = flag.Int("sweep-n", 10000, "points of the density-sweep sets (Figs. 4, 5)")
+		reducers    = flag.Int("reducers", 8, "reduce tasks")
+		partitions  = flag.Int("partitions", 0, "target partitions for grid/bisection planners (default 4x reducers)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		parallelism = flag.Int("parallelism", 0, "local goroutines (default GOMAXPROCS)")
+	)
+	csvOut := flag.Bool("csv", false, "emit machine-readable CSV (figure,series,x,y) instead of tables")
+	flag.Var(&figs, "fig", "figure to run (4, 5, 7a, 7b, 8a, 8b, 9a, 9b, 10a, 10b, g=generality); repeatable; default all")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		SegmentN:    *segmentN,
+		BaseN:       *baseN,
+		SweepN:      *sweepN,
+		Reducers:    *reducers,
+		Partitions:  *partitions,
+		Seed:        *seed,
+		Parallelism: *parallelism,
+	}
+	if err := run(cfg, figs, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "dodbench:", err)
+		os.Exit(1)
+	}
+}
+
+var runners = map[string]func(experiments.Config) (*experiments.Figure, error){
+	"4":   experiments.Fig4,
+	"5":   experiments.Fig5,
+	"7a":  experiments.Fig7a,
+	"7b":  experiments.Fig7b,
+	"8a":  experiments.Fig8a,
+	"8b":  experiments.Fig8b,
+	"9a":  experiments.Fig9a,
+	"9b":  experiments.Fig9b,
+	"10a": experiments.Fig10a,
+	"10b": experiments.Fig10b,
+	"g":   experiments.Generality,
+}
+
+var order = []string{"4", "5", "7a", "7b", "8a", "8b", "9a", "9b", "10a", "10b", "g"}
+
+func run(cfg experiments.Config, figs figList, csvOut bool) error {
+	selected := []string(figs)
+	if len(selected) == 0 {
+		selected = order
+	}
+	if csvOut {
+		fmt.Println("figure,series,x,y")
+	}
+	for _, id := range selected {
+		runner, ok := runners[id]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (valid: %s)", id, strings.Join(order, ", "))
+		}
+		fig, err := runner(cfg)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		if csvOut {
+			writeCSV(fig)
+		} else {
+			fmt.Println(fig.String())
+		}
+	}
+	return nil
+}
+
+// writeCSV emits one row per sample. Series labels and categories never
+// contain commas, so no quoting is needed.
+func writeCSV(fig *experiments.Figure) {
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			fmt.Printf("%s,%s,%s,%g\n", fig.ID, s.Label, p.X, p.Y)
+		}
+	}
+}

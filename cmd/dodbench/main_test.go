@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"dod/internal/experiments"
+)
+
+func tinyConfig() experiments.Config {
+	return experiments.Config{SegmentN: 1500, BaseN: 600, SweepN: 2000, Reducers: 4, Seed: 1}
+}
+
+func TestRunSelectedFigure(t *testing.T) {
+	if err := run(tinyConfig(), figList{"4"}, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(tinyConfig(), figList{"99"}, true); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunnerTableCoversOrder(t *testing.T) {
+	for _, id := range order {
+		if _, ok := runners[id]; !ok {
+			t.Errorf("order lists %q but runners lacks it", id)
+		}
+	}
+	if len(order) != len(runners) {
+		t.Errorf("order has %d entries, runners %d", len(order), len(runners))
+	}
+}
+
+func TestFigListFlag(t *testing.T) {
+	var f figList
+	if err := f.Set("4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("9a"); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != "4,9a" {
+		t.Errorf("String() = %q", f.String())
+	}
+}

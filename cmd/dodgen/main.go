@@ -1,0 +1,76 @@
+// Command dodgen generates the synthetic evaluation datasets as CSV files.
+//
+// Usage:
+//
+//	dodgen -kind segment -segment NY -n 30000 -seed 1 > ny.csv
+//	dodgen -kind level -level Planet -base 10000 > planet.csv
+//	dodgen -kind uniform -n 10000 -density 0.1 > uniform.csv
+//	dodgen -kind jittered -n 10000 -density 0.1 > even.csv
+//	dodgen -kind tiger -n 50000 -side 800 -roads 25 > tiger.csv
+//	dodgen -kind distort -in base.csv -copies 3 -jitter 2.5 > big.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dod/internal/geom"
+	"dod/internal/synth"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "segment", "dataset kind: segment | level | uniform | jittered | tiger | distort")
+		segment = flag.String("segment", "MA", "segment for -kind segment: OH | MA | CA | NY")
+		level   = flag.String("level", "MA", "level for -kind level: MA | NE | US | Planet")
+		n       = flag.Int("n", 10000, "point count")
+		base    = flag.Int("base", 10000, "per-segment count for -kind level")
+		density = flag.Float64("density", 0.1, "density for -kind uniform/jittered")
+		side    = flag.Float64("side", 800, "domain side for -kind tiger")
+		roads   = flag.Int("roads", 25, "road count for -kind tiger")
+		in      = flag.String("in", "", "input CSV for -kind distort")
+		copies  = flag.Int("copies", 3, "replicas per point for -kind distort")
+		jitter  = flag.Float64("jitter", 2.5, "replica jitter for -kind distort")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(*kind, *segment, *level, *n, *base, *density, *side, *roads, *in, *copies, *jitter, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dodgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, segment, level string, n, base int, density, side float64, roads int, in string, copies int, jitter float64, seed int64) error {
+	var points []geom.Point
+	switch kind {
+	case "segment":
+		points = synth.Segment(synth.SegmentKind(segment), n, seed)
+	case "level":
+		points = synth.Hierarchical(synth.Level(level), base, seed)
+	case "uniform":
+		points = synth.UniformWithDensity(n, density, seed)
+	case "jittered":
+		points = synth.JitteredGrid(n, density, seed)
+	case "tiger":
+		points = synth.TigerLike(n, side, roads, seed)
+	case "distort":
+		if in == "" {
+			return fmt.Errorf("-kind distort requires -in")
+		}
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		basePts, err := synth.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		points = synth.Distort(basePts, copies, jitter, seed)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	return synth.WriteCSV(os.Stdout, points)
+}

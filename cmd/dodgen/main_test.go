@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dod/internal/synth"
+)
+
+// captureStdout redirects os.Stdout during fn and returns what was written.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+
+	// Drain concurrently so large outputs cannot deadlock the pipe.
+	type readResult struct {
+		data []byte
+		err  error
+	}
+	done := make(chan readResult, 1)
+	go func() {
+		data, err := io.ReadAll(r)
+		done <- readResult{data, err}
+	}()
+
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	res := <-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	return res.data
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+func genCSV(t *testing.T, kind, segment, level string, n int, density float64, in string) []byte {
+	t.Helper()
+	return captureStdout(t, func() error {
+		return run(kind, segment, level, n, n, density, 200, 5, in, 2, 1.0, 1)
+	})
+}
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"segment", "level", "uniform", "jittered", "tiger"} {
+		out := genCSV(t, kind, "MA", "MA", 500, 0.1, "")
+		pts, err := synth.ReadCSV(bytesReader(out))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(pts) != 500 {
+			t.Errorf("%s: got %d points, want 500", kind, len(pts))
+		}
+	}
+}
+
+func TestGenerateDistort(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.csv")
+	f, err := os.Create(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := synth.WriteCSV(f, synth.Segment(synth.Ohio, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := genCSV(t, "distort", "", "", 0, 0.1, base)
+	pts, err := synth.ReadCSV(bytesReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 300 { // 100 originals + 2 copies each
+		t.Errorf("distort: got %d points, want 300", len(pts))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run("nope", "", "", 10, 10, 1, 1, 1, "", 1, 1, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("distort", "", "", 10, 10, 1, 1, 1, "", 1, 1, 1); err == nil {
+		t.Error("distort without -in accepted")
+	}
+	if err := run("distort", "", "", 10, 10, 1, 1, 1, "/nope.csv", 1, 1, 1); err == nil {
+		t.Error("distort with missing file accepted")
+	}
+}

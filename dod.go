@@ -1,0 +1,247 @@
+// Package dod implements multi-tactic distributed distance-based outlier
+// detection — a from-scratch Go reproduction of "Multi-Tactic Distance-based
+// Outlier Detection" (Cao et al., ICDE 2017).
+//
+// A point p in a dataset D is a distance-threshold outlier iff it has fewer
+// than K neighbors within distance R (Knorr & Ng). DOD finds all such
+// outliers with a single-pass MapReduce job: the domain is partitioned into
+// rectangles, each augmented with a supporting area (an R-expansion of its
+// boundary) so every partition can be processed in isolation, and each
+// partition runs the centralized detector that is cheapest for its density
+// under the paper's cost models.
+//
+// The simplest entry point detects outliers in an in-memory dataset:
+//
+//	points := []dod.Point{ ... }
+//	result, err := dod.Detect(points, dod.Config{R: 5, K: 4})
+//
+// Config selects the partitioning strategy (StrategyDMT by default — the
+// paper's full multi-tactic optimizer), the detector candidate set, and the
+// execution parameters. The returned Result carries the outlier IDs and an
+// execution report with per-stage timings on both the in-process engine and
+// a simulated 40-node cluster.
+package dod
+
+import (
+	"fmt"
+	"math"
+
+	"dod/internal/cluster"
+	"dod/internal/core"
+	"dod/internal/detect"
+	"dod/internal/dshc"
+	"dod/internal/geom"
+	"dod/internal/plan"
+)
+
+// Point is a d-dimensional data point with a caller-assigned unique ID.
+type Point = geom.Point
+
+// Rect is an axis-aligned hyper-rectangle.
+type Rect = geom.Rect
+
+// Detector names a centralized detection algorithm.
+type Detector = detect.Kind
+
+// The available detectors. NestedLoop and CellBased form the paper's
+// candidate set; KDTree is an extension; BruteForce is the O(n²) reference.
+const (
+	BruteForce = detect.BruteForce
+	NestedLoop = detect.NestedLoop
+	CellBased  = detect.CellBased
+	KDTree     = detect.KDTree
+	// CellBasedL2 is an optimized Cell-Based variant (beyond the paper)
+	// that restricts undecided-cell scans to the L1–L2 cell ring.
+	CellBasedL2 = detect.CellBasedL2
+)
+
+// Strategy names a partitioning strategy (Sec. VI-A).
+type Strategy string
+
+// The partitioning strategies evaluated in the paper.
+const (
+	// StrategyDomain is the no-supporting-area baseline; it needs a second
+	// MapReduce job to settle border points.
+	StrategyDomain Strategy = "Domain"
+	// StrategyUniSpace tiles the domain with an equi-width grid plus
+	// supporting areas.
+	StrategyUniSpace Strategy = "uniSpace"
+	// StrategyDDriven balances partition cardinality (the traditional
+	// load-balancing assumption).
+	StrategyDDriven Strategy = "DDriven"
+	// StrategyCDriven balances modeled detection cost.
+	StrategyCDriven Strategy = "CDriven"
+	// StrategyDMT is the paper's density-aware multi-tactic optimizer:
+	// DSHC partitioning, per-partition algorithm selection, cost-balanced
+	// allocation.
+	StrategyDMT Strategy = "DMT"
+)
+
+// Config controls a detection run. R and K are required; everything else
+// has sensible defaults.
+type Config struct {
+	// R is the neighbor distance threshold (Def. 2.1).
+	R float64
+	// K is the neighbor count threshold: outliers have fewer than K
+	// neighbors within R (Def. 2.2).
+	K int
+
+	// Strategy picks the partitioning strategy; default StrategyDMT.
+	Strategy Strategy
+	// Detector fixes the detection algorithm for single-tactic strategies
+	// and is ignored by StrategyDMT (which picks per partition); default
+	// CellBased.
+	Detector Detector
+	// Candidates overrides DMT's algorithm candidate set; default
+	// {NestedLoop, CellBased}.
+	Candidates []Detector
+
+	// NumReducers is the number of reduce tasks; default 8.
+	NumReducers int
+	// NumPartitions is the target partition count for grid/bisection
+	// strategies; default 4×NumReducers.
+	NumPartitions int
+	// SampleRate is the preprocessing sampling rate Υ; default 0.005.
+	// Rates this low need large datasets; small inputs should raise it.
+	SampleRate float64
+	// BucketsPerDim is the mini-bucket resolution; default 32.
+	BucketsPerDim int
+	// Tdiff, if positive, sets DSHC's absolute density-difference merge
+	// threshold (Def. 5.2); by default a relative threshold is used.
+	Tdiff float64
+	// Seed drives all randomized components; runs are reproducible.
+	Seed int64
+	// Parallelism bounds concurrent task goroutines; default GOMAXPROCS.
+	Parallelism int
+	// PointsPerSplit sizes the map input splits; default 64Ki points.
+	PointsPerSplit int
+	// ExactSupport uses the exact Def. 3.2 supporting-area criterion
+	// (rounded corners) instead of the default Def. 3.3 rectangular
+	// expansion, trading mapping cost for less replication.
+	ExactSupport bool
+	// FailureRate injects task failures with this probability; failed
+	// attempts are retried, exercising fault tolerance without changing
+	// results.
+	FailureRate float64
+}
+
+// Result is the outcome of a detection run.
+type Result struct {
+	// OutlierIDs are the IDs of all distance-threshold outliers, sorted.
+	OutlierIDs []uint64
+	// Report profiles the distributed execution.
+	Report *core.Report
+}
+
+// IsOutlier reports whether the given point ID was classified an outlier.
+func (r *Result) IsOutlier(id uint64) bool {
+	lo, hi := 0, len(r.OutlierIDs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.OutlierIDs[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(r.OutlierIDs) && r.OutlierIDs[lo] == id
+}
+
+// Detect finds all distance-threshold outliers in points. Point IDs must be
+// unique; verdicts refer to them.
+func Detect(points []Point, cfg Config) (*Result, error) {
+	if cfg.BucketsPerDim == 0 {
+		// Size mini buckets so density estimates stay statistically stable
+		// (~25 expected points per bucket).
+		b := int(math.Sqrt(float64(len(points)) / 25))
+		if b < 8 {
+			b = 8
+		}
+		if b > 40 {
+			b = 40
+		}
+		cfg.BucketsPerDim = b
+	}
+	coreCfg, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	input, err := core.InputFromPoints(points, cfg.PointsPerSplit)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Run(input, coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{OutlierIDs: rep.Outliers, Report: rep}, nil
+}
+
+// DetectCentralized runs one centralized detector on a single machine with
+// no partitioning — the right choice for small datasets and the reference
+// for the distributed path.
+func DetectCentralized(points []Point, detector Detector, r float64, k int) ([]uint64, error) {
+	params := detect.Params{R: r, K: k}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("dod: empty dataset")
+	}
+	res := core.DetectCentralized(points, detector, params, 1)
+	ids := append([]uint64(nil), res.OutlierIDs...)
+	sortIDs(ids)
+	return ids, nil
+}
+
+func sortIDs(ids []uint64) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// toCore translates the public config into the driver config.
+func (cfg Config) toCore() (core.Config, error) {
+	params := detect.Params{R: cfg.R, K: cfg.K}
+	if err := params.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	strategy := cfg.Strategy
+	if strategy == "" {
+		strategy = StrategyDMT
+	}
+	planner, err := plan.ByName(string(strategy))
+	if err != nil {
+		return core.Config{}, err
+	}
+	detector := cfg.Detector
+	if detector == detect.Unspecified {
+		detector = CellBased
+	}
+	reducers := cfg.NumReducers
+	if reducers < 1 {
+		reducers = 8
+	}
+	candidates := make([]detect.Kind, len(cfg.Candidates))
+	copy(candidates, cfg.Candidates)
+	return core.Config{
+		Params:  params,
+		Planner: planner,
+		PlanOpts: plan.Options{
+			NumReducers:   reducers,
+			NumPartitions: cfg.NumPartitions,
+			Detector:      detector,
+			Candidates:    candidates,
+			DSHC:          dshc.Params{Tdiff: cfg.Tdiff},
+			ExactSupport:  cfg.ExactSupport,
+		},
+		SampleRate:    cfg.SampleRate,
+		BucketsPerDim: cfg.BucketsPerDim,
+		Seed:          cfg.Seed,
+		Parallelism:   cfg.Parallelism,
+		FailureRate:   cfg.FailureRate,
+		Cluster:       cluster.PaperCluster,
+	}, nil
+}

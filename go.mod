@@ -1,0 +1,3 @@
+module dod
+
+go 1.22

@@ -1,0 +1,105 @@
+package binpack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomItems derives a bounded random instance from a seed.
+func randomItems(seed int64) ([]Item, int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(80)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: i, Weight: rng.Float64() * 1000}
+	}
+	return items, 1 + rng.Intn(10)
+}
+
+func totalWeight(items []Item) float64 {
+	var t float64
+	for _, it := range items {
+		t += it.Weight
+	}
+	return t
+}
+
+func TestAllocatorsCompleteQuick(t *testing.T) {
+	for name, alloc := range allocators {
+		f := func(seed int64) bool {
+			items, bins := randomItems(seed)
+			a := alloc(items, bins)
+			if len(a.ItemBin) != len(items) {
+				return false
+			}
+			var binTotal float64
+			for _, l := range a.Loads {
+				binTotal += l
+			}
+			return math.Abs(binTotal-totalWeight(items)) < 1e-6
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMaxLoadBoundsQuick(t *testing.T) {
+	// For every allocator: max(total/bins, max item) <= MaxLoad <= total.
+	for name, alloc := range allocators {
+		f := func(seed int64) bool {
+			items, bins := randomItems(seed)
+			a := alloc(items, bins)
+			total := totalWeight(items)
+			var maxItem float64
+			for _, it := range items {
+				if it.Weight > maxItem {
+					maxItem = it.Weight
+				}
+			}
+			lower := math.Max(total/float64(bins), maxItem)
+			return a.MaxLoad() >= lower-1e-6 && a.MaxLoad() <= total+1e-6
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLPTNeverWorseThanRoundRobinQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		items, bins := randomItems(seed)
+		// Round-robin can get lucky on particular orders, but LPT is
+		// guaranteed within 4/3 of optimal, so it can exceed RR by at most
+		// a third of the lower bound.
+		lpt := LPT(items, bins).MaxLoad()
+		rr := RoundRobin(items, bins).MaxLoad()
+		total := totalWeight(items)
+		var maxItem float64
+		for _, it := range items {
+			if it.Weight > maxItem {
+				maxItem = it.Weight
+			}
+		}
+		lower := math.Max(total/float64(bins), maxItem)
+		return lpt <= rr || lpt <= lower*4.0/3.0+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImbalanceAtLeastOneQuick(t *testing.T) {
+	for name, alloc := range allocators {
+		f := func(seed int64) bool {
+			items, bins := randomItems(seed)
+			imb := alloc(items, bins).Imbalance()
+			return imb == 0 || imb >= 1-1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package binpack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func items(weights ...float64) []Item {
+	out := make([]Item, len(weights))
+	for i, w := range weights {
+		out[i] = Item{ID: i, Weight: w}
+	}
+	return out
+}
+
+// checkComplete verifies every item landed in exactly one bin and loads are
+// consistent.
+func checkComplete(t *testing.T, in []Item, a *Assignment, bins int) {
+	t.Helper()
+	if len(a.Bins) != bins || len(a.Loads) != bins {
+		t.Fatalf("got %d bins, want %d", len(a.Bins), bins)
+	}
+	placed := map[int]int{}
+	for bin, bs := range a.Bins {
+		var load float64
+		for _, it := range bs {
+			placed[it.ID]++
+			load += it.Weight
+			if got := a.ItemBin[it.ID]; got != bin {
+				t.Errorf("ItemBin[%d] = %d, item found in bin %d", it.ID, got, bin)
+			}
+		}
+		if math.Abs(load-a.Loads[bin]) > 1e-9 {
+			t.Errorf("bin %d load %g != recorded %g", bin, load, a.Loads[bin])
+		}
+	}
+	for _, it := range in {
+		if placed[it.ID] != 1 {
+			t.Errorf("item %d placed %d times", it.ID, placed[it.ID])
+		}
+	}
+}
+
+var allocators = map[string]func([]Item, int) *Assignment{
+	"LPT":           LPT,
+	"KarmarkarKarp": KarmarkarKarp,
+	"RoundRobin":    RoundRobin,
+}
+
+func TestAllocatorsPlaceEverything(t *testing.T) {
+	in := items(5, 3, 8, 1, 9, 2, 7, 4)
+	for name, alloc := range allocators {
+		t.Run(name, func(t *testing.T) {
+			a := alloc(in, 3)
+			checkComplete(t, in, a, 3)
+		})
+	}
+}
+
+func TestLPTPerfectSplit(t *testing.T) {
+	// 4,4,3,3,2,2 on 2 bins → 9/9 achievable and LPT finds it.
+	a := LPT(items(4, 4, 3, 3, 2, 2), 2)
+	if a.MaxLoad() != 9 {
+		t.Errorf("MaxLoad = %g, want 9", a.MaxLoad())
+	}
+	if a.Imbalance() != 1 {
+		t.Errorf("Imbalance = %g, want 1", a.Imbalance())
+	}
+}
+
+func TestLPTWithinApproximationBound(t *testing.T) {
+	// LPT is a (4/3 − 1/(3m))-approximation of the optimal makespan; check
+	// against the trivial lower bound max(total/m, max item).
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(60)
+		bins := 1 + rng.Intn(8)
+		in := make([]Item, n)
+		var total, maxw float64
+		for i := range in {
+			w := rng.Float64() * 100
+			in[i] = Item{ID: i, Weight: w}
+			total += w
+			if w > maxw {
+				maxw = w
+			}
+		}
+		lower := math.Max(total/float64(bins), maxw)
+		a := LPT(in, bins)
+		bound := lower * (4.0/3.0 - 1.0/(3.0*float64(bins)))
+		if a.MaxLoad() > bound+1e-9 {
+			t.Fatalf("trial %d: LPT makespan %g exceeds bound %g (lower %g)",
+				trial, a.MaxLoad(), bound, lower)
+		}
+	}
+}
+
+func TestKarmarkarKarpNotWorseThanRoundRobinOnSkew(t *testing.T) {
+	// Heavily skewed weights: differencing should beat round-robin clearly.
+	rng := rand.New(rand.NewSource(5))
+	in := make([]Item, 64)
+	for i := range in {
+		in[i] = Item{ID: i, Weight: math.Exp(rng.NormFloat64() * 2)}
+	}
+	kk := KarmarkarKarp(in, 8)
+	rr := RoundRobin(in, 8)
+	checkComplete(t, in, kk, 8)
+	if kk.MaxLoad() > rr.MaxLoad() {
+		t.Errorf("KK makespan %g worse than round-robin %g", kk.MaxLoad(), rr.MaxLoad())
+	}
+}
+
+func TestKarmarkarKarpClassic(t *testing.T) {
+	// Classic 2-way LDM example {8,7,6,5,4}: the differencing method lands
+	// at difference 2 → loads 16/14 (optimum is 15/15; LDM is a heuristic).
+	a := KarmarkarKarp(items(8, 7, 6, 5, 4), 2)
+	if a.MaxLoad() != 16 {
+		t.Errorf("MaxLoad = %g, want 16 (LDM result)", a.MaxLoad())
+	}
+	checkComplete(t, items(8, 7, 6, 5, 4), a, 2)
+}
+
+func TestSingleBin(t *testing.T) {
+	in := items(1, 2, 3)
+	for name, alloc := range allocators {
+		a := alloc(in, 1)
+		if a.MaxLoad() != 6 {
+			t.Errorf("%s: single bin MaxLoad = %g, want 6", name, a.MaxLoad())
+		}
+	}
+}
+
+func TestMoreBinsThanItems(t *testing.T) {
+	in := items(5, 3)
+	for name, alloc := range allocators {
+		a := alloc(in, 10)
+		checkComplete(t, in, a, 10)
+		if a.MaxLoad() != 5 {
+			t.Errorf("%s: MaxLoad = %g, want 5", name, a.MaxLoad())
+		}
+	}
+}
+
+func TestEmptyItems(t *testing.T) {
+	for name, alloc := range allocators {
+		a := alloc(nil, 4)
+		if a.MaxLoad() != 0 || a.Imbalance() != 0 {
+			t.Errorf("%s: empty allocation MaxLoad=%g Imbalance=%g", name, a.MaxLoad(), a.Imbalance())
+		}
+	}
+}
+
+func TestZeroWeights(t *testing.T) {
+	in := items(0, 0, 0)
+	for name, alloc := range allocators {
+		a := alloc(in, 2)
+		checkComplete(t, in, a, 2)
+		if a.MaxLoad() != 0 {
+			t.Errorf("%s: MaxLoad = %g", name, a.MaxLoad())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := make([]Item, 40)
+	for i := range in {
+		in[i] = Item{ID: i, Weight: float64(rng.Intn(10))} // many ties
+	}
+	for name, alloc := range allocators {
+		a := alloc(in, 5)
+		b := alloc(in, 5)
+		for id, bin := range a.ItemBin {
+			if b.ItemBin[id] != bin {
+				t.Errorf("%s: nondeterministic placement of item %d", name, id)
+			}
+		}
+	}
+}
+
+func TestPanicsOnZeroBins(t *testing.T) {
+	for name, alloc := range allocators {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic for 0 bins", name)
+				}
+			}()
+			alloc(items(1), 0)
+		}()
+	}
+}
+
+func TestLPTBeatsRoundRobinOnSkewedLoad(t *testing.T) {
+	// The paper's core load-balancing claim, in miniature: cost-aware
+	// placement (LPT over costs) beats cardinality-oblivious round-robin.
+	in := items(100, 1, 100, 1, 1, 1) // heavies at even indices defeat RR
+	lpt := LPT(in, 2)
+	rr := RoundRobin(in, 2)
+	if lpt.MaxLoad() >= rr.MaxLoad() {
+		t.Errorf("LPT %g should beat round-robin %g", lpt.MaxLoad(), rr.MaxLoad())
+	}
+}

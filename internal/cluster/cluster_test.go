@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func tasks(durations ...time.Duration) []Task {
+	ts := make([]Task, len(durations))
+	for i, d := range durations {
+		ts[i] = Task{Name: fmt.Sprintf("t%d", i), Duration: d}
+	}
+	return ts
+}
+
+func TestSlots(t *testing.T) {
+	if got := (Config{Nodes: 40, SlotsPerNode: 8}).Slots(); got != 320 {
+		t.Errorf("Slots = %d, want 320", got)
+	}
+	if got := (Config{}).Slots(); got != 1 {
+		t.Errorf("zero config Slots = %d, want 1", got)
+	}
+}
+
+func TestRunPhaseSingleSlotSumsDurations(t *testing.T) {
+	cfg := Config{Nodes: 1, SlotsPerNode: 1}
+	s := RunPhase(cfg, tasks(3*time.Second, 1*time.Second, 2*time.Second))
+	if s.Makespan != 6*time.Second {
+		t.Errorf("Makespan = %v, want 6s", s.Makespan)
+	}
+}
+
+func TestRunPhaseParallelism(t *testing.T) {
+	cfg := Config{Nodes: 1, SlotsPerNode: 3}
+	s := RunPhase(cfg, tasks(3*time.Second, 3*time.Second, 3*time.Second))
+	if s.Makespan != 3*time.Second {
+		t.Errorf("Makespan = %v, want 3s (all parallel)", s.Makespan)
+	}
+}
+
+func TestRunPhaseLPTBalancing(t *testing.T) {
+	// LPT on 2 slots with tasks 5,4,3,3,3 → slot loads 5+3, 4+3+... best: 5+4=9? LPT:
+	// 5→s0, 4→s1, 3→s1(7), 3→s0(8), 3→s1(10)? no: after 5,4: s1 free at 4 < s0 at 5,
+	// 3→s1 (7), next 3→s0 (8), next 3→s1 (10). Makespan 10? Let's verify: total 18,
+	// lower bound 9. LPT gives 10 here. The test pins the deterministic result.
+	cfg := Config{Nodes: 1, SlotsPerNode: 2}
+	s := RunPhase(cfg, tasks(5*time.Second, 4*time.Second, 3*time.Second, 3*time.Second, 3*time.Second))
+	if s.Makespan != 9*time.Second && s.Makespan != 10*time.Second {
+		t.Errorf("Makespan = %v, want 9s or 10s", s.Makespan)
+	}
+	// And it must never beat the theoretical lower bound.
+	if s.Makespan < 9*time.Second {
+		t.Errorf("Makespan %v below lower bound", s.Makespan)
+	}
+}
+
+func TestRunPhaseDominatedByLongestTask(t *testing.T) {
+	cfg := Config{Nodes: 10, SlotsPerNode: 1}
+	ts := tasks(100*time.Second, time.Second, time.Second)
+	s := RunPhase(cfg, ts)
+	if s.Makespan != 100*time.Second {
+		t.Errorf("Makespan = %v, want 100s (straggler dominates)", s.Makespan)
+	}
+}
+
+func TestRunPhaseEmpty(t *testing.T) {
+	s := RunPhase(Config{Nodes: 2, SlotsPerNode: 2}, nil)
+	if s.Makespan != 0 || len(s.Assignments) != 0 {
+		t.Errorf("empty phase: %+v", s)
+	}
+	if s.Imbalance() != 0 {
+		t.Errorf("empty imbalance = %g", s.Imbalance())
+	}
+}
+
+func TestRunPhaseDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ts := make([]Task, 100)
+	for i := range ts {
+		ts[i] = Task{Name: fmt.Sprintf("t%03d", i), Duration: time.Duration(rng.Intn(1000)) * time.Millisecond}
+	}
+	a := RunPhase(PaperCluster, ts)
+	b := RunPhase(PaperCluster, ts)
+	if a.Makespan != b.Makespan {
+		t.Errorf("nondeterministic makespan %v vs %v", a.Makespan, b.Makespan)
+	}
+	for i := range a.Assignments {
+		x, y := a.Assignments[i], b.Assignments[i]
+		if x.Task.Name != y.Task.Name || x.Slot != y.Slot || x.Start != y.Start || x.End != y.End {
+			t.Fatalf("assignment %d differs", i)
+		}
+	}
+}
+
+func TestRunPhaseNoSlotOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ts := make([]Task, 200)
+	for i := range ts {
+		ts[i] = Task{Name: fmt.Sprintf("t%03d", i), Duration: time.Duration(1+rng.Intn(500)) * time.Millisecond}
+	}
+	s := RunPhase(Config{Nodes: 3, SlotsPerNode: 2}, ts)
+	bySlot := map[int][]Assignment{}
+	for _, a := range s.Assignments {
+		bySlot[a.Slot] = append(bySlot[a.Slot], a)
+	}
+	for slot, as := range bySlot {
+		for i := 0; i < len(as); i++ {
+			for j := i + 1; j < len(as); j++ {
+				a, b := as[i], as[j]
+				if a.Start < b.End && b.Start < a.End {
+					t.Fatalf("slot %d: overlapping tasks %v and %v", slot, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRunPhaseMakespanBounds(t *testing.T) {
+	// Property: makespan >= max duration, makespan >= total/slots, and
+	// makespan <= total (single-slot worst case bound).
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		ts := make([]Task, n)
+		var total, max time.Duration
+		for i := range ts {
+			d := time.Duration(1+rng.Intn(10000)) * time.Microsecond
+			ts[i] = Task{Name: fmt.Sprintf("t%04d", i), Duration: d}
+			total += d
+			if d > max {
+				max = d
+			}
+		}
+		cfg := Config{Nodes: 1 + rng.Intn(5), SlotsPerNode: 1 + rng.Intn(4)}
+		s := RunPhase(cfg, ts)
+		lower := total / time.Duration(cfg.Slots())
+		if s.Makespan < max || s.Makespan < lower {
+			t.Fatalf("trial %d: makespan %v below bounds (max %v, mean %v)", trial, s.Makespan, max, lower)
+		}
+		if s.Makespan > total {
+			t.Fatalf("trial %d: makespan %v exceeds serial time %v", trial, s.Makespan, total)
+		}
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	cfg := Config{Nodes: 1, SlotsPerNode: 2}
+	balanced := RunPhase(cfg, tasks(2*time.Second, 2*time.Second))
+	if got := balanced.Imbalance(); got != 1 {
+		t.Errorf("balanced imbalance = %g, want 1", got)
+	}
+	skewed := RunPhase(cfg, tasks(9*time.Second, time.Second))
+	if got := skewed.Imbalance(); got <= 1 {
+		t.Errorf("skewed imbalance = %g, want > 1", got)
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	a := PhaseBreakdown{Preprocess: 1, Map: 2, Shuffle: 3, Reduce: 4}
+	b := PhaseBreakdown{Preprocess: 10, Map: 20, Shuffle: 30, Reduce: 40}
+	sum := a.Add(b)
+	if sum != (PhaseBreakdown{11, 22, 33, 44}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if a.Total() != 10 {
+		t.Errorf("Total = %v", a.Total())
+	}
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRunPhasePlacedNoPreferencesMatchesLPTBounds(t *testing.T) {
+	ts := tasks(5*time.Second, 4*time.Second, 3*time.Second, 3*time.Second)
+	cfg := Config{Nodes: 2, SlotsPerNode: 1}
+	placed := RunPhasePlaced(cfg, ts)
+	plain := RunPhase(cfg, ts)
+	if placed.Makespan != plain.Makespan {
+		t.Errorf("no-preference placed makespan %v != LPT %v", placed.Makespan, plain.Makespan)
+	}
+}
+
+func TestRunPhasePlacedHonorsLocality(t *testing.T) {
+	// Two nodes, one slot each; two equal tasks, each preferring a
+	// different node with a heavy remote penalty. Locality-aware placement
+	// runs both locally in parallel.
+	cfg := Config{Nodes: 2, SlotsPerNode: 1}
+	ts := []Task{
+		{Name: "a", Duration: 4 * time.Second, Preferred: []int{0}, RemotePenalty: 10 * time.Second},
+		{Name: "b", Duration: 4 * time.Second, Preferred: []int{1}, RemotePenalty: 10 * time.Second},
+	}
+	s := RunPhasePlaced(cfg, ts)
+	if s.Makespan != 4*time.Second {
+		t.Errorf("makespan %v, want 4s (both local)", s.Makespan)
+	}
+	for _, a := range s.Assignments {
+		node := a.Slot / cfg.SlotsPerNode
+		if !a.Task.prefers(node) {
+			t.Errorf("task %s placed on non-preferred node %d", a.Task.Name, node)
+		}
+	}
+}
+
+func TestRunPhasePlacedAcceptsRemoteWhenWorthIt(t *testing.T) {
+	// One node holds all data, but the remote penalty is small: the
+	// scheduler should still spread tasks.
+	cfg := Config{Nodes: 2, SlotsPerNode: 1}
+	ts := []Task{
+		{Name: "a", Duration: 10 * time.Second, Preferred: []int{0}, RemotePenalty: time.Second},
+		{Name: "b", Duration: 10 * time.Second, Preferred: []int{0}, RemotePenalty: time.Second},
+	}
+	s := RunPhasePlaced(cfg, ts)
+	if s.Makespan != 11*time.Second {
+		t.Errorf("makespan %v, want 11s (one task goes remote)", s.Makespan)
+	}
+}
+
+func TestRunPhasePlacedPrefersLocalQueueWhenRemoteIsWorse(t *testing.T) {
+	// Remote penalty exceeds queueing delay: both tasks stack on the
+	// preferred node.
+	cfg := Config{Nodes: 2, SlotsPerNode: 1}
+	ts := []Task{
+		{Name: "a", Duration: 2 * time.Second, Preferred: []int{0}, RemotePenalty: 30 * time.Second},
+		{Name: "b", Duration: 2 * time.Second, Preferred: []int{0}, RemotePenalty: 30 * time.Second},
+	}
+	s := RunPhasePlaced(cfg, ts)
+	if s.Makespan != 4*time.Second {
+		t.Errorf("makespan %v, want 4s (queue locally)", s.Makespan)
+	}
+}
+
+func TestRunPhasePlacedBeatsObliviousOnLocalityWorkload(t *testing.T) {
+	// Many block-reads across a small cluster: honoring replica placement
+	// must not be worse than ignoring it (treating every task as remote).
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{Nodes: 4, SlotsPerNode: 2}
+	var placedTasks, obliviousTasks []Task
+	for i := 0; i < 64; i++ {
+		d := time.Duration(1+rng.Intn(5)) * time.Second
+		penalty := 2 * time.Second
+		pref := []int{rng.Intn(4), rng.Intn(4)}
+		placedTasks = append(placedTasks, Task{
+			Name: fmt.Sprintf("t%02d", i), Duration: d, Preferred: pref, RemotePenalty: penalty,
+		})
+		// Oblivious: every read is remote.
+		obliviousTasks = append(obliviousTasks, Task{
+			Name: fmt.Sprintf("t%02d", i), Duration: d + penalty,
+		})
+	}
+	placed := RunPhasePlaced(cfg, placedTasks)
+	oblivious := RunPhase(cfg, obliviousTasks)
+	if placed.Makespan > oblivious.Makespan {
+		t.Errorf("locality-aware %v worse than oblivious %v", placed.Makespan, oblivious.Makespan)
+	}
+}
+
+func TestRunPhasePlacedEmpty(t *testing.T) {
+	s := RunPhasePlaced(Config{Nodes: 2, SlotsPerNode: 2}, nil)
+	if s.Makespan != 0 || len(s.Assignments) != 0 {
+		t.Errorf("empty phase: %+v", s)
+	}
+}
+
+func TestRunPhasePlacedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var ts []Task
+	for i := 0; i < 50; i++ {
+		ts = append(ts, Task{
+			Name:          fmt.Sprintf("t%02d", i),
+			Duration:      time.Duration(rng.Intn(900)) * time.Millisecond,
+			Preferred:     []int{rng.Intn(3)},
+			RemotePenalty: time.Duration(rng.Intn(300)) * time.Millisecond,
+		})
+	}
+	cfg := Config{Nodes: 3, SlotsPerNode: 2}
+	a, b := RunPhasePlaced(cfg, ts), RunPhasePlaced(cfg, ts)
+	if a.Makespan != b.Makespan || len(a.Assignments) != len(b.Assignments) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i].Slot != b.Assignments[i].Slot {
+			t.Fatal("assignment order differs")
+		}
+	}
+}

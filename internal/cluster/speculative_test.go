@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func stragglerTasks(n int, d time.Duration) []Task {
+	ts := make([]Task, n)
+	for i := range ts {
+		ts[i] = Task{Name: fmt.Sprintf("t%03d", i), Duration: d}
+	}
+	return ts
+}
+
+func TestSpeculativeNoStragglersMatchesPlain(t *testing.T) {
+	cfg := Config{Nodes: 4, SlotsPerNode: 2}
+	ts := stragglerTasks(16, 3*time.Second)
+	none := StragglerModel{Prob: 0, Factor: 5, Seed: 1}
+	a := RunPhaseSpeculative(cfg, ts, none, false)
+	b := RunPhaseSpeculative(cfg, ts, none, true)
+	if a.Makespan != b.Makespan {
+		t.Errorf("no stragglers: speculation changed makespan %v vs %v", a.Makespan, b.Makespan)
+	}
+	// 16 equal tasks on 8 slots: exactly two waves.
+	if a.Makespan != 6*time.Second {
+		t.Errorf("makespan %v, want 6s", a.Makespan)
+	}
+}
+
+func TestSpeculativeMitigatesStragglers(t *testing.T) {
+	cfg := Config{Nodes: 8, SlotsPerNode: 1}
+	ts := stragglerTasks(8, 4*time.Second)
+	model := StragglerModel{Prob: 0.3, Factor: 10, Seed: 7}
+	plain := RunPhaseSpeculative(cfg, ts, model, false)
+	spec := RunPhaseSpeculative(cfg, ts, model, true)
+	if plain.Makespan <= 4*time.Second {
+		t.Fatalf("fixture produced no stragglers (makespan %v); adjust seed", plain.Makespan)
+	}
+	if spec.Makespan >= plain.Makespan {
+		t.Errorf("speculation did not help: %v vs %v", spec.Makespan, plain.Makespan)
+	}
+	// A backup launched at the expected finish (4s) and running 4s bounds
+	// the straggler's completion at ~8s.
+	if spec.Makespan > 9*time.Second {
+		t.Errorf("speculative makespan %v, want <= ~8s", spec.Makespan)
+	}
+}
+
+func TestSpeculativeNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		cfg := Config{Nodes: 1 + rng.Intn(6), SlotsPerNode: 1 + rng.Intn(3)}
+		n := 1 + rng.Intn(40)
+		ts := make([]Task, n)
+		for i := range ts {
+			ts[i] = Task{Name: fmt.Sprintf("t%03d", i), Duration: time.Duration(1+rng.Intn(10)) * time.Second}
+		}
+		model := StragglerModel{Prob: rng.Float64() * 0.5, Factor: 2 + rng.Float64()*10, Seed: int64(trial)}
+		plain := RunPhaseSpeculative(cfg, ts, model, false)
+		spec := RunPhaseSpeculative(cfg, ts, model, true)
+		if spec.Makespan > plain.Makespan {
+			t.Fatalf("trial %d: speculation hurt: %v > %v", trial, spec.Makespan, plain.Makespan)
+		}
+	}
+}
+
+func TestSpeculativeSingleSlotCannotBackUp(t *testing.T) {
+	cfg := Config{Nodes: 1, SlotsPerNode: 1}
+	ts := stragglerTasks(2, 2*time.Second)
+	model := StragglerModel{Prob: 1, Factor: 3, Seed: 1}
+	plain := RunPhaseSpeculative(cfg, ts, model, false)
+	spec := RunPhaseSpeculative(cfg, ts, model, true)
+	// With one slot there is nowhere to run a backup concurrently; the
+	// backup path must not *hurt*, and can help at most marginally.
+	if spec.Makespan > plain.Makespan {
+		t.Errorf("single slot: speculation hurt: %v > %v", spec.Makespan, plain.Makespan)
+	}
+}
+
+func TestSpeculativeDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 3, SlotsPerNode: 2}
+	ts := stragglerTasks(20, time.Second)
+	model := StragglerModel{Prob: 0.4, Factor: 6, Seed: 11}
+	a := RunPhaseSpeculative(cfg, ts, model, true)
+	b := RunPhaseSpeculative(cfg, ts, model, true)
+	if a.Makespan != b.Makespan {
+		t.Error("nondeterministic")
+	}
+}

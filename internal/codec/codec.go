@@ -1,0 +1,120 @@
+// Package codec implements the compact binary wire format used by the
+// MapReduce shuffle and the simulated DFS. Encoding points to bytes (rather
+// than passing pointers between map and reduce tasks) keeps the simulation
+// honest: shuffle volume is measured in real serialized bytes, matching the
+// communication costs the paper's single-pass design minimizes.
+//
+// Wire format of a point record:
+//
+//	uvarint  ID
+//	uvarint  dim
+//	dim × 8  coordinates (IEEE-754 little endian)
+//
+// A tagged point record (core/support flag of Fig. 3) prepends one tag byte.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dod/internal/geom"
+)
+
+// Record tags mirroring the "0-p"/"1-p" value prefixes in the paper's
+// MapReduce pseudocode (Fig. 3).
+const (
+	TagCore    byte = 0 // the point is a core point of the keyed partition
+	TagSupport byte = 1 // the point is a support point of the keyed partition
+)
+
+// ErrTruncated is returned when a buffer ends before a full record.
+var ErrTruncated = errors.New("codec: truncated record")
+
+// AppendPoint appends the encoding of p to dst and returns the extended
+// slice.
+func AppendPoint(dst []byte, p geom.Point) []byte {
+	dst = binary.AppendUvarint(dst, p.ID)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Coords)))
+	for _, v := range p.Coords {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodePoint decodes one point from the front of buf, returning the point
+// and the number of bytes consumed.
+func DecodePoint(buf []byte) (geom.Point, int, error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return geom.Point{}, 0, ErrTruncated
+	}
+	off := n
+	dim, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return geom.Point{}, 0, ErrTruncated
+	}
+	off += n
+	if dim > 1<<16 {
+		return geom.Point{}, 0, fmt.Errorf("codec: implausible dimension %d", dim)
+	}
+	need := int(dim) * 8
+	if len(buf[off:]) < need {
+		return geom.Point{}, 0, ErrTruncated
+	}
+	coords := make([]float64, dim)
+	for i := range coords {
+		coords[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return geom.Point{ID: id, Coords: coords}, off, nil
+}
+
+// AppendTaggedPoint appends a (tag, point) record to dst.
+func AppendTaggedPoint(dst []byte, tag byte, p geom.Point) []byte {
+	dst = append(dst, tag)
+	return AppendPoint(dst, p)
+}
+
+// DecodeTaggedPoint decodes a (tag, point) record from the front of buf.
+func DecodeTaggedPoint(buf []byte) (tag byte, p geom.Point, n int, err error) {
+	if len(buf) < 1 {
+		return 0, geom.Point{}, 0, ErrTruncated
+	}
+	tag = buf[0]
+	p, m, err := DecodePoint(buf[1:])
+	if err != nil {
+		return 0, geom.Point{}, 0, err
+	}
+	return tag, p, 1 + m, nil
+}
+
+// EncodePoints encodes a slice of points with a leading count. This is the
+// DFS block payload format.
+func EncodePoints(points []geom.Point) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(points)))
+	for _, p := range points {
+		buf = AppendPoint(buf, p)
+	}
+	return buf
+}
+
+// DecodePoints decodes a block produced by EncodePoints.
+func DecodePoints(buf []byte) ([]geom.Point, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	off := n
+	points := make([]geom.Point, 0, count)
+	for i := uint64(0); i < count; i++ {
+		p, m, err := DecodePoint(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("codec: point %d/%d: %w", i, count, err)
+		}
+		off += m
+		points = append(points, p)
+	}
+	return points, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dod/internal/detect"
+	"dod/internal/geom"
+	"dod/internal/plan"
+)
+
+// runDMT is a small helper for edge-case end-to-end runs.
+func runDMT(t *testing.T, points []geom.Point, params detect.Params) *Report {
+	t.Helper()
+	input, err := InputFromPoints(points, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(input, Config{
+		Params:     params,
+		Planner:    plan.DMT,
+		PlanOpts:   plan.Options{NumReducers: 3},
+		SampleRate: 1,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestExtremeParameters(t *testing.T) {
+	points := makeSkewed(400, 51)
+
+	// r spanning the whole domain: nobody is an outlier (with k < n).
+	rep := runDMT(t, points, detect.Params{R: 1000, K: 4})
+	if len(rep.Outliers) != 0 {
+		t.Errorf("domain-spanning r: %d outliers, want 0", len(rep.Outliers))
+	}
+
+	// k exceeding the dataset size: everybody is an outlier.
+	rep = runDMT(t, points, detect.Params{R: 5, K: len(points) + 1})
+	if len(rep.Outliers) != len(points) {
+		t.Errorf("k > n: %d outliers, want all %d", len(rep.Outliers), len(points))
+	}
+
+	// Tiny r: essentially everybody is an outlier except exact co-locations.
+	rep = runDMT(t, points, detect.Params{R: 1e-12, K: 1})
+	if len(rep.Outliers) < len(points)*9/10 {
+		t.Errorf("tiny r: only %d outliers of %d", len(rep.Outliers), len(points))
+	}
+}
+
+func TestDuplicatePointsEverywhere(t *testing.T) {
+	// 100 points at one location, 50 at another, 1 alone: duplicates are
+	// mutual neighbors at distance zero.
+	var points []geom.Point
+	id := uint64(0)
+	for i := 0; i < 100; i++ {
+		points = append(points, geom.Point{ID: id, Coords: []float64{10, 10}})
+		id++
+	}
+	for i := 0; i < 50; i++ {
+		points = append(points, geom.Point{ID: id, Coords: []float64{90, 90}})
+		id++
+	}
+	points = append(points, geom.Point{ID: id, Coords: []float64{50, 50}})
+
+	want := bruteForceIDs(points, testParams)
+	rep := runDMT(t, points, testParams)
+	if !reflect.DeepEqual(rep.Outliers, want) {
+		t.Errorf("duplicates: got %v, want %v", rep.Outliers, want)
+	}
+	if len(want) != 1 || want[0] != id {
+		t.Errorf("fixture expectation: lone point should be the only outlier, got %v", want)
+	}
+}
+
+func TestCollinearOneDimensionalStructure(t *testing.T) {
+	// All points on a line (degenerate second dimension).
+	var points []geom.Point
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 500; i++ {
+		points = append(points, geom.Point{ID: uint64(i), Coords: []float64{rng.Float64() * 100, 42}})
+	}
+	points = append(points, geom.Point{ID: 9999, Coords: []float64{250, 42}})
+	want := bruteForceIDs(points, testParams)
+	rep := runDMT(t, points, testParams)
+	if !reflect.DeepEqual(rep.Outliers, want) {
+		t.Errorf("collinear: got %d outliers, want %d", len(rep.Outliers), len(want))
+	}
+}
+
+func TestOneDimensionalEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	var points []geom.Point
+	for i := 0; i < 600; i++ {
+		points = append(points, geom.Point{ID: uint64(i), Coords: []float64{rng.NormFloat64() * 10}})
+	}
+	points = append(points, geom.Point{ID: 9999, Coords: []float64{200}})
+	params := detect.Params{R: 2, K: 3}
+	want := bruteForceIDs(points, params)
+	rep := runDMT(t, points, params)
+	if !reflect.DeepEqual(rep.Outliers, want) {
+		t.Errorf("1D: got %v, want %v", rep.Outliers, want)
+	}
+}
+
+func TestAllDetectorKindsEndToEnd(t *testing.T) {
+	points := makeSkewed(600, 57)
+	want := bruteForceIDs(points, testParams)
+	input, err := InputFromPoints(points, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, det := range []detect.Kind{detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.KDTree, detect.Pivot} {
+		rep, err := Run(input, Config{
+			Params:     testParams,
+			Planner:    plan.CDriven,
+			PlanOpts:   plan.Options{NumReducers: 4, NumPartitions: 12, Detector: det},
+			SampleRate: 1,
+			Seed:       59,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", det, err)
+		}
+		if !reflect.DeepEqual(rep.Outliers, want) {
+			t.Errorf("%v: wrong outlier set", det)
+		}
+	}
+}
+
+func TestExtendedCandidateSetEndToEnd(t *testing.T) {
+	points := makeSkewed(800, 61)
+	want := bruteForceIDs(points, testParams)
+	input, err := InputFromPoints(points, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(input, Config{
+		Params:  testParams,
+		Planner: plan.DMT,
+		PlanOpts: plan.Options{
+			NumReducers: 4,
+			Candidates: []detect.Kind{
+				detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.KDTree, detect.Pivot,
+			},
+		},
+		SampleRate: 1,
+		Seed:       63,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Outliers, want) {
+		t.Error("extended candidate set changed the outlier set")
+	}
+}
+
+func TestSinglePointDataset(t *testing.T) {
+	points := []geom.Point{{ID: 7, Coords: []float64{3, 3}}}
+	rep := runDMT(t, points, detect.Params{R: 1, K: 1})
+	if len(rep.Outliers) != 1 || rep.Outliers[0] != 7 {
+		t.Errorf("single point: %v", rep.Outliers)
+	}
+}
+
+func TestManyReducersFewPoints(t *testing.T) {
+	points := makeSkewed(60, 65)
+	input, err := InputFromPoints(points, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(input, Config{
+		Params:     testParams,
+		Planner:    plan.DMT,
+		PlanOpts:   plan.Options{NumReducers: 32}, // more reducers than natural partitions
+		SampleRate: 1,
+		Seed:       67,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Outliers, bruteForceIDs(points, testParams)) {
+		t.Error("over-provisioned reducers changed the result")
+	}
+}
+
+func TestNegativeCoordinatesDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(69))
+	var points []geom.Point
+	for i := 0; i < 500; i++ {
+		points = append(points, geom.Point{ID: uint64(i), Coords: []float64{
+			-500 + rng.Float64()*20, -300 + rng.Float64()*20,
+		}})
+	}
+	points = append(points, geom.Point{ID: 9999, Coords: []float64{-400, -200}})
+	want := bruteForceIDs(points, testParams)
+	rep := runDMT(t, points, testParams)
+	if !reflect.DeepEqual(rep.Outliers, want) {
+		t.Error("negative-coordinate domain mismatch")
+	}
+}

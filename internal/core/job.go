@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dod/internal/codec"
+	"dod/internal/detect"
+	"dod/internal/geom"
+	"dod/internal/mapreduce"
+	"dod/internal/plan"
+)
+
+// Counter names used by the DOD jobs. "work" counters feed the cluster
+// simulator; the others are reported for analysis.
+const (
+	counterMapWork        = "work.map"
+	counterReduceWork     = "work.reduce"
+	counterCoreRecords    = "records.core"
+	counterSupportRecords = "records.support"
+	counterDistComps      = "detect.distcomps"
+	counterPointsIndexed  = "detect.indexed"
+	counterOutliers       = "detect.outliers"
+)
+
+// detectionMapper implements the map function of Fig. 3: one core record
+// per point, one support record per supporting partition.
+func detectionMapper(pl *plan.Plan) mapreduce.MapperFunc {
+	return func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
+		points, err := codec.DecodePoints(split.Data)
+		if err != nil {
+			return fmt.Errorf("core: split %s: %w", split.Name, err)
+		}
+		var work int64
+		for _, p := range points {
+			core, supports := pl.Locate(p)
+			emit(uint64(core), codec.AppendTaggedPoint(nil, codec.TagCore, p))
+			work += 1 + int64(len(supports))
+			ctx.Inc(counterCoreRecords, 1)
+			for _, s := range supports {
+				emit(uint64(s), codec.AppendTaggedPoint(nil, codec.TagSupport, p))
+				ctx.Inc(counterSupportRecords, 1)
+			}
+		}
+		ctx.Inc(counterMapWork, work)
+		return nil
+	}
+}
+
+// detectionReducer implements the reduce function of Fig. 3: split the
+// group into core and support lists, run the partition's assigned detector,
+// and report outliers among the core points.
+func detectionReducer(pl *plan.Plan, params detect.Params, seed int64) mapreduce.ReducerFunc {
+	return func(ctx *mapreduce.TaskContext, key uint64, values [][]byte, emit mapreduce.Emit) error {
+		if key >= uint64(len(pl.Partitions)) {
+			return fmt.Errorf("core: reduce key %d out of range (%d partitions)", key, len(pl.Partitions))
+		}
+		core, support, err := decodeTaggedGroup(values)
+		if err != nil {
+			return fmt.Errorf("core: partition %d: %w", key, err)
+		}
+		part := pl.Partitions[key]
+		detector := detect.New(part.Algo, seed+int64(key))
+		res := detector.Detect(core, support, params)
+		for _, id := range res.OutlierIDs {
+			emit(key, binary.AppendUvarint(nil, id))
+		}
+		ctx.Inc(counterReduceWork, res.Stats.Cost()+int64(len(values)))
+		ctx.Inc(counterDistComps, res.Stats.DistComps)
+		ctx.Inc(counterPointsIndexed, res.Stats.PointsIndexed)
+		ctx.Inc(counterOutliers, int64(len(res.OutlierIDs)))
+		return nil
+	}
+}
+
+// decodeTaggedGroup splits a reducer value group into core and support
+// point lists by their record tags.
+func decodeTaggedGroup(values [][]byte) (core, support []geom.Point, err error) {
+	for _, v := range values {
+		tag, p, _, err := codec.DecodeTaggedPoint(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch tag {
+		case codec.TagCore:
+			core = append(core, p)
+		case codec.TagSupport:
+			support = append(support, p)
+		default:
+			return nil, nil, fmt.Errorf("unknown record tag %d", tag)
+		}
+	}
+	return core, support, nil
+}
+
+// decodeOutlierIDs extracts the outlier IDs from a detection job's output.
+func decodeOutlierIDs(pairs []mapreduce.Pair) ([]uint64, error) {
+	ids := make([]uint64, 0, len(pairs))
+	for _, p := range pairs {
+		id, n := binary.Uvarint(p.Value)
+		if n <= 0 {
+			return nil, fmt.Errorf("core: malformed outlier record for key %d", p.Key)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dod/internal/cluster"
+	"dod/internal/detect"
+	"dod/internal/geom"
+	"dod/internal/mapreduce"
+	"dod/internal/plan"
+	"dod/internal/sample"
+)
+
+// Simulated-cluster calibration constants. Absolute values are arbitrary
+// (the experiments compare ratios); what matters is that task durations are
+// proportional to deterministic work counters, not to the local machine's
+// scheduling noise.
+const (
+	// WorkRate is simulated work units (distance computations, indexed
+	// points, records) per second per task slot.
+	WorkRate = 25e6
+	// ShuffleRate is simulated aggregate shuffle bandwidth in bytes/sec.
+	ShuffleRate = 500e6
+	// IORate is simulated per-slot DFS read bandwidth in bytes/sec. Every
+	// job charges each task for (re)reading its input, so multi-job plans
+	// (the Domain baseline) pay the "prohibitive costs involved in reading,
+	// writing, and re-distribution of the data over a series of separate
+	// jobs" that Sec. I attributes to them.
+	IORate = 100e6
+)
+
+// Config controls one end-to-end DOD run.
+type Config struct {
+	Params  detect.Params
+	Planner plan.Planner
+	// PlanOpts carries reducer/partition counts and DMT settings. Its
+	// Params field is overwritten with Config.Params.
+	PlanOpts plan.Options
+
+	SampleRate    float64 // preprocessing sampling rate Υ; default 0.005
+	BucketsPerDim int     // mini buckets per dimension; default 32
+	Seed          int64
+
+	Parallelism int     // local goroutines for the in-process engine
+	FailureRate float64 // injected task failure rate (with retries)
+
+	Cluster cluster.Config // simulated cluster; default the paper's 40×8
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleRate <= 0 {
+		c.SampleRate = sample.DefaultRate
+	}
+	if c.BucketsPerDim < 1 {
+		c.BucketsPerDim = 32
+	}
+	if c.Cluster.Slots() <= 1 && c.Cluster.Nodes == 0 {
+		c.Cluster = cluster.PaperCluster
+	}
+	return c
+}
+
+// Report is the outcome of a DOD run: the verdicts plus the execution
+// profile the experiments plot.
+type Report struct {
+	Plan     *plan.Plan
+	Outliers []uint64 // sorted IDs
+
+	// Simulated is the paper-comparable stage breakdown: per-task work
+	// counters replayed through the cluster simulator.
+	Simulated cluster.PhaseBreakdown
+	// Wall is the in-process wall-clock breakdown of the same stages.
+	Wall cluster.PhaseBreakdown
+
+	ShuffleBytes   int64
+	ShuffleRecords int64
+	CoreRecords    int64
+	SupportRecords int64
+	DistComps      int64
+	PointsIndexed  int64
+
+	// ReduceImbalance is max/mean simulated reduce-task load (1 = perfect).
+	ReduceImbalance float64
+	NumJobs         int
+}
+
+// Run executes the full DOD workflow of Fig. 6 on the input: the
+// preprocessing job (when the planner needs statistics), the single-pass
+// detection job, and — for the Domain baseline — the second verification
+// job.
+func Run(input *Input, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Planner == nil {
+		cfg.Planner = plan.DMT
+	}
+
+	rep := &Report{}
+
+	// ---- Preprocessing: sampling + plan generation ----
+	var hist *sample.Histogram
+	if cfg.Planner.NeedsStats() {
+		sCfg := sample.Config{
+			Domain:        input.Domain,
+			BucketsPerDim: cfg.BucketsPerDim,
+			Rate:          cfg.SampleRate,
+			Seed:          cfg.Seed,
+		}
+		var res *mapreduce.Result
+		var err error
+		hist, res, err = sample.RunJob(sCfg, mapreduce.Config{
+			Parallelism: cfg.Parallelism,
+			FailureRate: cfg.FailureRate,
+			Seed:        cfg.Seed + 1,
+		}, input.Splits)
+		if err != nil {
+			return nil, fmt.Errorf("core: preprocessing: %w", err)
+		}
+		pre := simulateJob(cfg.Cluster, res, input.Splits)
+		rep.Simulated.Preprocess = pre.Map + pre.Shuffle + pre.Reduce
+		rep.Wall.Preprocess = res.Metrics.MapWall + res.Metrics.ShuffleWall + res.Metrics.ReduceWall
+		rep.NumJobs++
+	} else {
+		// Domain/uniSpace only need the domain rectangle.
+		grid := geom.NewGrid(input.Domain, dimsFor(input.Domain.Dim(), cfg.BucketsPerDim))
+		hist = &sample.Histogram{Grid: grid, Counts: make([]float64, grid.NumCells()), Rate: 1}
+	}
+
+	opts := cfg.PlanOpts
+	opts.Params = cfg.Params
+	pl, err := cfg.Planner.Build(hist, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning: %w", err)
+	}
+	rep.Plan = pl
+
+	// ---- Detection job (single pass, Fig. 2/3) ----
+	mrCfg := mapreduce.Config{
+		NumReducers: pl.NumReducers,
+		Parallelism: cfg.Parallelism,
+		Partitioner: func(key uint64, n int) int { return pl.ReducerFor(key) },
+		FailureRate: cfg.FailureRate,
+		Seed:        cfg.Seed + 2,
+	}
+
+	if pl.SupportR > 0 {
+		res, err := mapreduce.Run(mrCfg, input.Splits, detectionMapper(pl), detectionReducer(pl, cfg.Params, cfg.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("core: detection: %w", err)
+		}
+		rep.Outliers, err = decodeOutlierIDs(res.Output)
+		if err != nil {
+			return nil, err
+		}
+		rep.NumJobs++
+		accumulateJob(rep, cfg.Cluster, res, input.Splits)
+	} else {
+		// ---- Domain baseline: two jobs ----
+		res1, err := mapreduce.Run(mrCfg, input.Splits, detectionMapper(pl), domainJob1Reducer(pl, cfg.Params, cfg.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("core: domain job 1: %w", err)
+		}
+		finals, cands, err := splitDomainJob1Output(res1.Output)
+		if err != nil {
+			return nil, err
+		}
+		rep.NumJobs++
+		accumulateJob(rep, cfg.Cluster, res1, input.Splits)
+
+		splits2 := append(append([]mapreduce.Split(nil), input.Splits...), mapreduce.Split{
+			Name: candidatesSplitName,
+			Data: encodeCandidates(cands),
+		})
+		res2, err := mapreduce.Run(mrCfg, splits2, domainJob2Mapper(pl, cfg.Params), domainJob2Reducer(cfg.Params))
+		if err != nil {
+			return nil, fmt.Errorf("core: domain job 2: %w", err)
+		}
+		confirmed, err := reconcileDomain(cands, res2.Output, cfg.Params.K)
+		if err != nil {
+			return nil, err
+		}
+		rep.Outliers = append(finals, confirmed...)
+		rep.NumJobs++
+		accumulateJob(rep, cfg.Cluster, res2, splits2)
+	}
+
+	sort.Slice(rep.Outliers, func(i, j int) bool { return rep.Outliers[i] < rep.Outliers[j] })
+	return rep, nil
+}
+
+func dimsFor(d, perDim int) []int {
+	out := make([]int, d)
+	for i := range out {
+		out[i] = perDim
+	}
+	return out
+}
+
+// jobBreakdown is the simulated stage cost of one MapReduce job.
+type jobBreakdown struct {
+	Map, Shuffle, Reduce  time.Duration
+	reduceImbalance       float64
+	mapWall, reduceWall   time.Duration
+	shuffleWall           time.Duration
+	shuffleBytes, records int64
+}
+
+// simulateJob replays a job's per-task work counters through the cluster
+// simulator. Map tasks carry the DFS replica placement of their input
+// split, so the map phase is scheduled locality-aware (remote reads pay
+// the input transfer again); reducers read the shuffled stream and have no
+// locality.
+func simulateJob(cfg cluster.Config, res *mapreduce.Result, splits []mapreduce.Split) jobBreakdown {
+	taskFor := func(m mapreduce.TaskMetric, phase, counter string) cluster.Task {
+		units := m.Counters[counter]
+		if units < m.RecordsIn {
+			units = m.RecordsIn // floor: every record is at least touched
+		}
+		cpu := float64(units) / WorkRate
+		io := float64(m.BytesIn) / IORate
+		return cluster.Task{
+			Name:     fmt.Sprintf("%s-%04d", phase, m.TaskID),
+			Duration: time.Duration((cpu + io) * float64(time.Second)),
+		}
+	}
+	var mapTasks, reduceTasks []cluster.Task
+	for _, m := range res.Metrics.MapTasks {
+		task := taskFor(m, "map", counterMapWork)
+		if m.TaskID < len(splits) && len(splits[m.TaskID].Replicas) > 0 {
+			task.Preferred = splits[m.TaskID].Replicas
+			task.RemotePenalty = time.Duration(float64(m.BytesIn) / IORate * float64(time.Second))
+		}
+		mapTasks = append(mapTasks, task)
+	}
+	for _, m := range res.Metrics.ReduceTasks {
+		reduceTasks = append(reduceTasks, taskFor(m, "reduce", counterReduceWork))
+	}
+	reduceSched := cluster.RunPhase(cfg, reduceTasks)
+	return jobBreakdown{
+		Map:             cluster.RunPhasePlaced(cfg, mapTasks).Makespan,
+		Shuffle:         time.Duration(float64(res.Metrics.ShuffleBytes) / ShuffleRate * float64(time.Second)),
+		Reduce:          reduceSched.Makespan,
+		reduceImbalance: reduceSched.Imbalance(),
+		mapWall:         res.Metrics.MapWall,
+		reduceWall:      res.Metrics.ReduceWall,
+		shuffleWall:     res.Metrics.ShuffleWall,
+		shuffleBytes:    res.Metrics.ShuffleBytes,
+	}
+}
+
+// accumulateJob folds one detection-stage job into the report.
+func accumulateJob(rep *Report, cfg cluster.Config, res *mapreduce.Result, splits []mapreduce.Split) {
+	jb := simulateJob(cfg, res, splits)
+	rep.Simulated.Map += jb.Map
+	rep.Simulated.Shuffle += jb.Shuffle
+	rep.Simulated.Reduce += jb.Reduce
+	rep.Wall.Map += jb.mapWall
+	rep.Wall.Shuffle += jb.shuffleWall
+	rep.Wall.Reduce += jb.reduceWall
+	rep.ShuffleBytes += res.Metrics.ShuffleBytes
+	rep.ShuffleRecords += res.Metrics.ShuffleRecords
+	rep.CoreRecords += res.Metrics.Counter(counterCoreRecords)
+	rep.SupportRecords += res.Metrics.Counter(counterSupportRecords)
+	rep.DistComps += res.Metrics.Counter(counterDistComps)
+	rep.PointsIndexed += res.Metrics.Counter(counterPointsIndexed)
+	if jb.reduceImbalance > rep.ReduceImbalance {
+		rep.ReduceImbalance = jb.reduceImbalance
+	}
+}
+
+// DetectCentralized runs a single centralized detector over the whole
+// dataset — the non-distributed reference the experiments of Sec. IV use.
+func DetectCentralized(points []geom.Point, kind detect.Kind, params detect.Params, seed int64) detect.Result {
+	return detect.New(kind, seed).Detect(points, nil, params)
+}

@@ -1,0 +1,286 @@
+// Package cost implements the paper's theoretical cost models for the
+// detector classes (Lemma 4.1 and Lemma 4.2) and the density-driven
+// algorithm selector (Corollary 4.3). These models are the foundation of
+// the multi-tactic strategy: CDriven and DMT partitioning balance reducers
+// by *modeled cost* rather than cardinality, and DMT picks each partition's
+// detector by comparing the models.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"dod/internal/detect"
+)
+
+// PartitionProfile is the statistical summary of a data partition the cost
+// models consume: cardinality, the volume of domain space it covers, and
+// dimensionality.
+type PartitionProfile struct {
+	Cardinality float64 // |D|; fractional values arise from scaled samples
+	Area        float64 // A(D), the d-dimensional volume covered
+	Dim         int
+}
+
+// Density returns the partition's density measure: cardinality per unit of
+// domain volume (the "ratio of data cardinality to the domain area" of
+// Sec. IV-A).
+func (p PartitionProfile) Density() float64 {
+	if p.Area <= 0 {
+		return math.Inf(1)
+	}
+	return p.Cardinality / p.Area
+}
+
+// Validate reports whether a profile is usable.
+func (p PartitionProfile) Validate() error {
+	if p.Cardinality < 0 {
+		return fmt.Errorf("cost: negative cardinality %g", p.Cardinality)
+	}
+	if p.Area < 0 {
+		return fmt.Errorf("cost: negative area %g", p.Area)
+	}
+	if p.Dim < 1 {
+		return fmt.Errorf("cost: dimension %d < 1", p.Dim)
+	}
+	return nil
+}
+
+// NestedLoop returns Lemma 4.1's cost of the random-scan Nested-Loop
+// detector on the partition:
+//
+//	Cost(D) = |D| · A(D) · k / A(p)
+//
+// where A(p) is the volume of the r-ball. The expected trials per point,
+// k/μ with μ = A(p)/A(D), is capped at |D| because a scan cannot examine
+// more candidates than exist; the uncapped formula is available via
+// NestedLoopUncapped.
+func NestedLoop(p PartitionProfile, params detect.Params) float64 {
+	perPoint := expectedTrials(p, params)
+	if perPoint > p.Cardinality {
+		perPoint = p.Cardinality
+	}
+	return p.Cardinality * perPoint
+}
+
+// NestedLoopUncapped is Lemma 4.1 verbatim, with no |D| cap on the
+// per-point trial count.
+func NestedLoopUncapped(p PartitionProfile, params detect.Params) float64 {
+	return p.Cardinality * expectedTrials(p, params)
+}
+
+// expectedTrials returns E(N) = k/μ, the Binomial-expectation argument in
+// the proof of Lemma 4.1.
+func expectedTrials(p PartitionProfile, params detect.Params) float64 {
+	ballVol := ballVolume(p.Dim, params.R)
+	if p.Area <= 0 {
+		// Degenerate domain: everything is within r of everything; k trials
+		// suffice.
+		return float64(params.K)
+	}
+	mu := ballVol / p.Area
+	if mu > 1 {
+		mu = 1
+	}
+	if mu == 0 {
+		return math.Inf(1)
+	}
+	return float64(params.K) / mu
+}
+
+// CellCaseKind names which branch of Lemma 4.2 applies to a partition.
+type CellCaseKind int
+
+// The three regimes of Lemma 4.2.
+const (
+	CaseDenseInlier   CellCaseKind = iota // Eq. (1): 9/8·r²·density ≥ k
+	CaseSparseOutlier                     // Eq. (2): 49/8·r²·density < k
+	CaseIntermediate                      // Eq. (3): indexing + Nested-Loop
+)
+
+// String names the case.
+func (c CellCaseKind) String() string {
+	switch c {
+	case CaseDenseInlier:
+		return "dense-inlier"
+	case CaseSparseOutlier:
+		return "sparse-outlier"
+	case CaseIntermediate:
+		return "intermediate"
+	default:
+		return fmt.Sprintf("CellCaseKind(%d)", int(c))
+	}
+}
+
+// CellCase classifies the partition into a Lemma 4.2 regime. The constants
+// generalize the paper's two-dimensional 9-cell/49-cell blocks: the L1
+// block spans 3^d cells of volume (r/(2√d))^d each, the L2 block
+// (2·⌈2√d⌉+1)^d of them.
+func CellCase(p PartitionProfile, params detect.Params) CellCaseKind {
+	density := p.Density()
+	cellVol := math.Pow(params.R/(2*math.Sqrt(float64(p.Dim))), float64(p.Dim))
+	l1Cells := math.Pow(3, float64(p.Dim))
+	l2Side := 2*math.Ceil(2*math.Sqrt(float64(p.Dim))) + 1
+	l2Cells := math.Pow(l2Side, float64(p.Dim))
+	switch {
+	case l1Cells*cellVol*density >= float64(params.K):
+		return CaseDenseInlier
+	case l2Cells*cellVol*density < float64(params.K):
+		return CaseSparseOutlier
+	default:
+		return CaseIntermediate
+	}
+}
+
+// RegimeCuts returns the density thresholds separating Lemma 4.2's three
+// regimes for the given dimensionality and parameters: densities below
+// sparseCut are in the sparse-outlier regime, at or above denseCut in the
+// dense-inlier regime, and in between in the intermediate regime.
+func RegimeCuts(dim int, params detect.Params) (sparseCut, denseCut float64) {
+	cellVol := math.Pow(params.R/(2*math.Sqrt(float64(dim))), float64(dim))
+	l1Cells := math.Pow(3, float64(dim))
+	l2Side := 2*math.Ceil(2*math.Sqrt(float64(dim))) + 1
+	l2Cells := math.Pow(l2Side, float64(dim))
+	return float64(params.K) / (l2Cells * cellVol), float64(params.K) / (l1Cells * cellVol)
+}
+
+// RegimeClass maps a density to a small integer class aligned with the
+// Corollary 4.3 regimes: 0 = empty, 1 = sparse-outlier, 2 = intermediate,
+// 3 = dense-inlier. Partitions built from same-class regions are served by
+// one detector, which is what makes the classes the natural
+// density-similarity notion for DSHC.
+func RegimeClass(dim int, params detect.Params) func(density float64) int {
+	sparseCut, denseCut := RegimeCuts(dim, params)
+	return func(density float64) int {
+		switch {
+		case density == 0:
+			return 0
+		case density < sparseCut:
+			return 1
+		case density < denseCut:
+			return 2
+		default:
+			return 3
+		}
+	}
+}
+
+// CellBased returns Lemma 4.2's cost of the Cell-Based detector: linear
+// |D| in the dense-inlier and sparse-outlier regimes, |D| plus the
+// Nested-Loop term in between.
+func CellBased(p PartitionProfile, params detect.Params) float64 {
+	switch CellCase(p, params) {
+	case CaseDenseInlier, CaseSparseOutlier:
+		return p.Cardinality
+	default:
+		return p.Cardinality + NestedLoop(p, params)
+	}
+}
+
+// CellBasedL2 models the extension detector that restricts undecided-cell
+// scans to the L1–L2 ring: the linear indexing term plus, in the
+// intermediate regime, a per-point scan bounded by the expected ring
+// population rather than the full Nested-Loop trial count.
+func CellBasedL2(p PartitionProfile, params detect.Params) float64 {
+	if CellCase(p, params) != CaseIntermediate {
+		return p.Cardinality
+	}
+	cellVol := math.Pow(params.R/(2*math.Sqrt(float64(p.Dim))), float64(p.Dim))
+	l2Side := 2*math.Ceil(2*math.Sqrt(float64(p.Dim))) + 1
+	ringPoints := math.Pow(l2Side, float64(p.Dim)) * cellVol * p.Density()
+	perPoint := expectedTrials(p, params)
+	if ringPoints < perPoint {
+		perPoint = ringPoints
+	}
+	if perPoint > p.Cardinality {
+		perPoint = p.Cardinality
+	}
+	return p.Cardinality * (1 + perPoint)
+}
+
+// PerPointTrials returns the expected Nested-Loop trials for a point whose
+// *local* density is localDensity when scanning a candidate pool of
+// poolCount points: k/μ with μ = expected neighbors / pool size, capped at
+// the pool size. This refines Lemma 4.1 to mixed-density partitions, where
+// a point in a sparse corner of a mostly-dense partition scans nearly the
+// whole pool.
+func PerPointTrials(localDensity, poolCount float64, dim int, params detect.Params) float64 {
+	if poolCount <= 0 {
+		return 0
+	}
+	neighbors := localDensity * ballVolume(dim, params.R)
+	if neighbors <= 0 {
+		return poolCount
+	}
+	trials := float64(params.K) * poolCount / neighbors
+	if trials > poolCount {
+		trials = poolCount
+	}
+	return trials
+}
+
+// ballVolume is the volume of the d-ball of radius r (π·r² when d = 2,
+// matching the π·r² of Lemma 4.2's Equation (3)).
+func ballVolume(d int, r float64) float64 {
+	return math.Pow(math.Pi, float64(d)/2) / math.Gamma(float64(d)/2+1) * math.Pow(r, float64(d))
+}
+
+// Estimate returns the modeled cost of running the given detector kind on
+// the partition. BruteForce is modeled as the full quadratic scan; KDTree
+// as index build plus logarithmic queries.
+func Estimate(kind detect.Kind, p PartitionProfile, params detect.Params) float64 {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	switch kind {
+	case detect.NestedLoop:
+		return NestedLoop(p, params)
+	case detect.CellBased:
+		return CellBased(p, params)
+	case detect.BruteForce:
+		return p.Cardinality * p.Cardinality
+	case detect.KDTree:
+		n := p.Cardinality
+		if n < 2 {
+			return n
+		}
+		return n * math.Log2(n) * float64(params.K)
+	case detect.CellBasedL2:
+		return CellBasedL2(p, params)
+	case detect.Pivot:
+		// Pivot precompute (n·m distances) plus the filtered random scan;
+		// the filter passes candidates within an r-slab of every pivot, a
+		// fraction that shrinks with domain extent. Modeled as precompute
+		// plus the Nested-Loop term discounted by a nominal filter factor.
+		return 8*p.Cardinality + NestedLoop(p, params)/4
+	default:
+		panic(fmt.Sprintf("cost: no model for detector %v", kind))
+	}
+}
+
+// Select implements Corollary 4.3 over the paper's candidate set
+// A = {Nested-Loop, Cell-Based}: Cell-Based for the dense-inlier and
+// sparse-outlier regimes, Nested-Loop otherwise.
+func Select(p PartitionProfile, params detect.Params) detect.Kind {
+	if CellCase(p, params) == CaseIntermediate {
+		return detect.NestedLoop
+	}
+	return detect.CellBased
+}
+
+// SelectFrom generalizes Corollary 4.3 to an arbitrary candidate set: it
+// returns the kind with the minimal modeled cost (Def. 3.4's optimal
+// algorithm plan, applied per partition). Ties go to the earlier candidate.
+func SelectFrom(candidates []detect.Kind, p PartitionProfile, params detect.Params) detect.Kind {
+	if len(candidates) == 0 {
+		panic("cost: empty candidate set")
+	}
+	best := candidates[0]
+	bestCost := Estimate(best, p, params)
+	for _, kind := range candidates[1:] {
+		if c := Estimate(kind, p, params); c < bestCost {
+			best, bestCost = kind, c
+		}
+	}
+	return best
+}

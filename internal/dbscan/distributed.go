@@ -1,0 +1,184 @@
+package dbscan
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dod/internal/codec"
+	"dod/internal/detect"
+	"dod/internal/geom"
+	"dod/internal/mapreduce"
+	"dod/internal/plan"
+	"dod/internal/sample"
+)
+
+// Options control the distributed execution.
+type Options struct {
+	NumPartitions int // uniSpace grid cells; default 16
+	NumReducers   int // reduce tasks; default 4
+	Parallelism   int
+	Seed          int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumPartitions < 1 {
+		o.NumPartitions = 16
+	}
+	if o.NumReducers < 1 {
+		o.NumReducers = 4
+	}
+	return o
+}
+
+// fact flag bits.
+const (
+	flagCore byte = 1 << 0
+	flagHome byte = 1 << 1
+)
+
+// encodeFact serializes a localLabel (partition travels as the record key).
+func encodeFact(f localLabel) []byte {
+	var flags byte
+	if f.isCore {
+		flags |= flagCore
+	}
+	if f.isHome {
+		flags |= flagHome
+	}
+	buf := []byte{flags}
+	buf = binary.AppendUvarint(buf, f.pointID)
+	buf = binary.AppendVarint(buf, int64(f.label))
+	return buf
+}
+
+func decodeFact(partition int, buf []byte) (localLabel, error) {
+	if len(buf) < 1 {
+		return localLabel{}, codec.ErrTruncated
+	}
+	flags := buf[0]
+	rest := buf[1:]
+	id, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return localLabel{}, codec.ErrTruncated
+	}
+	rest = rest[n:]
+	label, n := binary.Varint(rest)
+	if n <= 0 {
+		return localLabel{}, codec.ErrTruncated
+	}
+	return localLabel{
+		pointID:   id,
+		partition: partition,
+		label:     int(label),
+		isCore:    flags&flagCore != 0,
+		isHome:    flags&flagHome != 0,
+	}, nil
+}
+
+// ClusterDistributed runs DBSCAN as one MapReduce job over a uniSpace
+// partition plan with eps supporting areas — the adaptation of the DOD
+// framework that Sec. III-B describes. The result is identical to
+// Cluster's up to cluster renumbering and the inherent DBSCAN border-point
+// ambiguity.
+func ClusterDistributed(points []geom.Point, params Params, opts Options) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("dbscan: empty dataset")
+	}
+	opts = opts.withDefaults()
+
+	domain := geom.Bounds(points)
+
+	// uniSpace plan with SupportR = eps. The planner only needs the domain
+	// from the histogram.
+	histGrid := geom.NewGrid(domain, dims(domain.Dim(), 8))
+	hist := &sample.Histogram{Grid: histGrid, Counts: make([]float64, histGrid.NumCells()), Rate: 1}
+	pl, err := plan.UniSpace.Build(hist, plan.Options{
+		NumReducers:   opts.NumReducers,
+		NumPartitions: opts.NumPartitions,
+		Params:        detect.Params{R: params.Eps, K: 1},
+		Detector:      detect.CellBased,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Input splits.
+	var splits []mapreduce.Split
+	const perSplit = 8192
+	for i := 0; i < len(points); i += perSplit {
+		j := i + perSplit
+		if j > len(points) {
+			j = len(points)
+		}
+		splits = append(splits, mapreduce.Split{
+			Name: fmt.Sprintf("dbscan-%06d", i/perSplit),
+			Data: codec.EncodePoints(points[i:j]),
+		})
+	}
+
+	mapper := mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
+		pts, err := codec.DecodePoints(split.Data)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			core, supports := pl.Locate(p)
+			emit(uint64(core), codec.AppendTaggedPoint(nil, codec.TagCore, p))
+			for _, s := range supports {
+				emit(uint64(s), codec.AppendTaggedPoint(nil, codec.TagSupport, p))
+			}
+		}
+		return nil
+	})
+
+	reducer := mapreduce.ReducerFunc(func(ctx *mapreduce.TaskContext, key uint64, values [][]byte, emit mapreduce.Emit) error {
+		var core, support []geom.Point
+		for _, v := range values {
+			tag, p, _, err := codec.DecodeTaggedPoint(v)
+			if err != nil {
+				return err
+			}
+			if tag == codec.TagCore {
+				core = append(core, p)
+			} else {
+				support = append(support, p)
+			}
+		}
+		facts, _ := clusterLocal(core, support, params)
+		for _, f := range facts {
+			emit(key, encodeFact(f))
+		}
+		return nil
+	})
+
+	res, err := mapreduce.Run(mapreduce.Config{
+		NumReducers: pl.NumReducers,
+		Parallelism: opts.Parallelism,
+		Partitioner: func(key uint64, n int) int { return pl.ReducerFor(key) },
+		Seed:        opts.Seed,
+	}, splits, mapper, reducer)
+	if err != nil {
+		return nil, err
+	}
+
+	perPoint := make(map[uint64][]localLabel, len(points))
+	for _, pair := range res.Output {
+		f, err := decodeFact(int(pair.Key), pair.Value)
+		if err != nil {
+			return nil, err
+		}
+		perPoint[f.pointID] = append(perPoint[f.pointID], f)
+	}
+	return reconcile(perPoint), nil
+}
+
+func dims(d, per int) []int {
+	out := make([]int, d)
+	for i := range out {
+		out[i] = per
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+// Package detect implements the centralized distance-threshold outlier
+// detectors that DOD dispatches to partitions: the paper's candidate set
+// A = {Nested-Loop, Cell-Based} (Sec. IV), a brute-force reference used by
+// tests, and a kd-tree detector as an extension beyond the paper.
+//
+// All detectors answer the same question (Def. 2.2): among the *core*
+// points, which have fewer than k neighbors within distance r, where
+// neighbors are drawn from core ∪ support and a point is never its own
+// neighbor.
+package detect
+
+import (
+	"fmt"
+
+	"dod/internal/geom"
+)
+
+// Kind names a detector class.
+type Kind int
+
+// Detector kinds. NestedLoop and CellBased form the paper's algorithm
+// candidate set A; BruteForce and KDTree are reference/extension detectors.
+// The zero value is Unspecified so configuration structs can distinguish
+// "not set" from an explicit choice.
+const (
+	Unspecified Kind = iota
+	BruteForce
+	NestedLoop
+	CellBased
+	KDTree
+	CellBasedL2
+	Pivot
+)
+
+// String returns the canonical detector name.
+func (k Kind) String() string {
+	switch k {
+	case Unspecified:
+		return "Unspecified"
+	case BruteForce:
+		return "BruteForce"
+	case NestedLoop:
+		return "Nested-Loop"
+	case CellBased:
+		return "Cell-Based"
+	case KDTree:
+		return "KD-Tree"
+	case CellBasedL2:
+		return "Cell-Based-L2"
+	case Pivot:
+		return "Pivot"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Params are the distance-threshold outlier parameters of Def. 2.2.
+type Params struct {
+	R float64 // distance threshold; neighbors satisfy dist <= R
+	K int     // neighbor-count threshold; outliers have fewer than K neighbors
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.R <= 0 {
+		return fmt.Errorf("detect: distance threshold r must be positive, got %g", p.R)
+	}
+	if p.K < 1 {
+		return fmt.Errorf("detect: neighbor threshold k must be >= 1, got %d", p.K)
+	}
+	return nil
+}
+
+// Stats records the work a detector performed. The experiments use
+// DistComps as the deterministic cost measure when replaying reducer tasks
+// through the cluster simulator.
+type Stats struct {
+	DistComps     int64 // pairwise distance evaluations
+	PointsIndexed int64 // points hashed into a grid/tree (Cell-Based, KD-Tree)
+	CellsPruned   int64 // grid cells resolved without per-point work
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.DistComps += other.DistComps
+	s.PointsIndexed += other.PointsIndexed
+	s.CellsPruned += other.CellsPruned
+}
+
+// Cost returns a scalar work measure: one unit per distance computation
+// plus one per indexed point (the Cell-Based "scan and index" term of
+// Lemma 4.2).
+func (s Stats) Cost() int64 { return s.DistComps + s.PointsIndexed }
+
+// Result is a detector's output on one partition.
+type Result struct {
+	OutlierIDs []uint64 // IDs of core points with fewer than K neighbors
+	Stats      Stats
+}
+
+// Detector is a centralized distance-threshold outlier detection algorithm.
+// Implementations must be deterministic for a fixed seed and must not
+// mutate the input slices.
+type Detector interface {
+	Kind() Kind
+	// Detect classifies the core points using core ∪ support as the
+	// neighbor pool and returns the outliers among core.
+	Detect(core, support []geom.Point, params Params) Result
+}
+
+// New constructs a detector of the given kind. Seed drives any internal
+// randomization (the Nested-Loop scan order); detectors that use no
+// randomness ignore it.
+func New(kind Kind, seed int64) Detector {
+	switch kind {
+	case BruteForce:
+		return bruteForceDetector{}
+	case NestedLoop:
+		return nestedLoopDetector{seed: seed}
+	case CellBased:
+		return cellBasedDetector{seed: seed}
+	case KDTree:
+		return kdTreeDetector{}
+	case CellBasedL2:
+		return cellBasedL2Detector{}
+	case Pivot:
+		return pivotDetector{seed: seed}
+	default:
+		panic(fmt.Sprintf("detect: unknown kind %d", int(kind)))
+	}
+}
+
+// bruteForceDetector counts every pairwise distance with no early exit.
+// It is the semantic reference implementation: O(|core|·|all|).
+type bruteForceDetector struct{}
+
+func (bruteForceDetector) Kind() Kind { return BruteForce }
+
+func (bruteForceDetector) Detect(core, support []geom.Point, params Params) Result {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	all := concat(core, support)
+	var res Result
+	for _, p := range core {
+		neighbors := 0
+		for _, q := range all {
+			if q.ID == p.ID {
+				continue
+			}
+			res.Stats.DistComps++
+			if geom.WithinDist(p, q, params.R) {
+				neighbors++
+			}
+		}
+		if neighbors < params.K {
+			res.OutlierIDs = append(res.OutlierIDs, p.ID)
+		}
+	}
+	return res
+}
+
+// concat returns core followed by support in one slice without mutating
+// either input.
+func concat(core, support []geom.Point) []geom.Point {
+	all := make([]geom.Point, 0, len(core)+len(support))
+	all = append(all, core...)
+	all = append(all, support...)
+	return all
+}

@@ -1,0 +1,132 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dod/internal/geom"
+)
+
+// randomScene builds a bounded random detection instance.
+func randomScene(seed int64) (core, support []geom.Point, params Params) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 5 + rng.Intn(120)
+	m := rng.Intn(40)
+	gen := func(startID uint64, count int) []geom.Point {
+		pts := make([]geom.Point, count)
+		for i := range pts {
+			pts[i] = geom.Point{
+				ID:     startID + uint64(i),
+				Coords: []float64{rng.Float64() * 50, rng.Float64() * 50},
+			}
+		}
+		return pts
+	}
+	return gen(0, n), gen(100000, m), Params{R: 0.5 + rng.Float64()*8, K: 1 + rng.Intn(8)}
+}
+
+// TestDetectorEquivalenceQuick: all detectors agree with brute force on
+// random instances and parameters.
+func TestDetectorEquivalenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		core, support, params := randomScene(seed)
+		want := sortedIDs(New(BruteForce, 0).Detect(core, support, params).OutlierIDs)
+		for _, kind := range allKinds[1:] {
+			got := sortedIDs(New(kind, seed).Detect(core, support, params).OutlierIDs)
+			if !equalIDs(got, want) {
+				t.Logf("seed %d: %v disagrees (%d vs %d outliers, r=%g k=%d)",
+					seed, kind, len(got), len(want), params.R, params.K)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMonotonicityQuick: adding a support point can only remove outliers,
+// never create them (more potential neighbors ⇒ fewer outliers).
+func TestMonotonicityQuick(t *testing.T) {
+	f := func(seed int64, extraX, extraY float64) bool {
+		core, support, params := randomScene(seed)
+		extra := geom.Point{ID: 999999, Coords: []float64{
+			clampTo(extraX, 50), clampTo(extraY, 50),
+		}}
+		for _, kind := range allKinds {
+			before := toSet(New(kind, seed).Detect(core, support, params).OutlierIDs)
+			after := toSet(New(kind, seed).Detect(core, append(append([]geom.Point(nil), support...), extra), params).OutlierIDs)
+			for id := range after {
+				if !before[id] {
+					t.Logf("seed %d: %v created outlier %d by adding a support point", seed, kind, id)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKMonotonicityQuick: raising k can only add outliers (a stricter
+// neighbor requirement never rescues a point).
+func TestKMonotonicityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		core, support, params := randomScene(seed)
+		lower := toSet(New(BruteForce, 0).Detect(core, support, params).OutlierIDs)
+		params2 := params
+		params2.K = params.K + 1
+		higher := toSet(New(BruteForce, 0).Detect(core, support, params2).OutlierIDs)
+		for id := range lower {
+			if !higher[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRMonotonicityQuick: growing r can only remove outliers.
+func TestRMonotonicityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		core, support, params := randomScene(seed)
+		smaller := toSet(New(BruteForce, 0).Detect(core, support, params).OutlierIDs)
+		params2 := params
+		params2.R = params.R * 1.5
+		larger := toSet(New(BruteForce, 0).Detect(core, support, params2).OutlierIDs)
+		for id := range larger {
+			if !smaller[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func toSet(ids []uint64) map[uint64]bool {
+	s := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+func clampTo(v, max float64) float64 {
+	if v != v || v < 0 { // NaN or negative
+		return 0
+	}
+	if v > max {
+		return max
+	}
+	return v
+}

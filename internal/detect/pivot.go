@@ -1,0 +1,96 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+
+	"dod/internal/geom"
+)
+
+// pivotDetector is a DOLPHIN-style pivot-based detector (Angiulli &
+// Fassetti, TKDD 2009 — the paper's reference [4]): a small set of pivot
+// points is chosen, every candidate's distance to each pivot is
+// precomputed, and the triangle inequality |d(p,v) − d(q,v)| ≤ d(p,q)
+// prunes candidates that cannot be neighbors before any exact distance is
+// evaluated. The paper excludes it from the distributed candidate set
+// because the original relies on a global index; as a *per-partition*
+// detector it needs no global state, so this implementation restores it as
+// an extension candidate.
+type pivotDetector struct {
+	seed int64
+}
+
+func (pivotDetector) Kind() Kind { return Pivot }
+
+// numPivots balances precompute cost (n·m distances) against filter power.
+const numPivots = 8
+
+func (d pivotDetector) Detect(core, support []geom.Point, params Params) Result {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	var res Result
+	if len(core) == 0 {
+		return res
+	}
+	all := concat(core, support)
+	n := len(all)
+
+	m := numPivots
+	if m > n {
+		m = n
+	}
+	// Seeded pivot choice; distances to pivots double as the index.
+	rng := rand.New(rand.NewSource(d.seed))
+	pivotIdx := rng.Perm(n)[:m]
+	pivDist := make([][]float64, m)
+	for i, pi := range pivotIdx {
+		pivDist[i] = make([]float64, n)
+		for j, q := range all {
+			res.Stats.DistComps++
+			pivDist[i][j] = geom.Dist(all[pi], q)
+		}
+		res.Stats.PointsIndexed += int64(n)
+	}
+	// Position of each point in `all` so a core point can find its own
+	// pivot distances.
+	posByID := make(map[uint64]int, n)
+	for j, q := range all {
+		posByID[q.ID] = j
+	}
+
+	order := rng.Perm(n)
+	for _, p := range core {
+		pPos := posByID[p.ID]
+		neighbors := 0
+		offset := scanOffset(p.ID, n)
+		for j := 0; j < n && neighbors < params.K; j++ {
+			qPos := order[(j+offset)%n]
+			q := all[qPos]
+			if q.ID == p.ID {
+				continue
+			}
+			// Triangle-inequality filter: if any pivot separates p and q
+			// by more than r, q cannot be a neighbor.
+			pruned := false
+			for i := 0; i < m; i++ {
+				if math.Abs(pivDist[i][pPos]-pivDist[i][qPos]) > params.R {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				res.Stats.CellsPruned++ // counts filtered candidates
+				continue
+			}
+			res.Stats.DistComps++
+			if geom.WithinDist(p, q, params.R) {
+				neighbors++
+			}
+		}
+		if neighbors < params.K {
+			res.OutlierIDs = append(res.OutlierIDs, p.ID)
+		}
+	}
+	return res
+}

@@ -1,0 +1,193 @@
+// Package dfs simulates the distributed file system (HDFS in the paper)
+// that feeds the MapReduce engine. Files are split into fixed-size blocks;
+// each block is replicated onto ReplicationFactor distinct simulated nodes.
+// Map tasks consume one block per input split, exactly as in Sec. III-B
+// ("the data points are randomly distributed over the HDFS blocks").
+//
+// The store is in-memory: the point of the simulation is to reproduce the
+// *block/split/locality structure* of HDFS, not its durability.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Default configuration, scaled down from HDFS defaults so tests exercise
+// multi-block files without huge inputs.
+const (
+	DefaultBlockSize         = 1 << 20 // 1 MiB
+	DefaultReplicationFactor = 3
+)
+
+// Common errors.
+var (
+	ErrNotFound = errors.New("dfs: file not found")
+	ErrExists   = errors.New("dfs: file already exists")
+)
+
+// Block is one replicated chunk of a file.
+type Block struct {
+	ID       BlockID
+	Data     []byte
+	Replicas []int // simulated node IDs holding a replica
+}
+
+// BlockID identifies a block within the store.
+type BlockID struct {
+	Path  string
+	Index int
+}
+
+func (b BlockID) String() string { return fmt.Sprintf("%s#%d", b.Path, b.Index) }
+
+type file struct {
+	blocks []*Block
+	size   int
+}
+
+// Store is a simulated cluster file system.
+type Store struct {
+	mu sync.RWMutex
+
+	blockSize   int
+	replication int
+	numNodes    int
+	rng         *rand.Rand
+
+	files map[string]*file
+}
+
+// Config controls a Store.
+type Config struct {
+	BlockSize         int // bytes per block; DefaultBlockSize if 0
+	ReplicationFactor int // replicas per block; DefaultReplicationFactor if 0
+	NumNodes          int // simulated datanodes; must be >= 1
+	Seed              int64
+}
+
+// NewStore builds an empty store.
+func NewStore(cfg Config) *Store {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = DefaultReplicationFactor
+	}
+	if cfg.NumNodes < 1 {
+		cfg.NumNodes = 1
+	}
+	if cfg.ReplicationFactor > cfg.NumNodes {
+		cfg.ReplicationFactor = cfg.NumNodes
+	}
+	return &Store{
+		blockSize:   cfg.BlockSize,
+		replication: cfg.ReplicationFactor,
+		numNodes:    cfg.NumNodes,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		files:       make(map[string]*file),
+	}
+}
+
+// BlockSize returns the store's block size in bytes.
+func (s *Store) BlockSize() int { return s.blockSize }
+
+// Write stores data under path, splitting it into blocks and assigning
+// replicas. It fails if the path already exists.
+func (s *Store) Write(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	f := &file{size: len(data)}
+	for i := 0; i*s.blockSize < len(data) || (i == 0 && len(data) == 0); i++ {
+		lo := i * s.blockSize
+		hi := lo + s.blockSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := make([]byte, hi-lo)
+		copy(chunk, data[lo:hi])
+		f.blocks = append(f.blocks, &Block{
+			ID:       BlockID{Path: path, Index: i},
+			Data:     chunk,
+			Replicas: s.pickReplicasLocked(),
+		})
+	}
+	s.files[path] = f
+	return nil
+}
+
+// pickReplicasLocked chooses replication-factor distinct nodes.
+func (s *Store) pickReplicasLocked() []int {
+	perm := s.rng.Perm(s.numNodes)
+	replicas := make([]int, s.replication)
+	copy(replicas, perm[:s.replication])
+	sort.Ints(replicas)
+	return replicas
+}
+
+// Read returns the full contents of path.
+func (s *Store) Read(path string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	out := make([]byte, 0, f.size)
+	for _, b := range f.blocks {
+		out = append(out, b.Data...)
+	}
+	return out, nil
+}
+
+// Blocks returns the blocks of path in order. The returned blocks share the
+// store's data buffers; callers must not mutate them.
+func (s *Store) Blocks(path string) ([]*Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return append([]*Block(nil), f.blocks...), nil
+}
+
+// Size returns the byte size of path.
+func (s *Store) Size(path string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return f.size, nil
+}
+
+// Delete removes path.
+func (s *Store) Delete(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(s.files, path)
+	return nil
+}
+
+// List returns all stored paths in sorted order.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	paths := make([]string, 0, len(s.files))
+	for p := range s.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}

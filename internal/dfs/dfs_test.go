@@ -1,0 +1,205 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newTestStore(blockSize int) *Store {
+	return NewStore(Config{BlockSize: blockSize, ReplicationFactor: 3, NumNodes: 10, Seed: 1})
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := newTestStore(16)
+	data := []byte("hello distributed file system, this spans several blocks")
+	if err := s.Write("/data/input", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read("/data/input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("roundtrip mismatch: %q", got)
+	}
+}
+
+func TestBlockSplitting(t *testing.T) {
+	s := newTestStore(10)
+	data := make([]byte, 25)
+	if err := s.Write("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := s.Blocks("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(blocks))
+	}
+	if len(blocks[0].Data) != 10 || len(blocks[1].Data) != 10 || len(blocks[2].Data) != 5 {
+		t.Errorf("block sizes: %d %d %d", len(blocks[0].Data), len(blocks[1].Data), len(blocks[2].Data))
+	}
+	for i, b := range blocks {
+		if b.ID.Index != i || b.ID.Path != "/f" {
+			t.Errorf("block %d has ID %v", i, b.ID)
+		}
+	}
+}
+
+func TestEmptyFileHasOneBlock(t *testing.T) {
+	s := newTestStore(10)
+	if err := s.Write("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := s.Blocks("/empty")
+	if len(blocks) != 1 || len(blocks[0].Data) != 0 {
+		t.Errorf("empty file: %d blocks", len(blocks))
+	}
+	data, err := s.Read("/empty")
+	if err != nil || len(data) != 0 {
+		t.Errorf("Read empty = %v, %v", data, err)
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	s := newTestStore(8)
+	if err := s.Write("/f", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := s.Blocks("/f")
+	for _, b := range blocks {
+		if len(b.Replicas) != 3 {
+			t.Fatalf("block %v has %d replicas, want 3", b.ID, len(b.Replicas))
+		}
+		seen := map[int]bool{}
+		for _, r := range b.Replicas {
+			if r < 0 || r >= 10 {
+				t.Fatalf("replica node %d out of range", r)
+			}
+			if seen[r] {
+				t.Fatalf("duplicate replica node %d for block %v", r, b.ID)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestReplicationCappedByNodes(t *testing.T) {
+	s := NewStore(Config{BlockSize: 8, ReplicationFactor: 5, NumNodes: 2, Seed: 1})
+	if err := s.Write("/f", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := s.Blocks("/f")
+	if len(blocks[0].Replicas) != 2 {
+		t.Errorf("replicas = %d, want capped at 2", len(blocks[0].Replicas))
+	}
+}
+
+func TestDuplicateWriteFails(t *testing.T) {
+	s := newTestStore(8)
+	if err := s.Write("/f", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("/f", []byte("b")); !errors.Is(err, ErrExists) {
+		t.Errorf("want ErrExists, got %v", err)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	s := newTestStore(8)
+	if _, err := s.Read("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Read: want ErrNotFound, got %v", err)
+	}
+	if _, err := s.Blocks("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Blocks: want ErrNotFound, got %v", err)
+	}
+	if _, err := s.Size("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Size: want ErrNotFound, got %v", err)
+	}
+	if err := s.Delete("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Delete: want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDeleteThenRewrite(t *testing.T) {
+	s := newTestStore(8)
+	if err := s.Write("/f", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("/f", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Read("/f")
+	if string(got) != "two" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s := newTestStore(8)
+	for _, p := range []string{"/c", "/a", "/b"} {
+		if err := s.Write(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.List()
+	want := []string{"/a", "/b", "/c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v", got)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	s := newTestStore(8)
+	data := make([]byte, 123)
+	if err := s.Write("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Size("/f"); n != 123 {
+		t.Errorf("Size = %d", n)
+	}
+}
+
+func TestWriteDoesNotAliasCallerBuffer(t *testing.T) {
+	s := newTestStore(8)
+	data := []byte("abcdefgh")
+	if err := s.Write("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'Z'
+	got, _ := s.Read("/f")
+	if got[0] != 'a' {
+		t.Error("store must copy caller data")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := newTestStore(64)
+	done := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		go func(i int) {
+			rng := rand.New(rand.NewSource(int64(i)))
+			data := make([]byte, 100+rng.Intn(400))
+			path := string(rune('a'+i%26)) + "/file" + string(rune('0'+i%10))
+			if err := s.Write(path+string(rune('A'+i)), data); err != nil {
+				done <- err
+				return
+			}
+			s.List()
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

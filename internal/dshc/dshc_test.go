@@ -1,0 +1,330 @@
+package dshc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dod/internal/geom"
+	"dod/internal/sample"
+)
+
+func histFromCounts(t *testing.T, domain geom.Rect, bucketsPerDim int, fill func(x, y int) float64) *sample.Histogram {
+	t.Helper()
+	grid := geom.NewGrid(domain, []int{bucketsPerDim, bucketsPerDim})
+	h := &sample.Histogram{Grid: grid, Counts: make([]float64, grid.NumCells()), Rate: 1}
+	for x := 0; x < bucketsPerDim; x++ {
+		for y := 0; y < bucketsPerDim; y++ {
+			h.Counts[grid.Flatten([]int{x, y})] = fill(x, y)
+		}
+	}
+	return h
+}
+
+func domain(side float64) geom.Rect {
+	return geom.NewRect([]float64{0, 0}, []float64{side, side})
+}
+
+// checkTiling verifies the fundamental DSHC output contract: clusters are
+// pairwise interior-disjoint, tile the domain exactly, and preserve the
+// histogram's total count.
+func checkTiling(t *testing.T, h *sample.Histogram, clusters []Cluster) {
+	t.Helper()
+	var areaSum, countSum float64
+	for i, a := range clusters {
+		areaSum += a.Rect.Area()
+		countSum += a.NumPoints
+		for _, b := range clusters[i+1:] {
+			if interiorOverlap(a.Rect, b.Rect) {
+				t.Fatalf("clusters overlap: %v and %v", a, b)
+			}
+		}
+		if !h.Grid.Domain.ContainsRect(a.Rect) {
+			t.Fatalf("cluster %v escapes domain %v", a, h.Grid.Domain)
+		}
+	}
+	if dom := h.Grid.Domain.Area(); math.Abs(areaSum-dom) > 1e-6*dom {
+		t.Errorf("cluster areas %g != domain area %g", areaSum, dom)
+	}
+	if total := h.EstimatedTotal(); math.Abs(countSum-total) > 1e-6*(total+1) {
+		t.Errorf("cluster counts %g != histogram total %g", countSum, total)
+	}
+}
+
+func interiorOverlap(a, b geom.Rect) bool {
+	for i := range a.Min {
+		if a.Max[i] <= b.Min[i] || b.Max[i] <= a.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUniformHistogramCollapsesToOneCluster(t *testing.T) {
+	h := histFromCounts(t, domain(100), 8, func(x, y int) float64 { return 10 })
+	clusters := Build(h, Params{Tdiff: 0.001})
+	checkTiling(t, h, clusters)
+	if len(clusters) != 1 {
+		t.Errorf("uniform data: %d clusters, want 1", len(clusters))
+	}
+	if clusters[0].NumPoints != 640 {
+		t.Errorf("cluster count = %g, want 640", clusters[0].NumPoints)
+	}
+}
+
+func TestTwoDensityRegions(t *testing.T) {
+	// Left half dense (100/bucket), right half sparse (1/bucket).
+	h := histFromCounts(t, domain(80), 8, func(x, y int) float64 {
+		if x < 4 {
+			return 100
+		}
+		return 1
+	})
+	clusters := Build(h, Params{Tdiff: 0.05})
+	checkTiling(t, h, clusters)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2 (dense + sparse)", len(clusters))
+	}
+	var dense, sparse *Cluster
+	for i := range clusters {
+		if clusters[i].Density() > 0.5 {
+			dense = &clusters[i]
+		} else {
+			sparse = &clusters[i]
+		}
+	}
+	if dense == nil || sparse == nil {
+		t.Fatalf("expected one dense and one sparse cluster: %v", clusters)
+	}
+	if dense.NumPoints != 100*32 || sparse.NumPoints != 32 {
+		t.Errorf("dense=%g sparse=%g", dense.NumPoints, sparse.NumPoints)
+	}
+}
+
+func TestFourQuadrants(t *testing.T) {
+	// Four density levels, one per quadrant; Tdiff below the smallest gap.
+	levels := [2][2]float64{{10, 200}, {3000, 40000}}
+	h := histFromCounts(t, domain(40), 8, func(x, y int) float64 {
+		return levels[x/4][y/4]
+	})
+	clusters := Build(h, Params{Tdiff: 0.1})
+	checkTiling(t, h, clusters)
+	if len(clusters) != 4 {
+		t.Errorf("got %d clusters, want 4 quadrants", len(clusters))
+	}
+}
+
+func TestTdiffZeroMergesNothingAcrossDifferentDensities(t *testing.T) {
+	// Strictly increasing density per bucket and a tiny Tdiff: no merges,
+	// one cluster per bucket.
+	h := histFromCounts(t, domain(40), 4, func(x, y int) float64 {
+		return float64(1 + x*4 + y*100)
+	})
+	clusters := Build(h, Params{Tdiff: 1e-9})
+	checkTiling(t, h, clusters)
+	if len(clusters) != 16 {
+		t.Errorf("got %d clusters, want 16 (no merges)", len(clusters))
+	}
+}
+
+func TestTmaxPointsCapsClusterCardinality(t *testing.T) {
+	h := histFromCounts(t, domain(100), 8, func(x, y int) float64 { return 10 })
+	cap := 100.0
+	clusters := Build(h, Params{Tdiff: 1, TmaxPoints: cap})
+	checkTiling(t, h, clusters)
+	if len(clusters) < 7 {
+		t.Errorf("cap %g should force >= 7 clusters, got %d", cap, len(clusters))
+	}
+	for _, c := range clusters {
+		if c.NumPoints >= cap {
+			t.Errorf("cluster %v exceeds TmaxPoints %g", c, cap)
+		}
+	}
+}
+
+func TestEmptyBucketsMergeTogether(t *testing.T) {
+	// A dense block in the middle of an empty domain: the empty buckets
+	// must still be covered by (zero-density) clusters.
+	h := histFromCounts(t, domain(80), 8, func(x, y int) float64 {
+		if x >= 3 && x < 5 && y >= 3 && y < 5 {
+			return 500
+		}
+		return 0
+	})
+	clusters := Build(h, Params{Tdiff: 0.5})
+	checkTiling(t, h, clusters)
+	var emptyCount, denseCount int
+	for _, c := range clusters {
+		if c.NumPoints == 0 {
+			emptyCount++
+		} else {
+			denseCount++
+		}
+	}
+	if denseCount == 0 {
+		t.Error("dense block vanished")
+	}
+	if emptyCount == 0 {
+		t.Error("empty space not covered")
+	}
+	// Empty buckets are all density 0 and should coalesce substantially.
+	if emptyCount > 16 {
+		t.Errorf("%d empty clusters; expected strong coalescing", emptyCount)
+	}
+}
+
+func TestSkewedRandomHistogramProperties(t *testing.T) {
+	// Property test: any random histogram must yield a valid tiling.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(9)
+		h := histFromCounts(t, domain(float64(10*n)), n, func(x, y int) float64 {
+			return math.Floor(math.Exp(rng.NormFloat64()*2) * 10)
+		})
+		params := Params{
+			Tdiff:      math.Exp(rng.NormFloat64()),
+			TmaxPoints: 0,
+			MaxEntries: 4 + rng.Intn(8),
+		}
+		clusters := Build(h, params)
+		checkTiling(t, h, clusters)
+	}
+}
+
+func TestTmaxRandomizedNeverExceeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		h := histFromCounts(t, domain(60), 6, func(x, y int) float64 {
+			return float64(rng.Intn(50))
+		})
+		cap := 60 + rng.Float64()*100
+		clusters := Build(h, Params{Tdiff: 100, TmaxPoints: cap})
+		checkTiling(t, h, clusters)
+		for _, c := range clusters {
+			// A single bucket may legitimately exceed the cap; only merged
+			// clusters (spanning more than one bucket) must respect it.
+			single := c.Rect.Area() <= h.Grid.CellRect([]int{0, 0}).Area()+1e-9
+			if !single && c.NumPoints >= cap {
+				t.Errorf("trial %d: merged cluster %v exceeds cap %g", trial, c, cap)
+			}
+		}
+	}
+}
+
+func TestAFAddDef54(t *testing.T) {
+	a := AF{NumPoints: 10, Rect: geom.NewRect([]float64{0, 0}, []float64{1, 1})}
+	b := AF{NumPoints: 20, Rect: geom.NewRect([]float64{1, 0}, []float64{2, 1})}
+	sum := a.Add(b)
+	if sum.NumPoints != 30 {
+		t.Errorf("NumPoints = %g", sum.NumPoints)
+	}
+	if !sum.Rect.Equal(geom.NewRect([]float64{0, 0}, []float64{2, 1})) {
+		t.Errorf("Rect = %v", sum.Rect)
+	}
+	if got := sum.Density(); got != 15 {
+		t.Errorf("Density = %g, want 15", got)
+	}
+}
+
+func TestCanMergeCriteria(t *testing.T) {
+	p := Params{Tdiff: 1, TmaxPoints: 100}.withDefaults()
+	left := AF{NumPoints: 10, Rect: geom.NewRect([]float64{0, 0}, []float64{1, 1})}
+	right := AF{NumPoints: 10, Rect: geom.NewRect([]float64{1, 0}, []float64{2, 1})}
+	if !p.CanMerge(left, right) {
+		t.Error("mergeable pair rejected")
+	}
+	// criterion 1: density difference
+	denser := AF{NumPoints: 50, Rect: right.Rect}
+	if p.CanMerge(left, denser) {
+		t.Error("density gap 40 >= Tdiff 1 accepted")
+	}
+	// criterion 2: rectangular shape
+	diagonal := AF{NumPoints: 10, Rect: geom.NewRect([]float64{1, 1}, []float64{2, 2})}
+	if p.CanMerge(left, diagonal) {
+		t.Error("non-rectangular union accepted")
+	}
+	// criterion 3: cardinality cap
+	heavy := Params{Tdiff: 1, TmaxPoints: 15}.withDefaults()
+	if heavy.CanMerge(left, right) {
+		t.Error("merged cardinality 20 >= cap 15 accepted")
+	}
+}
+
+func TestTreeInvariantsAfterManyInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	h := histFromCounts(t, domain(160), 16, func(x, y int) float64 {
+		return float64(rng.Intn(100))
+	})
+	tr := NewTree(Params{Tdiff: 5, MaxEntries: 5})
+	grid := h.Grid
+	for ord := 0; ord < grid.NumCells(); ord++ {
+		tr.Insert(AF{NumPoints: h.BucketCount(ord), Rect: grid.CellRect(grid.Unflatten(ord))})
+		assertTreeInvariants(t, tr)
+	}
+	if got := len(tr.Clusters()); got != tr.Len() {
+		t.Errorf("Clusters() returned %d, Len() = %d", got, tr.Len())
+	}
+}
+
+// assertTreeInvariants validates structural invariants: parent pointers,
+// bounding rectangles containing children, fanout limits, and uniform leaf
+// depth.
+func assertTreeInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	if tr.root == nil {
+		return
+	}
+	leafDepth := -1
+	leaves := 0
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.isLeaf() {
+			leaves++
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf depth %d != %d (unbalanced)", depth, leafDepth)
+			}
+			return
+		}
+		if len(n.children) > tr.params.MaxEntries {
+			t.Fatalf("node fanout %d exceeds max %d", len(n.children), tr.params.MaxEntries)
+		}
+		for _, c := range n.children {
+			if c.parent != n {
+				t.Fatal("broken parent pointer")
+			}
+			if !n.rect.ContainsRect(childRect(c)) {
+				t.Fatalf("node rect %v does not contain child %v", n.rect, childRect(c))
+			}
+			walk(c, depth+1)
+		}
+	}
+	walk(tr.root, 0)
+	if leaves != tr.Len() {
+		t.Fatalf("leaf count %d != Len() %d", leaves, tr.Len())
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	h := histFromCounts(t, domain(60), 6, func(x, y int) float64 {
+		return float64((x*7 + y*13) % 5 * 10)
+	})
+	a := Build(h, Params{Tdiff: 3})
+	b := Build(h, Params{Tdiff: 3})
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic cluster count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].NumPoints != b[i].NumPoints || !a[i].Rect.Equal(b[i].Rect) {
+			t.Fatalf("cluster %d differs between runs", i)
+		}
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	c := Cluster{AF: AF{NumPoints: 5, Rect: geom.NewRect([]float64{0, 0}, []float64{1, 1})}, ID: 3}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}

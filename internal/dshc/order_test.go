@@ -1,0 +1,80 @@
+package dshc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dod/internal/geom"
+)
+
+// TestInsertionOrderPreservesTiling: DSHC processes mini buckets as they
+// arrive from the mappers, so the clustering must produce a valid tiling
+// for *any* insertion order, not just row-major. (The cluster count and
+// shapes may legitimately differ between orders; the structural contract
+// may not.)
+func TestInsertionOrderPreservesTiling(t *testing.T) {
+	h := histFromCounts(t, domain(80), 8, func(x, y int) float64 {
+		if x < 4 && y < 4 {
+			return 200
+		}
+		return float64((x + y) % 3 * 10)
+	})
+	grid := h.Grid
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		order := rng.Perm(grid.NumCells())
+		tr := NewTree(Params{Tdiff: 5, MaxEntries: 4 + trial%5})
+		for _, ord := range order {
+			tr.Insert(AF{
+				NumPoints: h.BucketCount(ord),
+				Rect:      grid.CellRect(grid.Unflatten(ord)),
+			})
+		}
+		clusters := tr.Clusters()
+		checkTiling(t, h, clusters)
+		assertTreeInvariants(t, tr)
+	}
+}
+
+// TestInsertionOrderWithDensityClasses: same property under the
+// regime-class similarity criterion.
+func TestInsertionOrderWithDensityClasses(t *testing.T) {
+	h := histFromCounts(t, domain(60), 6, func(x, y int) float64 {
+		return float64(x * y * 3)
+	})
+	grid := h.Grid
+	class := func(d float64) int {
+		switch {
+		case d == 0:
+			return 0
+		case d < 0.5:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		order := rng.Perm(grid.NumCells())
+		tr := NewTree(Params{DensityClass: class})
+		for _, ord := range order {
+			tr.Insert(AF{
+				NumPoints: h.BucketCount(ord),
+				Rect:      grid.CellRect(grid.Unflatten(ord)),
+			})
+		}
+		checkTiling(t, h, tr.Clusters())
+	}
+}
+
+// TestSingleBucketDomain: a 1×1 histogram yields exactly one cluster.
+func TestSingleBucketDomain(t *testing.T) {
+	h := histFromCounts(t, domain(10), 1, func(x, y int) float64 { return 42 })
+	clusters := Build(h, Params{Tdiff: 1})
+	if len(clusters) != 1 || clusters[0].NumPoints != 42 {
+		t.Errorf("single bucket: %v", clusters)
+	}
+	if !clusters[0].Rect.Equal(geom.NewRect([]float64{0, 0}, []float64{10, 10})) {
+		t.Errorf("cluster rect %v", clusters[0].Rect)
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"dod/internal/detect"
+	"dod/internal/plan"
+	"dod/internal/synth"
+)
+
+// TestDebugBreakdown is a diagnostic that prints stage breakdowns; run with
+// -run TestDebugBreakdown -v. Skipped in short mode.
+func TestDebugBreakdown(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic only")
+	}
+	cfg := tiny()
+	for _, segKind := range []synth.SegmentKind{synth.Massachusetts, synth.NewYork, synth.Ohio} {
+		pts := synth.Segment(segKind, cfg.SegmentN, cfg.Seed+100)
+		for _, m := range []detectionMethod{
+			{"Domain+NL", plan.Domain, detect.NestedLoop},
+			{"CDriven+NL", plan.CDriven, detect.NestedLoop},
+			{"CDriven+CB", plan.CDriven, detect.CellBased},
+			{"DMT", plan.DMT, detect.Unspecified},
+		} {
+			rep, err := runCase(cfg, pts, m.planner, m.det)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s %-12s pre=%v map=%v shuf=%v red=%v total=%v | supp=%d dist=%d idx=%d imb=%.2f parts=%d",
+				segKind, m.label, rep.Simulated.Preprocess, rep.Simulated.Map, rep.Simulated.Shuffle,
+				rep.Simulated.Reduce, rep.Simulated.Total(),
+				rep.SupportRecords, rep.DistComps, rep.PointsIndexed, rep.ReduceImbalance, len(rep.Plan.Partitions))
+		}
+	}
+}

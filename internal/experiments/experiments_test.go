@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	return Config{SegmentN: 3000, BaseN: 1200, SweepN: 4000, Reducers: 4, Partitions: 16, Seed: 1}
+}
+
+func TestFig4Shape(t *testing.T) {
+	fig, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := fig.MustGet("Nested-Loop", "D-Sparse")
+	dense := fig.MustGet("Nested-Loop", "D-Dense")
+	if sparse <= dense {
+		t.Errorf("D-Sparse (%g) must cost more than D-Dense (%g)", sparse, dense)
+	}
+	if ratio := sparse / dense; ratio < 2 {
+		t.Errorf("sparse/dense ratio %g; paper reports ≈4.5x, want at least 2x", ratio)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	fig, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell-Based must win at the density extremes, Nested-Loop somewhere in
+	// the middle band (the crossover of Fig. 5).
+	if cb, nl := fig.MustGet("Cell-Based", "0.01"), fig.MustGet("Nested-Loop", "0.01"); cb >= nl {
+		t.Errorf("at density 0.01: CB %g should beat NL %g", cb, nl)
+	}
+	if cb, nl := fig.MustGet("Cell-Based", "100"), fig.MustGet("Nested-Loop", "100"); cb >= nl {
+		t.Errorf("at density 100: CB %g should beat NL %g", cb, nl)
+	}
+	// In the intermediate band Cell-Based loses its pruning advantage and
+	// the two detectors converge: the best CB/NL ratio in the band must be
+	// near or above parity (the paper measures NL strictly faster there;
+	// our implementation's fluctuation pruning offsets its indexing
+	// overhead, so the reproduced gap is a near-tie — see EXPERIMENTS.md).
+	bestRatio := 0.0
+	for _, d := range []string{"0.0316", "0.1"} {
+		if r := fig.MustGet("Cell-Based", d) / fig.MustGet("Nested-Loop", d); r > bestRatio {
+			bestRatio = r
+		}
+	}
+	if bestRatio < 0.9 {
+		t.Errorf("mid-band CB/NL best ratio = %.2f; detectors should converge near parity", bestRatio)
+	}
+	// And at the extremes Cell-Based must win by a wide margin.
+	if r := fig.MustGet("Cell-Based", "0.01") / fig.MustGet("Nested-Loop", "0.01"); r > 0.1 {
+		t.Errorf("sparse extreme: CB/NL = %.3f, want < 0.1", r)
+	}
+	if r := fig.MustGet("Cell-Based", "100") / fig.MustGet("Nested-Loop", "100"); r > 0.5 {
+		t.Errorf("dense extreme: CB/NL = %.3f, want < 0.5", r)
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	fig, err := Fig7a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range []string{"OH", "MA", "CA", "NY"} {
+		if v := fig.MustGet("CDriven", seg); v != 1 {
+			t.Errorf("CDriven self-ratio on %s = %g, want 1", seg, v)
+		}
+		// On the dense segments the reduce stage is cheap at laptop scale
+		// and supporting-area duplication (a fixed r against small
+		// partitions) compresses the gaps; allow the baselines to come
+		// within 30% of CDriven there, but never to beat it meaningfully.
+		if v := fig.MustGet("Domain", seg); v < 0.7 {
+			t.Errorf("Domain on %s = %g; baseline should not clearly beat CDriven", seg, v)
+		}
+	}
+	// Where the reduce stage dominates (sparse, skewed OH and MA), the
+	// baselines must lose to CDriven outright.
+	for _, seg := range []string{"OH", "MA"} {
+		for _, planner := range []string{"Domain", "DDriven"} {
+			if v := fig.MustGet(planner, seg); v < 1.0 {
+				t.Errorf("%s on %s = %g; want >= 1 where reduce dominates", planner, seg, v)
+			}
+		}
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	fig, err := Fig9a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DMT must never be dramatically worse than the best single tactic, and
+	// should win on at least half the segments.
+	wins := 0
+	for _, seg := range []string{"OH", "MA", "CA", "NY"} {
+		nl := fig.MustGet("Nested-Loop", seg)
+		cb := fig.MustGet("Cell-Based", seg)
+		dmt := fig.MustGet("DMT", seg)
+		best := nl
+		if cb < best {
+			best = cb
+		}
+		if dmt <= best*1.25 {
+			wins++
+		}
+		if dmt > 2*best {
+			t.Errorf("%s: DMT %g much worse than best single tactic %g", seg, dmt, best)
+		}
+	}
+	if wins < 2 {
+		t.Errorf("DMT competitive on only %d/4 segments", wins)
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	fig, err := Fig10b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"CDriven + Nested-Loop", "CDriven + Cell-Based", "DMT"} {
+		for _, stage := range []string{"Preprocess", "Map", "Reduce"} {
+			if _, ok := fig.Get(label, stage); !ok {
+				t.Errorf("missing %s/%s", label, stage)
+			}
+		}
+	}
+	// DMT's reduce stage should not lose to both single-tactic methods.
+	dmt := fig.MustGet("DMT", "Reduce")
+	nl := fig.MustGet("CDriven + Nested-Loop", "Reduce")
+	cb := fig.MustGet("CDriven + Cell-Based", "Reduce")
+	if dmt > nl && dmt > cb {
+		t.Errorf("DMT reduce %g worse than both NL %g and CB %g", dmt, nl, cb)
+	}
+}
+
+func TestFigureStringRendering(t *testing.T) {
+	fig := &Figure{
+		ID: "Fig. X", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "s1", Points: []Point{{X: "a", Y: 1.5}}}},
+		Notes:  []string{"a note"},
+	}
+	s := fig.String()
+	for _, want := range []string{"Fig. X", "demo", "s1", "1.5", "a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigureGetMissing(t *testing.T) {
+	fig := &Figure{}
+	if _, ok := fig.Get("nope", "x"); ok {
+		t.Error("Get on empty figure returned ok")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet should panic on missing sample")
+		}
+	}()
+	fig.MustGet("nope", "x")
+}

@@ -1,0 +1,171 @@
+package geom
+
+import "fmt"
+
+// Grid is a uniform d-dimensional grid over a domain rectangle. It is used
+// by the Cell-Based detector (cells of diagonal r/2), by the uniSpace
+// partitioner (equi-width partitions), and by the DMT mini-bucket histogram.
+//
+// Cells are indexed either by a per-dimension index vector or by a single
+// flattened ordinal in row-major order.
+type Grid struct {
+	Domain Rect
+	Dims   []int     // number of cells per dimension, all >= 1
+	width  []float64 // cell width per dimension
+	total  int
+}
+
+// NewGrid builds a uniform grid over domain with dims[i] cells along
+// dimension i. A dimension with zero extent is collapsed to a single cell
+// regardless of the requested count, keeping every cell rectangle valid.
+func NewGrid(domain Rect, dims []int) *Grid {
+	if len(dims) != domain.Dim() {
+		panic("geom: NewGrid dims/domain dimension mismatch")
+	}
+	total := 1
+	width := make([]float64, len(dims))
+	clamped := append([]int(nil), dims...)
+	for i, n := range clamped {
+		if n < 1 {
+			panic(fmt.Sprintf("geom: NewGrid dims[%d]=%d < 1", i, n))
+		}
+		extent := domain.Max[i] - domain.Min[i]
+		if extent <= 0 {
+			n = 1
+			clamped[i] = 1
+			width[i] = 1 // any positive width; all points map to cell 0
+		} else {
+			width[i] = extent / float64(n)
+		}
+		total *= n
+	}
+	return &Grid{Domain: domain.Clone(), Dims: clamped, width: width, total: total}
+}
+
+// NewGridByWidth builds a grid whose cells are at most `width` wide in every
+// dimension (the Cell-Based detector's r/(2√d) layout). The domain is
+// covered exactly; the last cell in each dimension may be narrower in
+// effect, but for indexing all cells have equal width.
+func NewGridByWidth(domain Rect, width float64) *Grid {
+	if width <= 0 {
+		panic("geom: NewGridByWidth requires width > 0")
+	}
+	dims := make([]int, domain.Dim())
+	for i := range dims {
+		extent := domain.Max[i] - domain.Min[i]
+		n := int(extent / width)
+		if float64(n)*width < extent {
+			n++
+		}
+		if n < 1 {
+			n = 1
+		}
+		dims[i] = n
+	}
+	return NewGrid(domain, dims)
+}
+
+// NumCells returns the total number of cells.
+func (g *Grid) NumCells() int { return g.total }
+
+// CellWidth returns the cell width along dimension i.
+func (g *Grid) CellWidth(i int) float64 { return g.width[i] }
+
+// CellCoords returns the per-dimension cell indices containing p. Points on
+// the upper domain boundary are assigned to the last cell; out-of-domain
+// points are clamped. This guarantees every point maps to exactly one cell.
+func (g *Grid) CellCoords(p Point) []int {
+	idx := make([]int, len(g.Dims))
+	for i := range g.Dims {
+		v := (p.Coords[i] - g.Domain.Min[i]) / g.width[i]
+		c := int(v)
+		if c < 0 {
+			c = 0
+		}
+		if c >= g.Dims[i] {
+			c = g.Dims[i] - 1
+		}
+		idx[i] = c
+	}
+	return idx
+}
+
+// Flatten converts per-dimension indices to a row-major ordinal.
+func (g *Grid) Flatten(idx []int) int {
+	ord := 0
+	for i, c := range idx {
+		ord = ord*g.Dims[i] + c
+	}
+	return ord
+}
+
+// Unflatten converts a row-major ordinal back to per-dimension indices.
+func (g *Grid) Unflatten(ord int) []int {
+	idx := make([]int, len(g.Dims))
+	for i := len(g.Dims) - 1; i >= 0; i-- {
+		idx[i] = ord % g.Dims[i]
+		ord /= g.Dims[i]
+	}
+	return idx
+}
+
+// CellOrdinal returns the flattened ordinal of the cell containing p.
+func (g *Grid) CellOrdinal(p Point) int {
+	return g.Flatten(g.CellCoords(p))
+}
+
+// CellRect returns the rectangle of the cell at the given indices.
+// Boundaries are computed so that adjacent cells share bit-identical
+// coordinates (min of cell c+1 equals max of cell c) and the outermost
+// cells land exactly on the domain boundary — the exact-tiling property
+// the DSHC rectangular-merge test and partition plans rely on.
+func (g *Grid) CellRect(idx []int) Rect {
+	min := make([]float64, len(idx))
+	max := make([]float64, len(idx))
+	for i, c := range idx {
+		min[i] = g.Boundary(i, c)
+		max[i] = g.Boundary(i, c+1)
+	}
+	return Rect{Min: min, Max: max}
+}
+
+// Boundary returns the coordinate of grid line number c (0..Dims[i]) along
+// dimension i. Line 0 is the domain minimum and line Dims[i] is exactly the
+// domain maximum.
+func (g *Grid) Boundary(i, c int) float64 {
+	if c <= 0 {
+		return g.Domain.Min[i]
+	}
+	if c >= g.Dims[i] {
+		return g.Domain.Max[i]
+	}
+	return g.Domain.Min[i] + float64(c)*g.width[i]
+}
+
+// Neighborhood calls fn with the flattened ordinal of every cell within
+// Chebyshev distance radius of the cell at idx (including idx itself),
+// clipped to the grid. The Cell-Based detector uses radius 1 for the L1
+// block and ⌈2√d⌉ for the L2 block.
+func (g *Grid) Neighborhood(idx []int, radius int, fn func(ord int)) {
+	cur := make([]int, len(idx))
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == len(idx) {
+			fn(g.Flatten(cur))
+			return
+		}
+		lo := idx[dim] - radius
+		if lo < 0 {
+			lo = 0
+		}
+		hi := idx[dim] + radius
+		if hi > g.Dims[dim]-1 {
+			hi = g.Dims[dim] - 1
+		}
+		for c := lo; c <= hi; c++ {
+			cur[dim] = c
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+}

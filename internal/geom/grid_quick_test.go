@@ -1,0 +1,86 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAdjacentCellsShareExactBoundariesQuick pins the exact-tiling
+// invariant: the max coordinate of cell c and the min coordinate of cell
+// c+1 must be bit-identical in every dimension, for arbitrary domains and
+// grid sizes. DSHC's rectangular-merge test and the partition planners'
+// half-open point assignment both depend on it; float drift here once
+// produced overlapping partitions.
+func TestAdjacentCellsShareExactBoundariesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		min := []float64{rng.NormFloat64() * 100, rng.NormFloat64() * 100}
+		max := []float64{min[0] + 0.1 + rng.Float64()*1000, min[1] + 0.1 + rng.Float64()*1000}
+		g := NewGrid(NewRect(min, max), []int{1 + rng.Intn(40), 1 + rng.Intn(40)})
+		for dim := 0; dim < 2; dim++ {
+			for c := 0; c < g.Dims[dim]-1; c++ {
+				idxA := []int{0, 0}
+				idxB := []int{0, 0}
+				idxA[dim], idxB[dim] = c, c+1
+				a, b := g.CellRect(idxA), g.CellRect(idxB)
+				if a.Max[dim] != b.Min[dim] {
+					t.Logf("seed %d dim %d cell %d: %v != %v", seed, dim, c, a.Max[dim], b.Min[dim])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGridBoundaryEndpointsQuick: line 0 and line Dims land exactly on the
+// domain, and boundaries are non-decreasing.
+func TestGridBoundaryEndpointsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := rng.NormFloat64() * 50
+		hi := lo + 0.01 + rng.Float64()*500
+		g := NewGrid(NewRect([]float64{lo}, []float64{hi}), []int{1 + rng.Intn(60)})
+		if g.Boundary(0, 0) != lo || g.Boundary(0, g.Dims[0]) != hi {
+			return false
+		}
+		prev := lo
+		for c := 1; c <= g.Dims[0]; c++ {
+			b := g.Boundary(0, c)
+			if b < prev {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCellOrdinalRoundTripQuick: every cell's rect's center maps back to
+// the same cell.
+func TestCellOrdinalRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGrid(
+			NewRect([]float64{0, 0}, []float64{1 + rng.Float64()*100, 1 + rng.Float64()*100}),
+			[]int{1 + rng.Intn(20), 1 + rng.Intn(20)},
+		)
+		for ord := 0; ord < g.NumCells(); ord++ {
+			center := g.CellRect(g.Unflatten(ord)).Center()
+			if g.CellOrdinal(center) != ord {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// sumMapper emits (word length, 1) for each word.
+var sumMapper = MapperFunc(func(ctx *TaskContext, split Split, emit Emit) error {
+	for _, w := range splitWords(string(split.Data)) {
+		emit(uint64(len(w)), binary.AppendUvarint(nil, 1))
+	}
+	return nil
+})
+
+// sumReducer sums uvarint-encoded values — safe as both combiner and
+// reducer.
+var sumReducer = ReducerFunc(func(ctx *TaskContext, key uint64, values [][]byte, emit Emit) error {
+	var total uint64
+	for _, v := range values {
+		n, read := binary.Uvarint(v)
+		if read <= 0 {
+			return errors.New("bad value")
+		}
+		total += n
+	}
+	emit(key, binary.AppendUvarint(nil, total))
+	return nil
+})
+
+func splitWords(s string) []string {
+	var words []string
+	start := -1
+	for i, r := range s {
+		if r == ' ' || r == '\n' {
+			if start >= 0 {
+				words = append(words, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		words = append(words, s[start:])
+	}
+	return words
+}
+
+func sumsOf(t *testing.T, res *Result) map[uint64]uint64 {
+	t.Helper()
+	out := map[uint64]uint64{}
+	for _, p := range res.Output {
+		n, read := binary.Uvarint(p.Value)
+		if read <= 0 {
+			t.Fatal("bad output value")
+		}
+		out[p.Key] += n
+	}
+	return out
+}
+
+func TestCombinerPreservesResult(t *testing.T) {
+	splits := wordSplits("a bb a ccc bb a", "bb a bb", "ccc a a")
+	plain, err := Run(Config{NumReducers: 3}, splits, sumMapper, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := Run(Config{NumReducers: 3, Combiner: sumReducer}, splits, sumMapper, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := sumsOf(t, plain), sumsOf(t, combined)
+	if len(want) != len(got) {
+		t.Fatalf("result sizes differ: %v vs %v", want, got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d: combined %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	splits := wordSplits("a a a a a a a a bb bb bb bb", "a a a a bb bb")
+	plain, err := Run(Config{NumReducers: 2}, splits, sumMapper, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := Run(Config{NumReducers: 2, Combiner: sumReducer}, splits, sumMapper, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Metrics.ShuffleRecords >= plain.Metrics.ShuffleRecords {
+		t.Errorf("combiner did not reduce shuffle: %d vs %d records",
+			combined.Metrics.ShuffleRecords, plain.Metrics.ShuffleRecords)
+	}
+	// Each map task emits at most one record per (key, reducer): 2 tasks × 2
+	// keys = 4 records max.
+	if combined.Metrics.ShuffleRecords > 4 {
+		t.Errorf("combined shuffle records = %d, want <= 4", combined.Metrics.ShuffleRecords)
+	}
+}
+
+func TestCombinerErrorFailsJob(t *testing.T) {
+	boom := errors.New("combiner boom")
+	bad := ReducerFunc(func(ctx *TaskContext, key uint64, values [][]byte, emit Emit) error {
+		return boom
+	})
+	_, err := Run(Config{NumReducers: 1, Combiner: bad}, wordSplits("a b"), sumMapper, sumReducer)
+	if !errors.Is(err, boom) {
+		t.Errorf("want combiner error, got %v", err)
+	}
+}
+
+func TestCombinerWithFailureInjection(t *testing.T) {
+	splits := wordSplits("a bb a ccc", "bb a bb ccc", "a a bb")
+	clean, err := Run(Config{NumReducers: 2, Combiner: sumReducer}, splits, sumMapper, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky, err := Run(Config{NumReducers: 2, Combiner: sumReducer, FailureRate: 0.4, MaxAttempts: 50, Seed: 3},
+		splits, sumMapper, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := sumsOf(t, clean), sumsOf(t, flaky)
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d: %d vs %d under failures", k, got[k], v)
+		}
+	}
+}

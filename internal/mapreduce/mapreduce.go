@@ -1,0 +1,450 @@
+// Package mapreduce is a hand-rolled, in-process MapReduce engine with the
+// semantics DOD relies on: independent map tasks over input splits, a
+// byte-level shuffle that partitions and groups intermediate records by key,
+// and independent reduce tasks. There is no synchronization between tasks of
+// the same phase, matching the shared-nothing execution model of Sec. I.
+//
+// The engine is deliberately faithful where it matters for the paper:
+//
+//   - Intermediate records are real serialized bytes, so shuffle volume —
+//     the communication cost the single-pass framework minimizes — is
+//     measured, not estimated.
+//   - Per-task wall times and per-task counters are recorded, so experiments
+//     can replay them through internal/cluster to obtain the makespan of a
+//     simulated 40-node cluster.
+//   - Task attempts can fail (injected, seeded) and are retried, exercising
+//     the fault-tolerant execution MapReduce platforms provide.
+//
+// Keys are uint64 (DOD keys records by grid-cell / partition ID, Fig. 2);
+// values are opaque byte slices.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Pair is one intermediate or output record.
+type Pair struct {
+	Key   uint64
+	Value []byte
+}
+
+// Split is one unit of map input (typically one DFS block). Replicas
+// optionally lists the simulated nodes holding the block locally, feeding
+// data-locality-aware scheduling in the cluster simulator.
+type Split struct {
+	Name     string
+	Data     []byte
+	Replicas []int
+}
+
+// Emit is the record-output callback handed to map and reduce functions.
+type Emit func(key uint64, value []byte)
+
+// Mapper processes one input split.
+type Mapper interface {
+	Map(ctx *TaskContext, split Split, emit Emit) error
+}
+
+// Reducer processes one key group. Values arrive in arbitrary order within
+// the group, as in Hadoop.
+type Reducer interface {
+	Reduce(ctx *TaskContext, key uint64, values [][]byte, emit Emit) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(ctx *TaskContext, split Split, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(ctx *TaskContext, split Split, emit Emit) error {
+	return f(ctx, split, emit)
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(ctx *TaskContext, key uint64, values [][]byte, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(ctx *TaskContext, key uint64, values [][]byte, emit Emit) error {
+	return f(ctx, key, values, emit)
+}
+
+// Partitioner routes an intermediate key to one of n reduce tasks. DOD
+// installs a custom partitioner built from the DMT allocation plan (Step 3
+// of Sec. V-A); the default is key % n.
+type Partitioner func(key uint64, numReducers int) int
+
+// DefaultPartitioner hashes keys to reducers by modulo.
+func DefaultPartitioner(key uint64, numReducers int) int {
+	return int(key % uint64(numReducers))
+}
+
+// Config controls one job execution.
+type Config struct {
+	NumReducers int         // reduce task count; must be >= 1
+	Parallelism int         // concurrent task goroutines; default GOMAXPROCS
+	Partitioner Partitioner // default DefaultPartitioner
+
+	// Combiner, when set, runs map-side over each map task's output before
+	// the shuffle, exactly like Hadoop's combiner: values of equal keys
+	// emitted by one task are grouped and reduced locally, cutting shuffle
+	// volume. It must be algebraically safe to apply zero or more times
+	// (associative, commutative aggregation with idempotent re-reduction).
+	Combiner Reducer
+
+	// Failure injection: each task attempt fails with this probability
+	// (before its outputs are committed, as in Hadoop's task model).
+	FailureRate float64
+	MaxAttempts int // attempts per task before the job fails; default 4
+	Seed        int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumReducers < 1 {
+		c.NumReducers = 1
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = DefaultPartitioner
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 4
+	}
+	return c
+}
+
+// TaskContext carries per-task identity and counters into user code.
+type TaskContext struct {
+	Phase   string // "map" or "reduce"
+	TaskID  int
+	Attempt int
+
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// Inc adds delta to the named per-task counter. Counters are aggregated
+// into TaskMetric.Counters and into job-level totals.
+func (tc *TaskContext) Inc(name string, delta int64) {
+	tc.mu.Lock()
+	if tc.counters == nil {
+		tc.counters = make(map[string]int64)
+	}
+	tc.counters[name] += delta
+	tc.mu.Unlock()
+}
+
+// TaskMetric records the execution of one task (its successful attempt).
+type TaskMetric struct {
+	TaskID     int
+	Attempts   int
+	Duration   time.Duration
+	RecordsIn  int64
+	RecordsOut int64
+	BytesIn    int64
+	BytesOut   int64
+	Counters   map[string]int64
+}
+
+// Metrics aggregates a job run.
+type Metrics struct {
+	MapTasks    []TaskMetric
+	ReduceTasks []TaskMetric
+
+	ShuffleBytes   int64 // total serialized intermediate bytes moved
+	ShuffleRecords int64
+	Counters       map[string]int64 // merged task counters
+
+	MapWall     time.Duration // wall-clock of the in-process map phase
+	ShuffleWall time.Duration
+	ReduceWall  time.Duration
+}
+
+// Counter returns the job-level value of a named counter.
+func (m *Metrics) Counter(name string) int64 { return m.Counters[name] }
+
+// Result is the output of a job.
+type Result struct {
+	Output  []Pair // all reduce emissions, ordered by (reducer, key)
+	Metrics Metrics
+}
+
+// ErrTooManyFailures reports a task that exhausted its attempts.
+var ErrTooManyFailures = errors.New("mapreduce: task exceeded max attempts")
+
+// injectedFailure distinguishes injected failures (retryable) from user
+// errors (fatal).
+type injectedFailure struct{ phase string }
+
+func (e injectedFailure) Error() string { return "mapreduce: injected " + e.phase + " task failure" }
+
+// Run executes one MapReduce job over the given splits.
+func Run(cfg Config, splits []Split, mapper Mapper, reducer Reducer) (*Result, error) {
+	cfg = cfg.withDefaults()
+
+	// Per-task seeded RNGs make failure injection deterministic regardless
+	// of scheduling order.
+	failRoll := func(phase string, task, attempt int) bool {
+		if cfg.FailureRate <= 0 {
+			return false
+		}
+		h := cfg.Seed*1000003 + int64(task)*31 + int64(attempt)*7
+		if phase == "reduce" {
+			h += 500009
+		}
+		return rand.New(rand.NewSource(h)).Float64() < cfg.FailureRate
+	}
+
+	// ---- Map phase ----
+	mapStart := time.Now()
+	type mapOut struct {
+		metric  TaskMetric
+		buckets [][]Pair // per-reducer
+	}
+	mapOuts := make([]mapOut, len(splits))
+	if err := runTasks(cfg.Parallelism, len(splits), func(i int) error {
+		var lastErr error
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			ctx := &TaskContext{Phase: "map", TaskID: i, Attempt: attempt}
+			buckets := make([][]Pair, cfg.NumReducers)
+			var out, bytesOut int64
+			start := time.Now()
+			emit := func(key uint64, value []byte) {
+				r := cfg.Partitioner(key, cfg.NumReducers)
+				buckets[r] = append(buckets[r], Pair{Key: key, Value: value})
+				out++
+				bytesOut += int64(8 + len(value))
+			}
+			err := mapper.Map(ctx, splits[i], emit)
+			if err == nil && cfg.Combiner != nil {
+				buckets, out, bytesOut, err = combine(cfg.Combiner, ctx, buckets)
+			}
+			if err == nil && failRoll("map", i, attempt) {
+				err = injectedFailure{phase: "map"}
+			}
+			if err == nil {
+				mapOuts[i] = mapOut{
+					metric: TaskMetric{
+						TaskID: i, Attempts: attempt, Duration: time.Since(start),
+						RecordsIn: 1, RecordsOut: out,
+						BytesIn: int64(len(splits[i].Data)), BytesOut: bytesOut,
+						Counters: ctx.counters,
+					},
+					buckets: buckets,
+				}
+				return nil
+			}
+			lastErr = err
+			if _, ok := err.(injectedFailure); !ok {
+				return fmt.Errorf("map task %d: %w", i, err)
+			}
+		}
+		return fmt.Errorf("map task %d: %w: %v", i, ErrTooManyFailures, lastErr)
+	}); err != nil {
+		return nil, err
+	}
+	mapWall := time.Since(mapStart)
+
+	// ---- Shuffle: regroup per-reducer, sort by key, group values ----
+	shuffleStart := time.Now()
+	perReducer := make([][]Pair, cfg.NumReducers)
+	var shuffleBytes, shuffleRecords int64
+	for _, mo := range mapOuts {
+		for r, bucket := range mo.buckets {
+			perReducer[r] = append(perReducer[r], bucket...)
+			for _, p := range bucket {
+				shuffleBytes += int64(8 + len(p.Value))
+			}
+			shuffleRecords += int64(len(bucket))
+		}
+	}
+	type group struct {
+		key    uint64
+		values [][]byte
+	}
+	grouped := make([][]group, cfg.NumReducers)
+	if err := runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) error {
+		pairs := perReducer[r]
+		sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+		var gs []group
+		for i := 0; i < len(pairs); {
+			j := i
+			for j < len(pairs) && pairs[j].Key == pairs[i].Key {
+				j++
+			}
+			values := make([][]byte, 0, j-i)
+			for _, p := range pairs[i:j] {
+				values = append(values, p.Value)
+			}
+			gs = append(gs, group{key: pairs[i].Key, values: values})
+			i = j
+		}
+		grouped[r] = gs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	shuffleWall := time.Since(shuffleStart)
+
+	// ---- Reduce phase ----
+	reduceStart := time.Now()
+	type reduceOut struct {
+		metric TaskMetric
+		output []Pair
+	}
+	reduceOuts := make([]reduceOut, cfg.NumReducers)
+	if err := runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) error {
+		var lastErr error
+		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+			ctx := &TaskContext{Phase: "reduce", TaskID: r, Attempt: attempt}
+			var output []Pair
+			var in, out, bytesIn, bytesOut int64
+			start := time.Now()
+			emit := func(key uint64, value []byte) {
+				output = append(output, Pair{Key: key, Value: value})
+				out++
+				bytesOut += int64(8 + len(value))
+			}
+			var err error
+			for _, g := range grouped[r] {
+				in += int64(len(g.values))
+				for _, v := range g.values {
+					bytesIn += int64(8 + len(v))
+				}
+				if err = reducer.Reduce(ctx, g.key, g.values, emit); err != nil {
+					break
+				}
+			}
+			if err == nil && failRoll("reduce", r, attempt) {
+				err = injectedFailure{phase: "reduce"}
+			}
+			if err == nil {
+				reduceOuts[r] = reduceOut{
+					metric: TaskMetric{
+						TaskID: r, Attempts: attempt, Duration: time.Since(start),
+						RecordsIn: in, RecordsOut: out,
+						BytesIn: bytesIn, BytesOut: bytesOut,
+						Counters: ctx.counters,
+					},
+					output: output,
+				}
+				return nil
+			}
+			lastErr = err
+			if _, ok := err.(injectedFailure); !ok {
+				return fmt.Errorf("reduce task %d: %w", r, err)
+			}
+		}
+		return fmt.Errorf("reduce task %d: %w: %v", r, ErrTooManyFailures, lastErr)
+	}); err != nil {
+		return nil, err
+	}
+	reduceWall := time.Since(reduceStart)
+
+	// ---- Assemble result ----
+	res := &Result{
+		Metrics: Metrics{
+			ShuffleBytes:   shuffleBytes,
+			ShuffleRecords: shuffleRecords,
+			Counters:       make(map[string]int64),
+			MapWall:        mapWall,
+			ShuffleWall:    shuffleWall,
+			ReduceWall:     reduceWall,
+		},
+	}
+	for _, mo := range mapOuts {
+		res.Metrics.MapTasks = append(res.Metrics.MapTasks, mo.metric)
+		for k, v := range mo.metric.Counters {
+			res.Metrics.Counters[k] += v
+		}
+	}
+	for _, ro := range reduceOuts {
+		res.Metrics.ReduceTasks = append(res.Metrics.ReduceTasks, ro.metric)
+		for k, v := range ro.metric.Counters {
+			res.Metrics.Counters[k] += v
+		}
+		res.Output = append(res.Output, ro.output...)
+	}
+	return res, nil
+}
+
+// combine applies the map-side combiner to each per-reducer bucket,
+// grouping equal keys and re-emitting the combined records.
+func combine(combiner Reducer, ctx *TaskContext, buckets [][]Pair) (out [][]Pair, records, bytes int64, err error) {
+	out = make([][]Pair, len(buckets))
+	for r, bucket := range buckets {
+		sort.SliceStable(bucket, func(i, j int) bool { return bucket[i].Key < bucket[j].Key })
+		var combined []Pair
+		emit := func(key uint64, value []byte) {
+			combined = append(combined, Pair{Key: key, Value: value})
+			records++
+			bytes += int64(8 + len(value))
+		}
+		for i := 0; i < len(bucket); {
+			j := i
+			for j < len(bucket) && bucket[j].Key == bucket[i].Key {
+				j++
+			}
+			values := make([][]byte, 0, j-i)
+			for _, p := range bucket[i:j] {
+				values = append(values, p.Value)
+			}
+			if err := combiner.Reduce(ctx, bucket[i].Key, values, emit); err != nil {
+				return nil, 0, 0, fmt.Errorf("combiner: %w", err)
+			}
+			i = j
+		}
+		out[r] = combined
+	}
+	return out, records, bytes, nil
+}
+
+// runTasks executes fn(0..n-1) on a bounded worker pool, returning the
+// first error.
+func runTasks(parallelism, n int, fn func(i int) error) error {
+	if parallelism > n {
+		parallelism = n
+	}
+	if n == 0 {
+		return nil
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+		next    int
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstEr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

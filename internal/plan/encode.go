@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dod/internal/detect"
+	"dod/internal/geom"
+)
+
+// The JSON plan format lets operators inspect, archive, and diff the
+// output of the preprocessing stage (the paper's Fig. 6 hands the plan
+// from the preprocessing job to the detection job — in a production
+// deployment that hand-off is a file in the distributed cache).
+
+// planJSON is the serialized form of a Plan.
+type planJSON struct {
+	Name        string          `json:"name"`
+	Domain      rectJSON        `json:"domain"`
+	NumReducers int             `json:"numReducers"`
+	SupportR    float64         `json:"supportR"`
+	Exact       bool            `json:"exactSupport,omitempty"`
+	Partitions  []partitionJSON `json:"partitions"`
+}
+
+type rectJSON struct {
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+}
+
+type partitionJSON struct {
+	ID       int      `json:"id"`
+	Rect     rectJSON `json:"rect"`
+	EstCount float64  `json:"estCount"`
+	EstCost  float64  `json:"estCost"`
+	Algo     string   `json:"algo"`
+	Reducer  int      `json:"reducer"`
+}
+
+// algoNames maps detector names back to kinds for decoding.
+var algoNames = map[string]detect.Kind{}
+
+func init() {
+	for _, k := range []detect.Kind{
+		detect.Unspecified, detect.BruteForce, detect.NestedLoop,
+		detect.CellBased, detect.KDTree, detect.CellBasedL2, detect.Pivot,
+	} {
+		algoNames[k.String()] = k
+	}
+}
+
+// MarshalJSON serializes the plan (without its lookup index).
+func (pl *Plan) MarshalJSON() ([]byte, error) {
+	out := planJSON{
+		Name:        pl.Name,
+		Domain:      rectJSON{Min: pl.Domain.Min, Max: pl.Domain.Max},
+		NumReducers: pl.NumReducers,
+		SupportR:    pl.SupportR,
+		Exact:       pl.ExactSupport,
+	}
+	for _, p := range pl.Partitions {
+		out.Partitions = append(out.Partitions, partitionJSON{
+			ID:       p.ID,
+			Rect:     rectJSON{Min: p.Rect.Min, Max: p.Rect.Max},
+			EstCount: p.EstCount,
+			EstCost:  p.EstCost,
+			Algo:     p.Algo.String(),
+			Reducer:  p.Reducer,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a plan serialized by MarshalJSON. The restored
+// plan is validated and immediately usable (the lookup index rebuilds
+// lazily).
+func (pl *Plan) UnmarshalJSON(data []byte) error {
+	var in planJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	restored := Plan{
+		Name:         in.Name,
+		Domain:       geom.Rect{Min: in.Domain.Min, Max: in.Domain.Max},
+		NumReducers:  in.NumReducers,
+		SupportR:     in.SupportR,
+		ExactSupport: in.Exact,
+	}
+	for _, p := range in.Partitions {
+		algo, ok := algoNames[p.Algo]
+		if !ok {
+			return fmt.Errorf("plan: unknown algorithm %q in serialized plan", p.Algo)
+		}
+		restored.Partitions = append(restored.Partitions, Partition{
+			ID:       p.ID,
+			Rect:     geom.Rect{Min: p.Rect.Min, Max: p.Rect.Max},
+			EstCount: p.EstCount,
+			EstCost:  p.EstCost,
+			Algo:     algo,
+			Reducer:  p.Reducer,
+		})
+	}
+	if err := restored.Validate(); err != nil {
+		return err
+	}
+	pl.Name = restored.Name
+	pl.Domain = restored.Domain
+	pl.NumReducers = restored.NumReducers
+	pl.SupportR = restored.SupportR
+	pl.ExactSupport = restored.ExactSupport
+	pl.Partitions = restored.Partitions
+	pl.index.Store(nil)
+	return nil
+}

@@ -1,0 +1,79 @@
+package plan
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dod/internal/detect"
+	"dod/internal/geom"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	h := skewedHistogram(t)
+	for _, planner := range allPlanners {
+		orig, err := planner.Build(h, Options{
+			NumReducers: 4, NumPartitions: 12, Params: testParams, Detector: detect.NestedLoop,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", planner.Name(), err)
+		}
+		var restored Plan
+		if err := json.Unmarshal(data, &restored); err != nil {
+			t.Fatalf("%s: unmarshal: %v", planner.Name(), err)
+		}
+		if restored.Name != orig.Name || restored.NumReducers != orig.NumReducers ||
+			restored.SupportR != orig.SupportR || len(restored.Partitions) != len(orig.Partitions) {
+			t.Fatalf("%s: header mismatch after roundtrip", planner.Name())
+		}
+		for i := range orig.Partitions {
+			a, b := orig.Partitions[i], restored.Partitions[i]
+			if a.ID != b.ID || !a.Rect.Equal(b.Rect) || a.EstCount != b.EstCount ||
+				a.EstCost != b.EstCost || a.Algo != b.Algo || a.Reducer != b.Reducer {
+				t.Fatalf("%s: partition %d mismatch", planner.Name(), i)
+			}
+		}
+		// The restored plan must behave identically.
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 200; trial++ {
+			p := geom.Point{Coords: []float64{rng.Float64() * 100, rng.Float64() * 100}}
+			c1, s1 := orig.Locate(p)
+			c2, s2 := restored.Locate(p)
+			if c1 != c2 || len(s1) != len(s2) {
+				t.Fatalf("%s: Locate diverges after roundtrip", planner.Name())
+			}
+		}
+	}
+}
+
+func TestPlanJSONRejectsCorruption(t *testing.T) {
+	h := skewedHistogram(t)
+	orig, err := DMT.Build(h, Options{NumReducers: 4, Params: testParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var p Plan
+	if err := p.UnmarshalJSON([]byte(`{"bad json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Unknown algorithm names must be rejected.
+	bad := strings.Replace(string(data), `"algo":"`, `"algo":"Quantum`, 1)
+	if err := p.UnmarshalJSON([]byte(bad)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// A plan that fails validation (reducer out of range) must be rejected.
+	bad = strings.Replace(string(data), `"numReducers":4`, `"numReducers":1`, 1)
+	if err := p.UnmarshalJSON([]byte(bad)); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"dod/internal/cost"
+	"dod/internal/detect"
+	"dod/internal/geom"
+	"dod/internal/sample"
+)
+
+// flatHistogram builds a histogram with a single uniform density.
+func flatHistogram(t *testing.T, bucketsPerDim int, perBucket float64, side float64) *sample.Histogram {
+	t.Helper()
+	domain := geom.NewRect([]float64{0, 0}, []float64{side, side})
+	grid := geom.NewGrid(domain, []int{bucketsPerDim, bucketsPerDim})
+	h := &sample.Histogram{Grid: grid, Counts: make([]float64, grid.NumCells()), Rate: 1}
+	for i := range h.Counts {
+		h.Counts[i] = perBucket
+	}
+	return h
+}
+
+func TestMixedCostMatchesUniformModel(t *testing.T) {
+	// On a homogeneous region the mixed model must agree with Lemma 4.1
+	// applied to the whole region.
+	h := flatHistogram(t, 10, 50, 100) // density 0.5, dense regime
+	rect := h.Grid.Domain
+	count := h.EstimatedTotal()
+	prof := cost.PartitionProfile{Cardinality: count, Area: rect.Area(), Dim: 2}
+
+	nlMixed := mixedCost(h, rect, detect.NestedLoop, testParams)
+	nlUniform := cost.NestedLoop(prof, testParams)
+	if math.Abs(nlMixed-nlUniform)/nlUniform > 1e-9 {
+		t.Errorf("uniform NL: mixed %g != lemma %g", nlMixed, nlUniform)
+	}
+
+	cbMixed := mixedCost(h, rect, detect.CellBased, testParams)
+	cbUniform := cost.CellBased(prof, testParams)
+	if math.Abs(cbMixed-cbUniform)/cbUniform > 1e-9 {
+		t.Errorf("uniform dense CB: mixed %g != lemma %g", cbMixed, cbUniform)
+	}
+}
+
+func TestMixedCostPenalizesSparseFringe(t *testing.T) {
+	// A dense region with a sparse fringe must cost much more under the
+	// mixed Cell-Based model than the whole-region Lemma 4.2 estimate,
+	// because every fringe point pays the full-pool fallback.
+	h := flatHistogram(t, 10, 0, 100)
+	grid := h.Grid
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			if x < 8 {
+				h.Counts[grid.Flatten([]int{x, y})] = 200 // dense block
+			} else {
+				h.Counts[grid.Flatten([]int{x, y})] = 6 // intermediate fringe (density 0.06)
+			}
+		}
+	}
+	rect := grid.Domain
+	count := h.EstimatedTotal()
+	prof := cost.PartitionProfile{Cardinality: count, Area: rect.Area(), Dim: 2}
+	uniform := cost.CellBased(prof, testParams) // avg density 1.6 → "dense" → linear
+	mixed := mixedCost(h, rect, detect.CellBased, testParams)
+	if mixed < uniform*5 {
+		t.Errorf("mixed CB %g should far exceed whole-region estimate %g", mixed, uniform)
+	}
+}
+
+func TestMixedCostZeroOnEmptyRegion(t *testing.T) {
+	h := flatHistogram(t, 4, 0, 10)
+	if got := mixedCost(h, h.Grid.Domain, detect.NestedLoop, testParams); got != 0 {
+		t.Errorf("empty region cost = %g", got)
+	}
+}
+
+func TestMixedCostAllKinds(t *testing.T) {
+	h := flatHistogram(t, 6, 20, 60)
+	for _, kind := range []detect.Kind{detect.BruteForce, detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.KDTree} {
+		if got := mixedCost(h, h.Grid.Domain, kind, testParams); got <= 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%v mixed cost = %g", kind, got)
+		}
+	}
+}
+
+func TestPerPointTrials(t *testing.T) {
+	// density 0.1, pool 1000: neighbors = 0.1·π·25 ≈ 7.854;
+	// trials = 4·1000/7.854 ≈ 509.3.
+	got := cost.PerPointTrials(0.1, 1000, 2, testParams)
+	want := 4.0 * 1000 / (0.1 * math.Pi * 25)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PerPointTrials = %g, want %g", got, want)
+	}
+	// Sparse cap: trials cannot exceed the pool.
+	if got := cost.PerPointTrials(1e-9, 1000, 2, testParams); got != 1000 {
+		t.Errorf("capped trials = %g, want 1000", got)
+	}
+	if got := cost.PerPointTrials(0, 1000, 2, testParams); got != 1000 {
+		t.Errorf("zero-density trials = %g, want 1000", got)
+	}
+	if got := cost.PerPointTrials(1, 0, 2, testParams); got != 0 {
+		t.Errorf("empty-pool trials = %g, want 0", got)
+	}
+}
+
+func TestExactSupportSubsetOfExpansion(t *testing.T) {
+	// The Def. 3.2 region (rounded corners) is a subset of the Def. 3.3
+	// rectangular expansion: every exact support must also be a rect-
+	// expansion support, and exact must produce no more supports.
+	h := skewedHistogram(t)
+	opts := Options{NumReducers: 4, NumPartitions: 16, Params: testParams, Detector: detect.CellBased}
+	optsExact := opts
+	optsExact.ExactSupport = true
+
+	rectPlan, err := UniSpace.Build(h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactPlan, err := UniSpace.Build(h, optsExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := func(x, y float64) ([]int, []int) {
+		p := geom.Point{Coords: []float64{x, y}}
+		_, rectSup := rectPlan.Locate(p)
+		_, exactSup := exactPlan.Locate(p)
+		return rectSup, exactSup
+	}
+	totalRect, totalExact := 0, 0
+	for x := 0.5; x < 100; x += 3.7 {
+		for y := 0.5; y < 100; y += 3.1 {
+			rectSup, exactSup := probe(x, y)
+			totalRect += len(rectSup)
+			totalExact += len(exactSup)
+			inRect := map[int]bool{}
+			for _, id := range rectSup {
+				inRect[id] = true
+			}
+			for _, id := range exactSup {
+				if !inRect[id] {
+					t.Fatalf("point (%g,%g): exact support %d not in rect-expansion set", x, y, id)
+				}
+			}
+		}
+	}
+	if totalExact > totalRect {
+		t.Errorf("exact supports %d > expansion supports %d", totalExact, totalRect)
+	}
+	if totalExact == totalRect {
+		t.Log("warning: no corner points sampled; subset check vacuous")
+	}
+}

@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dod/internal/detect"
+	"dod/internal/geom"
+	"dod/internal/sample"
+)
+
+func tinyHistogram(t *testing.T, n int, fill func(x, y int) float64) *sample.Histogram {
+	t.Helper()
+	domain := geom.NewRect([]float64{0, 0}, []float64{float64(10 * n), float64(10 * n)})
+	grid := geom.NewGrid(domain, []int{n, n})
+	h := &sample.Histogram{Grid: grid, Counts: make([]float64, grid.NumCells()), Rate: 1}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			h.Counts[grid.Flatten([]int{x, y})] = fill(x, y)
+		}
+	}
+	return h
+}
+
+func TestExhaustiveValidPlan(t *testing.T) {
+	h := tinyHistogram(t, 3, func(x, y int) float64 { return float64(10 + x*50 + y*5) })
+	opts := Options{NumReducers: 2, NumPartitions: 5, Params: testParams}
+	pl, err := Exhaustive(h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Partitions) > 5 {
+		t.Errorf("partition budget exceeded: %d", len(pl.Partitions))
+	}
+}
+
+// TestExhaustiveIsALowerBound: no tiling-based planner can beat the
+// exhaustive optimum under the same cost model; specifically the single
+// whole-domain partition and the per-bucket tiling must both be >= it.
+func TestExhaustiveIsALowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		h := tinyHistogram(t, 3, func(x, y int) float64 {
+			return math.Floor(math.Exp(rng.NormFloat64()*1.5) * 20)
+		})
+		opts := Options{NumReducers: 3, NumPartitions: 9, Params: testParams}
+		opt, err := Exhaustive(h, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wholeDomain := mixedCost(h, h.Grid.Domain, detect.NestedLoop, testParams)
+		if cb := mixedCost(h, h.Grid.Domain, detect.CellBased, testParams); cb < wholeDomain {
+			wholeDomain = cb
+		}
+		if opt.MaxEstCost() > wholeDomain+1e-9 {
+			t.Errorf("trial %d: exhaustive %g worse than the trivial single partition %g",
+				trial, opt.MaxEstCost(), wholeDomain)
+		}
+	}
+}
+
+// TestDMTNearOptimalOnTinyInstances: the DMT heuristic must land within a
+// small constant factor of the exhaustive optimum of Def. 3.5, on random
+// tiny instances where the optimum is computable. This is the empirical
+// justification for the heuristic that Sec. III-C's complexity analysis
+// demands.
+func TestDMTNearOptimalOnTinyInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var worst float64
+	for trial := 0; trial < 8; trial++ {
+		h := tinyHistogram(t, 3, func(x, y int) float64 {
+			return math.Floor(math.Exp(rng.NormFloat64()*2) * 15)
+		})
+		opts := Options{NumReducers: 2, NumPartitions: 9, Params: testParams}
+		opt, err := Exhaustive(h, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dmt, err := DMT.Build(h, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.MaxEstCost() == 0 {
+			continue
+		}
+		ratio := dmt.MaxEstCost() / opt.MaxEstCost()
+		if ratio > worst {
+			worst = ratio
+		}
+		if ratio > 3 {
+			t.Errorf("trial %d: DMT cost %g is %.1fx the exhaustive optimum %g",
+				trial, dmt.MaxEstCost(), ratio, opt.MaxEstCost())
+		}
+	}
+	t.Logf("worst DMT/optimal ratio over tiny instances: %.2f", worst)
+}
+
+func TestExhaustiveRejectsLargeInstances(t *testing.T) {
+	h := tinyHistogram(t, 5, func(x, y int) float64 { return 1 })
+	if _, err := Exhaustive(h, Options{NumReducers: 2, Params: testParams}); err == nil {
+		t.Error("25-bucket instance accepted")
+	}
+}
+
+func TestExhaustivePartitionBudgetBinds(t *testing.T) {
+	h := tinyHistogram(t, 2, func(x, y int) float64 { return float64(1 + x + 10*y) })
+	pl, err := Exhaustive(h, Options{NumReducers: 1, NumPartitions: 1, Params: testParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Partitions) != 1 {
+		t.Errorf("budget 1 produced %d partitions", len(pl.Partitions))
+	}
+}

@@ -1,0 +1,140 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dod/internal/detect"
+	"dod/internal/geom"
+	"dod/internal/sample"
+)
+
+// randomHistogram builds a bounded random histogram with log-normal bucket
+// counts (heavy skew).
+func randomHistogram(seed int64) *sample.Histogram {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(12)
+	side := 20 + rng.Float64()*200
+	domain := geom.NewRect([]float64{0, 0}, []float64{side, side})
+	grid := geom.NewGrid(domain, []int{n, n})
+	h := &sample.Histogram{Grid: grid, Counts: make([]float64, grid.NumCells()), Rate: 1}
+	for i := range h.Counts {
+		if rng.Float64() < 0.2 {
+			continue // empty bucket
+		}
+		h.Counts[i] = math.Floor(math.Exp(rng.NormFloat64()*2) * 20)
+	}
+	return h
+}
+
+// TestPlannersValidOnRandomHistogramsQuick: every planner must produce a
+// valid plan (disjoint tiling, complete reducer assignment, preserved
+// counts) on arbitrary skewed histograms.
+func TestPlannersValidOnRandomHistogramsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHistogram(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		opts := Options{
+			NumReducers:   1 + rng.Intn(8),
+			NumPartitions: 1 + rng.Intn(40),
+			Params:        detect.Params{R: 0.5 + rng.Float64()*10, K: 1 + rng.Intn(6)},
+			Detector:      detect.CellBased,
+		}
+		for _, planner := range allPlanners {
+			pl, err := planner.Build(h, opts)
+			if err != nil {
+				t.Logf("seed %d: %s: %v", seed, planner.Name(), err)
+				return false
+			}
+			if err := pl.Validate(); err != nil {
+				t.Logf("seed %d: %s: %v", seed, planner.Name(), err)
+				return false
+			}
+			var total float64
+			for _, p := range pl.Partitions {
+				total += p.EstCount
+			}
+			if math.Abs(total-h.EstimatedTotal()) > 1e-6*(total+1) {
+				t.Logf("seed %d: %s: count leak %g vs %g", seed, planner.Name(), total, h.EstimatedTotal())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLocateTotalityQuick: for every planner and random point (inside or
+// outside the domain), Locate returns a valid core partition and supports
+// consistent with the configured criterion.
+func TestLocateTotalityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		h := randomHistogram(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x10ca7e))
+		opts := Options{
+			NumReducers:   2,
+			NumPartitions: 1 + rng.Intn(25),
+			Params:        detect.Params{R: 1 + rng.Float64()*8, K: 3},
+			Detector:      detect.NestedLoop,
+			ExactSupport:  rng.Intn(2) == 0,
+		}
+		side := h.Grid.Domain.Max[0]
+		for _, planner := range allPlanners {
+			pl, err := planner.Build(h, opts)
+			if err != nil {
+				return false
+			}
+			for trial := 0; trial < 50; trial++ {
+				p := geom.Point{Coords: []float64{
+					rng.Float64()*side*1.2 - side*0.1, // 10% outside either end
+					rng.Float64()*side*1.2 - side*0.1,
+				}}
+				core, supports := pl.Locate(p)
+				if core < 0 || core >= len(pl.Partitions) {
+					t.Logf("seed %d: %s: core %d out of range", seed, planner.Name(), core)
+					return false
+				}
+				for _, s := range supports {
+					if s == core || s < 0 || s >= len(pl.Partitions) {
+						t.Logf("seed %d: %s: bad support %d", seed, planner.Name(), s)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMixedCostNonNegativeQuick: the mixed-density pricing is finite and
+// non-negative for every detector on random histograms and rects.
+func TestMixedCostNonNegativeQuick(t *testing.T) {
+	kinds := []detect.Kind{detect.BruteForce, detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.KDTree, detect.Pivot}
+	f := func(seed int64) bool {
+		h := randomHistogram(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0xc057))
+		params := detect.Params{R: 0.5 + rng.Float64()*10, K: 1 + rng.Intn(6)}
+		// A random sub-rect of the domain.
+		side := h.Grid.Domain.Max[0]
+		x1, y1 := rng.Float64()*side/2, rng.Float64()*side/2
+		rect := geom.NewRect([]float64{x1, y1}, []float64{x1 + rng.Float64()*side/2, y1 + rng.Float64()*side/2})
+		for _, kind := range kinds {
+			c := mixedCost(h, rect, kind, params)
+			if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Logf("seed %d: %v cost %g", seed, kind, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

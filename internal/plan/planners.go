@@ -1,0 +1,617 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"dod/internal/binpack"
+	"dod/internal/cost"
+	"dod/internal/detect"
+	"dod/internal/dshc"
+	"dod/internal/geom"
+	"dod/internal/sample"
+)
+
+// Options parameterize plan generation.
+type Options struct {
+	NumReducers   int           // reduce task count; default 1
+	NumPartitions int           // target partition count for grid/kd planners; default 4×reducers
+	Params        detect.Params // the outlier parameters r, k
+	// Detector fixes the algorithm plan for the single-tactic planners
+	// (Domain, uniSpace, DDriven, CDriven). DMT ignores it.
+	Detector detect.Kind
+	// Candidates is DMT's algorithm candidate set A; defaults to the
+	// paper's {Nested-Loop, Cell-Based}.
+	Candidates []detect.Kind
+	// DSHC holds the clustering thresholds for DMT. A zero Tdiff is
+	// auto-tuned to the histogram's density spread.
+	DSHC dshc.Params
+	// ExactSupport selects the exact Def. 3.2 supporting-area criterion
+	// instead of the default Def. 3.3 rectangular expansion.
+	ExactSupport bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumReducers < 1 {
+		o.NumReducers = 1
+	}
+	if o.NumPartitions < 1 {
+		o.NumPartitions = 4 * o.NumReducers
+	}
+	if len(o.Candidates) == 0 {
+		o.Candidates = []detect.Kind{detect.NestedLoop, detect.CellBased}
+	}
+	return o
+}
+
+// Planner generates a Plan from the sampled distribution estimate.
+type Planner interface {
+	Name() string
+	Build(hist *sample.Histogram, opts Options) (*Plan, error)
+	// NeedsStats reports whether the planner consumes sampled statistics.
+	// Planners that return false (Domain, uniSpace) only use the
+	// histogram's domain metadata, so the driver skips the sampling job —
+	// matching Fig. 10(a), where those baselines show no preprocessing
+	// cost.
+	NeedsStats() bool
+}
+
+// Planners, in the order the experiments compare them.
+var (
+	Domain   Planner = domainPlanner{}
+	UniSpace Planner = uniSpacePlanner{}
+	DDriven  Planner = dDrivenPlanner{}
+	CDriven  Planner = cDrivenPlanner{}
+	DMT      Planner = dmtPlanner{}
+)
+
+// ByName resolves a planner from its experiment name.
+func ByName(name string) (Planner, error) {
+	switch name {
+	case "Domain":
+		return Domain, nil
+	case "uniSpace", "UniSpace":
+		return UniSpace, nil
+	case "DDriven":
+		return DDriven, nil
+	case "CDriven":
+		return CDriven, nil
+	case "DMT":
+		return DMT, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown planner %q", name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Domain: equi-width grid, NO supporting area. Local detection misses
+// cross-partition neighbors, so the driver must run a second verification
+// job (Sec. VI-A methodology). Allocation is round-robin.
+
+type domainPlanner struct{}
+
+func (domainPlanner) NeedsStats() bool { return false }
+
+func (domainPlanner) Name() string { return "Domain" }
+
+func (domainPlanner) Build(hist *sample.Histogram, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	pl := gridPlan("Domain", hist, opts)
+	pl.SupportR = 0
+	finishRoundRobin(pl, hist, opts)
+	return pl, pl.Validate()
+}
+
+// ---------------------------------------------------------------------------
+// uniSpace: equi-width grid WITH supporting areas (the Sec. III-A
+// framework), round-robin allocation.
+
+type uniSpacePlanner struct{}
+
+func (uniSpacePlanner) NeedsStats() bool { return false }
+
+func (uniSpacePlanner) Name() string { return "uniSpace" }
+
+func (uniSpacePlanner) Build(hist *sample.Histogram, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	pl := gridPlan("uniSpace", hist, opts)
+	pl.SupportR = opts.Params.R
+	finishRoundRobin(pl, hist, opts)
+	return pl, pl.Validate()
+}
+
+// gridPlan tiles the domain with an equi-width grid of roughly
+// opts.NumPartitions cells.
+func gridPlan(name string, hist *sample.Histogram, opts Options) *Plan {
+	domain := hist.Grid.Domain
+	d := domain.Dim()
+	perDim := int(math.Round(math.Pow(float64(opts.NumPartitions), 1/float64(d))))
+	if perDim < 1 {
+		perDim = 1
+	}
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = perDim
+	}
+	grid := geom.NewGrid(domain, dims)
+	pl := &Plan{Name: name, Domain: domain.Clone(), NumReducers: opts.NumReducers, ExactSupport: opts.ExactSupport}
+	for ord := 0; ord < grid.NumCells(); ord++ {
+		pl.Partitions = append(pl.Partitions, Partition{
+			ID:   ord,
+			Rect: grid.CellRect(grid.Unflatten(ord)),
+		})
+	}
+	return pl
+}
+
+// finishRoundRobin fills counts, fixed-algorithm costs, and a round-robin
+// allocation (the cardinality-oblivious baseline).
+func finishRoundRobin(pl *Plan, hist *sample.Histogram, opts Options) {
+	fillCounts(pl, hist)
+	for i := range pl.Partitions {
+		p := &pl.Partitions[i]
+		p.Algo = opts.Detector
+		p.EstCost = mixedCost(hist, p.Rect, opts.Detector, opts.Params)
+		p.Reducer = i % opts.NumReducers
+	}
+}
+
+// ---------------------------------------------------------------------------
+// DDriven: recursive bisection of the domain into partitions of similar
+// *cardinality* — the traditional load-balancing assumption — allocated by
+// LPT over counts, supporting areas enabled.
+
+type dDrivenPlanner struct{}
+
+func (dDrivenPlanner) NeedsStats() bool { return true }
+
+func (dDrivenPlanner) Name() string { return "DDriven" }
+
+func (dDrivenPlanner) Build(hist *sample.Histogram, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	weight := func(c float64, r geom.Rect) float64 { return c }
+	rects := splitByWeight(hist, opts.NumPartitions, weight)
+	pl := assemble("DDriven", hist, opts, rects)
+	for i := range pl.Partitions {
+		p := &pl.Partitions[i]
+		p.Algo = opts.Detector
+		p.EstCost = mixedCost(hist, p.Rect, opts.Detector, opts.Params)
+	}
+	// Allocation balances cardinality, not cost: the assumption the paper
+	// overturns.
+	items := make([]binpack.Item, len(pl.Partitions))
+	for i, p := range pl.Partitions {
+		items[i] = binpack.Item{ID: p.ID, Weight: p.EstCount}
+	}
+	applyAllocation(pl, binpack.LPT(items, opts.NumReducers))
+	return pl, pl.Validate()
+}
+
+// ---------------------------------------------------------------------------
+// CDriven: the same recursive bisection, but weighted by the *modeled
+// detection cost* of the fixed detector, allocated by LPT over cost — the
+// paper's cost-driven partitioning.
+
+type cDrivenPlanner struct{}
+
+func (cDrivenPlanner) NeedsStats() bool { return true }
+
+func (cDrivenPlanner) Name() string { return "CDriven" }
+
+func (cDrivenPlanner) Build(hist *sample.Histogram, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	weight := func(c float64, r geom.Rect) float64 {
+		return mixedCost(hist, r, opts.Detector, opts.Params)
+	}
+	rects := splitByWeight(hist, opts.NumPartitions, weight)
+	pl := assemble("CDriven", hist, opts, rects)
+	items := make([]binpack.Item, len(pl.Partitions))
+	for i := range pl.Partitions {
+		p := &pl.Partitions[i]
+		p.Algo = opts.Detector
+		p.EstCost = mixedCost(hist, p.Rect, opts.Detector, opts.Params)
+		items[i] = binpack.Item{ID: p.ID, Weight: p.EstCost}
+	}
+	applyAllocation(pl, binpack.LPT(items, opts.NumReducers))
+	return pl, pl.Validate()
+}
+
+// ---------------------------------------------------------------------------
+// DMT: the full multi-tactic planner of Sec. V — DSHC density clustering,
+// per-partition algorithm selection over the candidate set, cost-balanced
+// allocation.
+
+type dmtPlanner struct{}
+
+func (dmtPlanner) NeedsStats() bool { return true }
+
+func (dmtPlanner) Name() string { return "DMT" }
+
+func (dmtPlanner) Build(hist *sample.Histogram, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	params := opts.DSHC
+	if params.Tdiff <= 0 && params.DensityClass == nil {
+		// Default: regime-aligned density classes. Buckets merge exactly
+		// when Corollary 4.3 would give them the same detector, which both
+		// keeps the per-partition algorithm choice meaningful and is
+		// robust to sampling noise on sparse buckets.
+		params.DensityClass = cost.RegimeClass(hist.Grid.Domain.Dim(), opts.Params)
+	}
+	if params.TmaxPoints <= 0 {
+		// Reducer memory bound (criterion 3): a generous multiple of the
+		// mean reducer share, so it binds only on pathological clusters.
+		params.TmaxPoints = 8 * hist.EstimatedTotal() / float64(opts.NumReducers)
+	}
+	// Cluster over a lightly smoothed histogram: a single noisy bucket
+	// (Poisson speckle in the sample) would otherwise break the
+	// rectangular-merge constraint and shatter a homogeneous region into
+	// hundreds of clusters. Counts and costs are recomputed from the exact
+	// histogram afterwards.
+	clusters := dshc.Build(smoothHistogram(hist), params)
+
+	// Refine: DSHC merges density-homogeneous regions regardless of their
+	// modeled cost, so a single cluster can exceed an entire reducer's fair
+	// share, making balanced allocation impossible (the same concern
+	// criterion 3's Tmax# addresses for memory). Split any cluster whose
+	// modeled cost exceeds the per-reducer budget along mini-bucket
+	// boundaries; density — and therefore the algorithm choice — is
+	// preserved by DSHC's homogeneity.
+	parts := refineByCost(hist, opts, clusters)
+
+	pl := &Plan{Name: "DMT", Domain: hist.Grid.Domain.Clone(), NumReducers: opts.NumReducers, SupportR: opts.Params.R, ExactSupport: opts.ExactSupport}
+	items := make([]binpack.Item, len(parts))
+	for i, c := range parts {
+		c.ID = i
+		pl.Partitions = append(pl.Partitions, c)
+		items[i] = binpack.Item{ID: i, Weight: c.EstCost}
+	}
+	applyAllocation(pl, binpack.LPT(items, opts.NumReducers))
+	return pl, pl.Validate()
+}
+
+// smoothHistogram returns a copy of hist whose bucket counts are averaged
+// over their 3×3 (3^d) neighborhood, suppressing Poisson speckle before
+// clustering. Totals are approximately preserved; exact counts are always
+// re-derived from the original histogram.
+func smoothHistogram(hist *sample.Histogram) *sample.Histogram {
+	grid := hist.Grid
+	out := &sample.Histogram{Grid: grid, Counts: make([]float64, len(hist.Counts)), Rate: hist.Rate}
+	for ord := range hist.Counts {
+		var sum float64
+		var cells int
+		grid.Neighborhood(grid.Unflatten(ord), 1, func(o int) {
+			sum += hist.Counts[o]
+			cells++
+		})
+		out.Counts[ord] = sum / float64(cells)
+	}
+	return out
+}
+
+// refineByCost prices each cluster with its selected detector and splits
+// clusters whose modeled cost exceeds the per-reducer cost budget. Splits
+// are axis-aligned at mini-bucket boundaries; counts are recomputed exactly
+// from the histogram.
+func refineByCost(hist *sample.Histogram, opts Options, clusters []dshc.Cluster) []Partition {
+	// Select and price each candidate by the mixed-density model; on the
+	// density-homogeneous partitions DSHC emits this coincides with
+	// Corollary 4.3 / Lemma 4.1-4.2 on the aggregate profile.
+	price := func(rect geom.Rect, count float64) (detect.Kind, float64) {
+		best := opts.Candidates[0]
+		bestCost := mixedCost(hist, rect, best, opts.Params)
+		for _, kind := range opts.Candidates[1:] {
+			if c := mixedCost(hist, rect, kind, opts.Params); c < bestCost {
+				best, bestCost = kind, c
+			}
+		}
+		return best, bestCost
+	}
+
+	work := make([]Partition, 0, len(clusters))
+	for _, c := range clusters {
+		// Recount from the exact histogram: clustering may have run on a
+		// smoothed copy.
+		count := countInRect(hist, c.Rect)
+		algo, estCost := price(c.Rect, count)
+		work = append(work, Partition{Rect: c.Rect, EstCount: count, Algo: algo, EstCost: estCost})
+	}
+
+	for pass := 0; pass < 10; pass++ {
+		var total float64
+		for _, p := range work {
+			total += p.EstCost
+		}
+		// Two budgets: a partition above balanceBudget makes a balanced
+		// allocation impossible and must split; one above grainBudget
+		// splits only if the cost model says the halves are genuinely
+		// cheaper (true for Nested-Loop, whose trial count grows with the
+		// candidate-pool size; false for the linear Cell-Based regimes,
+		// where splitting only adds supporting-area duplication).
+		balanceBudget := total / float64(opts.NumReducers)
+		grainBudget := total / float64(opts.NumPartitions)
+		split := false
+		next := work[:0:0]
+		for _, p := range work {
+			if p.EstCost <= grainBudget {
+				next = append(next, p)
+				continue
+			}
+			left, right, ok := bisectAtBucket(hist, p.Rect)
+			if !ok {
+				next = append(next, p) // single mini bucket: indivisible
+				continue
+			}
+			lCount := countInRect(hist, left)
+			rCount := countInRect(hist, right)
+			lAlgo, lCost := price(left, lCount)
+			rAlgo, rCost := price(right, rCount)
+			if p.EstCost > balanceBudget || lCost+rCost < 0.95*p.EstCost {
+				split = true
+				next = append(next,
+					Partition{Rect: left, EstCount: lCount, Algo: lAlgo, EstCost: lCost},
+					Partition{Rect: right, EstCount: rCount, Algo: rAlgo, EstCost: rCost})
+			} else {
+				next = append(next, p)
+			}
+		}
+		work = next
+		if !split {
+			break
+		}
+	}
+	return work
+}
+
+// bisectAtBucket splits rect at the mini-bucket boundary nearest its middle
+// along its widest (in buckets) dimension. It reports false if the rect
+// spans a single bucket in every dimension.
+func bisectAtBucket(hist *sample.Histogram, rect geom.Rect) (left, right geom.Rect, ok bool) {
+	grid := hist.Grid
+	bestDim, bestSpan := -1, 1
+	var lo, hi int
+	for dim := 0; dim < rect.Dim(); dim++ {
+		w := grid.CellWidth(dim)
+		l := int(math.Round((rect.Min[dim] - grid.Domain.Min[dim]) / w))
+		h := int(math.Round((rect.Max[dim] - grid.Domain.Min[dim]) / w))
+		if h-l > bestSpan {
+			bestDim, bestSpan = dim, h-l
+			lo, hi = l, h
+		}
+	}
+	if bestDim < 0 {
+		return geom.Rect{}, geom.Rect{}, false
+	}
+	mid := grid.Boundary(bestDim, (lo+hi)/2)
+	left, right = rect.Clone(), rect.Clone()
+	left.Max[bestDim] = mid
+	right.Min[bestDim] = mid
+	return left, right, true
+}
+
+// countInRect sums the histogram buckets whose centers fall inside rect
+// (exact for bucket-aligned rectangles).
+func countInRect(hist *sample.Histogram, rect geom.Rect) float64 {
+	grid := hist.Grid
+	var total float64
+	for ord := 0; ord < grid.NumCells(); ord++ {
+		c := hist.BucketCount(ord)
+		if c == 0 {
+			continue
+		}
+		if rect.Contains(grid.CellRect(grid.Unflatten(ord)).Center()) {
+			total += c
+		}
+	}
+	return total
+}
+
+// mixedCost prices a detector on a (possibly mixed-density) region by
+// integrating the per-point cost models over the mini buckets inside rect,
+// instead of treating the region as one uniform blob. The distinction
+// matters for skewed partitions: Lemma 4.2 prices a region by its *average*
+// density, but a dense partition with a sparse fringe pays the full
+// Nested-Loop fallback for every fringe point — a cost the whole-region
+// model misses entirely.
+func mixedCost(hist *sample.Histogram, rect geom.Rect, kind detect.Kind, params detect.Params) float64 {
+	grid := hist.Grid
+	dim := grid.Domain.Dim()
+	poolCount := countInRect(hist, rect)
+	if poolCount == 0 {
+		return 0
+	}
+	regime := cost.RegimeClass(dim, params)
+
+	var total float64
+	for ord := 0; ord < grid.NumCells(); ord++ {
+		c := hist.BucketCount(ord)
+		if c == 0 {
+			continue
+		}
+		if !rect.Contains(grid.CellRect(grid.Unflatten(ord)).Center()) {
+			continue
+		}
+		density := hist.BucketDensity(ord)
+		var perPoint float64
+		switch kind {
+		case detect.NestedLoop:
+			perPoint = cost.PerPointTrials(density, poolCount, dim, params)
+		case detect.CellBased:
+			// Indexing plus, for intermediate-regime buckets, the
+			// full-pool Nested-Loop fallback of Lemma 4.2 Eq. (3).
+			perPoint = 1
+			if regime(density) == 2 {
+				perPoint += cost.PerPointTrials(density, poolCount, dim, params)
+			}
+		case detect.CellBasedL2:
+			perPoint = 1
+			if regime(density) == 2 {
+				ring := ringPopulation(dim, params, density)
+				trials := cost.PerPointTrials(density, poolCount, dim, params)
+				if ring < trials {
+					trials = ring
+				}
+				perPoint += trials
+			}
+		case detect.BruteForce:
+			perPoint = poolCount
+		case detect.KDTree:
+			perPoint = 1
+			if poolCount > 2 {
+				perPoint = math.Log2(poolCount) * float64(params.K)
+			}
+		default:
+			perPoint = cost.Estimate(kind, cost.PartitionProfile{
+				Cardinality: poolCount, Area: rect.AreaEps(1e-12), Dim: dim,
+			}, params) / poolCount
+		}
+		total += c * perPoint
+	}
+	return total
+}
+
+// ringPopulation is the expected point count of the L2 block around a cell
+// at the given local density.
+func ringPopulation(dim int, params detect.Params, density float64) float64 {
+	cellVol := math.Pow(params.R/(2*math.Sqrt(float64(dim))), float64(dim))
+	l2Side := 2*math.Ceil(2*math.Sqrt(float64(dim))) + 1
+	return math.Pow(l2Side, float64(dim)) * cellVol * density
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+// region is a sub-box of the histogram grid in bucket coordinates
+// (half-open index ranges per dimension).
+type region struct {
+	lo, hi []int // hi exclusive
+}
+
+func (r region) splittableDim() int {
+	best, extent := -1, 1
+	for i := range r.lo {
+		if e := r.hi[i] - r.lo[i]; e > extent {
+			best, extent = i, e
+		}
+	}
+	return best
+}
+
+// splitByWeight greedily bisects the heaviest region at its weighted median
+// until the target partition count is reached, returning the region
+// rectangles in domain coordinates.
+func splitByWeight(hist *sample.Histogram, target int, weight func(count float64, rect geom.Rect) float64) []geom.Rect {
+	grid := hist.Grid
+	d := grid.Domain.Dim()
+
+	full := region{lo: make([]int, d), hi: append([]int(nil), grid.Dims...)}
+	regions := []region{full}
+
+	regionRect := func(r region) geom.Rect {
+		min := make([]float64, d)
+		max := make([]float64, d)
+		for i := 0; i < d; i++ {
+			min[i] = grid.Boundary(i, r.lo[i])
+			max[i] = grid.Boundary(i, r.hi[i])
+		}
+		return geom.Rect{Min: min, Max: max}
+	}
+	regionCount := func(r region) float64 {
+		var total float64
+		idx := append([]int(nil), r.lo...)
+		for {
+			total += hist.BucketCount(grid.Flatten(idx))
+			// Increment the odometer.
+			i := d - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < r.hi[i] {
+					break
+				}
+				idx[i] = r.lo[i]
+			}
+			if i < 0 {
+				return total
+			}
+		}
+	}
+	regionWeight := func(r region) float64 { return weight(regionCount(r), regionRect(r)) }
+
+	for len(regions) < target {
+		// Pick the heaviest splittable region.
+		best, bestW := -1, -1.0
+		for i, r := range regions {
+			if r.splittableDim() < 0 {
+				continue
+			}
+			if w := regionWeight(r); w > bestW {
+				best, bestW = i, w
+			}
+		}
+		if best < 0 {
+			break // nothing splittable
+		}
+		r := regions[best]
+		dim := r.splittableDim()
+
+		// Weighted median along dim: the split index that best halves the
+		// region's count.
+		half := regionCount(r) / 2
+		cut := r.lo[dim] + 1
+		var acc float64
+		for s := r.lo[dim]; s < r.hi[dim]-1; s++ {
+			slice := region{lo: append([]int(nil), r.lo...), hi: append([]int(nil), r.hi...)}
+			slice.lo[dim], slice.hi[dim] = s, s+1
+			acc += regionCount(slice)
+			cut = s + 1
+			if acc >= half {
+				break
+			}
+		}
+		left := region{lo: append([]int(nil), r.lo...), hi: append([]int(nil), r.hi...)}
+		right := region{lo: append([]int(nil), r.lo...), hi: append([]int(nil), r.hi...)}
+		left.hi[dim] = cut
+		right.lo[dim] = cut
+		regions[best] = left
+		regions = append(regions, right)
+	}
+
+	rects := make([]geom.Rect, len(regions))
+	for i, r := range regions {
+		rects[i] = regionRect(r)
+	}
+	return rects
+}
+
+// assemble builds a Plan from partition rectangles, filling counts from the
+// histogram. Supporting areas are enabled (SupportR = r).
+func assemble(name string, hist *sample.Histogram, opts Options, rects []geom.Rect) *Plan {
+	pl := &Plan{Name: name, Domain: hist.Grid.Domain.Clone(), NumReducers: opts.NumReducers, SupportR: opts.Params.R, ExactSupport: opts.ExactSupport}
+	for i, r := range rects {
+		pl.Partitions = append(pl.Partitions, Partition{ID: i, Rect: r})
+	}
+	fillCounts(pl, hist)
+	return pl
+}
+
+// fillCounts distributes the histogram's bucket counts onto partitions by
+// bucket-center membership. Planner rectangles align with bucket
+// boundaries, so the assignment is exact for planner-generated plans.
+func fillCounts(pl *Plan, hist *sample.Histogram) {
+	grid := hist.Grid
+	for ord := 0; ord < grid.NumCells(); ord++ {
+		c := hist.BucketCount(ord)
+		if c == 0 {
+			continue
+		}
+		center := grid.CellRect(grid.Unflatten(ord)).Center()
+		core, _ := pl.Locate(center)
+		pl.Partitions[core].EstCount += c
+	}
+}
+
+// applyAllocation writes a bin-packing assignment into the plan.
+func applyAllocation(pl *Plan, a *binpack.Assignment) {
+	for i := range pl.Partitions {
+		pl.Partitions[i].Reducer = a.ItemBin[pl.Partitions[i].ID]
+	}
+}

@@ -1,0 +1,167 @@
+// Package sample implements the distribution-estimation stage of DMT's
+// preprocessing job (Sec. V-A, stage one): each map task draws a Bernoulli
+// random sample from its input split ("random sampling preserves the
+// distribution of the underlying dataset"), aggregates the sample at the
+// granularity of mini buckets — the units of the DSHC clustering — and a
+// single reducer assembles the global mini-bucket histogram used for plan
+// generation.
+package sample
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"dod/internal/codec"
+	"dod/internal/geom"
+	"dod/internal/mapreduce"
+)
+
+// DefaultRate is the paper's default sampling rate Υ of 0.5%.
+const DefaultRate = 0.005
+
+// Config controls histogram construction.
+type Config struct {
+	Domain        geom.Rect // full domain space of the dataset
+	BucketsPerDim int       // mini buckets along each dimension
+	Rate          float64   // Bernoulli sampling rate Υ in (0, 1]
+	Seed          int64
+}
+
+func (c Config) validate() error {
+	if c.BucketsPerDim < 1 {
+		return fmt.Errorf("sample: BucketsPerDim %d < 1", c.BucketsPerDim)
+	}
+	if c.Rate <= 0 || c.Rate > 1 {
+		return fmt.Errorf("sample: rate %g outside (0, 1]", c.Rate)
+	}
+	return nil
+}
+
+// Histogram is the estimated distribution of a dataset over mini buckets.
+// Counts are scaled by 1/Rate, so they estimate true per-bucket
+// cardinalities.
+type Histogram struct {
+	Grid   *geom.Grid
+	Counts []float64
+	Rate   float64
+}
+
+// EstimatedTotal returns the estimated dataset cardinality.
+func (h *Histogram) EstimatedTotal() float64 {
+	var t float64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// BucketCount returns the estimated cardinality of one mini bucket.
+func (h *Histogram) BucketCount(ord int) float64 { return h.Counts[ord] }
+
+// BucketDensity returns estimated points per unit volume in one bucket.
+func (h *Histogram) BucketDensity(ord int) float64 {
+	vol := h.Grid.CellRect(h.Grid.Unflatten(ord)).AreaEps(1e-12)
+	return h.Counts[ord] / vol
+}
+
+// NonEmptyBuckets returns the ordinals with positive estimated counts.
+func (h *Histogram) NonEmptyBuckets() []int {
+	var out []int
+	for ord, c := range h.Counts {
+		if c > 0 {
+			out = append(out, ord)
+		}
+	}
+	return out
+}
+
+// FromPoints builds a histogram directly from in-memory points. It is the
+// centralized equivalent of RunJob, used by tests and by callers that
+// already hold the data locally.
+func FromPoints(cfg Config, points []geom.Point) (*Histogram, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	grid := geom.NewGrid(cfg.Domain, dims(cfg))
+	h := &Histogram{Grid: grid, Counts: make([]float64, grid.NumCells()), Rate: cfg.Rate}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, p := range points {
+		if rng.Float64() >= cfg.Rate {
+			continue
+		}
+		h.Counts[grid.CellOrdinal(cfg.Domain.Clamp(p))] += 1 / cfg.Rate
+	}
+	return h, nil
+}
+
+func dims(cfg Config) []int {
+	d := make([]int, cfg.Domain.Dim())
+	for i := range d {
+		d[i] = cfg.BucketsPerDim
+	}
+	return d
+}
+
+// RunJob executes the distributed sampling job over the given input splits
+// (each split's Data is a codec.EncodePoints block). It mirrors the paper's
+// stage-one MapReduce: mappers sample and pre-aggregate per mini bucket; a
+// single reducer merges the bucket statistics.
+func RunJob(cfg Config, mrCfg mapreduce.Config, splits []mapreduce.Split) (*Histogram, *mapreduce.Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	grid := geom.NewGrid(cfg.Domain, dims(cfg))
+
+	mapper := mapreduce.MapperFunc(func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
+		points, err := codec.DecodePoints(split.Data)
+		if err != nil {
+			return fmt.Errorf("sample: split %s: %w", split.Name, err)
+		}
+		// Per-task seed: deterministic regardless of scheduling.
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(ctx.TaskID)))
+		local := make(map[int]uint64)
+		for _, p := range points {
+			ctx.Inc("sample.scanned", 1)
+			if rng.Float64() >= cfg.Rate {
+				continue
+			}
+			ctx.Inc("sample.sampled", 1)
+			local[grid.CellOrdinal(cfg.Domain.Clamp(p))]++
+		}
+		for ord, count := range local {
+			emit(uint64(ord), binary.AppendUvarint(nil, count))
+		}
+		return nil
+	})
+
+	reducer := mapreduce.ReducerFunc(func(ctx *mapreduce.TaskContext, key uint64, values [][]byte, emit mapreduce.Emit) error {
+		var total uint64
+		for _, v := range values {
+			n, read := binary.Uvarint(v)
+			if read <= 0 {
+				return fmt.Errorf("sample: malformed count for bucket %d", key)
+			}
+			total += n
+		}
+		emit(key, binary.AppendUvarint(nil, total))
+		return nil
+	})
+
+	// Plan generation is centralized (Sec. V-A): one reducer.
+	mrCfg.NumReducers = 1
+	res, err := mapreduce.Run(mrCfg, splits, mapper, reducer)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	h := &Histogram{Grid: grid, Counts: make([]float64, grid.NumCells()), Rate: cfg.Rate}
+	for _, pair := range res.Output {
+		n, read := binary.Uvarint(pair.Value)
+		if read <= 0 {
+			return nil, nil, fmt.Errorf("sample: malformed reducer output for bucket %d", pair.Key)
+		}
+		h.Counts[pair.Key] = float64(n) / cfg.Rate
+	}
+	return h, res, nil
+}

@@ -1,0 +1,73 @@
+package synth
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dod/internal/geom"
+)
+
+// WriteCSV writes points as "id,x1,x2,..." lines.
+func WriteCSV(w io.Writer, points []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range points {
+		if _, err := fmt.Fprintf(bw, "%d", p.ID); err != nil {
+			return err
+		}
+		for _, v := range p.Coords {
+			if _, err := fmt.Fprintf(bw, ",%s", strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses points written by WriteCSV (or any id,coords... CSV).
+// Blank lines are skipped; all rows must share one dimensionality.
+func ReadCSV(r io.Reader) ([]geom.Point, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var points []geom.Point
+	dim := -1
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("synth: line %d: need id plus at least one coordinate", lineNo)
+		}
+		id, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("synth: line %d: bad id: %w", lineNo, err)
+		}
+		coords := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("synth: line %d: bad coordinate %d: %w", lineNo, i, err)
+			}
+			coords[i] = v
+		}
+		if dim == -1 {
+			dim = len(coords)
+		} else if len(coords) != dim {
+			return nil, fmt.Errorf("synth: line %d: dimension %d != %d", lineNo, len(coords), dim)
+		}
+		points = append(points, geom.Point{ID: id, Coords: coords})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return points, nil
+}

@@ -1,0 +1,239 @@
+package synth
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dod/internal/geom"
+)
+
+func measuredDensity(pts []geom.Point) float64 {
+	b := geom.Bounds(pts)
+	return float64(len(pts)) / b.AreaEps(1e-9)
+}
+
+func TestSegmentCardinalityAndDensityOrdering(t *testing.T) {
+	const n = 5000
+	densities := map[SegmentKind]float64{}
+	for _, kind := range Segments {
+		pts := Segment(kind, n, 1)
+		if len(pts) != n {
+			t.Fatalf("%s: %d points, want %d", kind, len(pts), n)
+		}
+		densities[kind] = measuredDensity(pts)
+	}
+	// The paper's ordering: OH sparse < MA < CA <= NY.
+	if !(densities[Ohio] < densities[Massachusetts] &&
+		densities[Massachusetts] < densities[California] &&
+		densities[California] < densities[NewYork]) {
+		t.Errorf("density ordering violated: %v", densities)
+	}
+}
+
+func TestSegmentDensityNearTarget(t *testing.T) {
+	for kind, want := range segmentDensity {
+		pts := Segment(kind, 8000, 2)
+		got := measuredDensity(pts)
+		if got < want*0.5 || got > want*2 {
+			t.Errorf("%s: measured density %g, target %g", kind, got, want)
+		}
+	}
+}
+
+func TestSegmentUniqueIDs(t *testing.T) {
+	pts := Segment(Massachusetts, 3000, 3)
+	seen := make(map[uint64]bool, len(pts))
+	for _, p := range pts {
+		if seen[p.ID] {
+			t.Fatalf("duplicate ID %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestSegmentDeterministic(t *testing.T) {
+	a := Segment(Ohio, 1000, 7)
+	b := Segment(Ohio, 1000, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different data")
+	}
+	c := Segment(Ohio, 1000, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestSegmentUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Segment("XX", 10, 1)
+}
+
+func TestHierarchicalSizes(t *testing.T) {
+	const base = 500
+	wantSegments := map[Level]int{LevelMA: 1, LevelNE: 3, LevelUS: 8, LevelPlanet: 20}
+	var prevCount int
+	var prevArea float64
+	for _, level := range Levels {
+		pts := Hierarchical(level, base, 1)
+		want := base * wantSegments[level]
+		if len(pts) != want {
+			t.Errorf("%s: %d points, want %d", level, len(pts), want)
+		}
+		area := geom.Bounds(pts).Area()
+		if len(pts) <= prevCount && level != LevelMA {
+			t.Errorf("%s: cardinality did not grow", level)
+		}
+		if area <= prevArea && level != LevelMA {
+			t.Errorf("%s: domain did not grow", level)
+		}
+		prevCount, prevArea = len(pts), area
+	}
+}
+
+func TestHierarchicalUniqueIDs(t *testing.T) {
+	pts := Hierarchical(LevelUS, 300, 2)
+	seen := make(map[uint64]bool, len(pts))
+	for _, p := range pts {
+		if seen[p.ID] {
+			t.Fatalf("duplicate ID %d across segments", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestHierarchicalSkewGrowsWithLevel(t *testing.T) {
+	// Larger levels mix more density regimes: the spread between the
+	// densest and sparsest quadrant should grow from MA to Planet.
+	spread := func(pts []geom.Point) float64 {
+		b := geom.Bounds(pts)
+		grid := geom.NewGrid(b, []int{8, 8})
+		counts := make([]float64, grid.NumCells())
+		for _, p := range pts {
+			counts[grid.CellOrdinal(p)]++
+		}
+		min, max := math.Inf(1), 0.0
+		for _, c := range counts {
+			if c > 0 {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+		}
+		return max / min
+	}
+	ma := spread(Hierarchical(LevelMA, 2000, 3))
+	planet := spread(Hierarchical(LevelPlanet, 2000, 3))
+	if planet <= ma {
+		t.Errorf("skew should grow: MA spread %g, Planet spread %g", ma, planet)
+	}
+}
+
+func TestUniformWithDensity(t *testing.T) {
+	for _, d := range []float64{0.01, 0.1, 1, 10} {
+		pts := UniformWithDensity(4000, d, 5)
+		got := measuredDensity(pts)
+		if got < d*0.8 || got > d*1.2 {
+			t.Errorf("density %g: measured %g", d, got)
+		}
+	}
+}
+
+func TestUniformWithDensityPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UniformWithDensity(10, 0, 1)
+}
+
+func TestTigerLikeIsLineStructured(t *testing.T) {
+	pts := TigerLike(8000, 1000, 15, 6)
+	if len(pts) != 8000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Line-structured data: most occupied grid cells dense, most cells
+	// empty.
+	b := geom.Bounds(pts)
+	grid := geom.NewGrid(b, []int{30, 30})
+	occupied := map[int]int{}
+	for _, p := range pts {
+		occupied[grid.CellOrdinal(p)]++
+	}
+	if frac := float64(len(occupied)) / float64(grid.NumCells()); frac > 0.6 {
+		t.Errorf("TIGER-like data occupies %.0f%% of cells; expected sparse line structure", frac*100)
+	}
+}
+
+func TestDistort(t *testing.T) {
+	orig := Segment(Massachusetts, 500, 7)
+	out := Distort(orig, 3, 1.0, 8)
+	if len(out) != 4*len(orig) {
+		t.Fatalf("got %d points, want %d", len(out), 4*len(orig))
+	}
+	seen := make(map[uint64]bool, len(out))
+	for _, p := range out {
+		if seen[p.ID] {
+			t.Fatalf("duplicate ID %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	// Replicas must be near their source: bounding box grows only modestly.
+	ob, nb := geom.Bounds(orig), geom.Bounds(out)
+	if nb.Area() > ob.Area()*1.5 {
+		t.Errorf("distorted bounds grew too much: %g -> %g", ob.Area(), nb.Area())
+	}
+	// First point must be the unjittered original (new ID).
+	if !reflect.DeepEqual(out[0].Coords, orig[0].Coords) {
+		t.Error("first replica should be the original coordinates")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := Segment(California, 200, 9)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pts) {
+		t.Error("CSV roundtrip mismatch")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing coords":   "1\n",
+		"bad id":           "x,1,2\n",
+		"bad coord":        "1,zap,2\n",
+		"dimension change": "1,1,2\n2,1\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted %q", name, data)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	pts, err := ReadCSV(strings.NewReader("1,2,3\n\n2,4,5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Errorf("got %d points", len(pts))
+	}
+}
