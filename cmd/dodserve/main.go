@@ -1,0 +1,104 @@
+// Command dodserve runs the online outlier-detection service: a sliding
+// window of streamed points with always-current distance-threshold
+// verdicts, served over HTTP as NDJSON.
+//
+// Usage:
+//
+//	dodserve -r 5 -k 4 -dim 2 [-window 100000] [-ttl 10m] \
+//	    [-addr :8334] [-shards 16] [-workers 0] [-max-batch 100000]
+//
+// At least one of -window (count capacity) and -ttl (age horizon) must be
+// set. Endpoints:
+//
+//	POST /v1/ingest   NDJSON {"id":7,"coords":[1.5,2.0]} per line; each
+//	                  point joins the window and is answered with
+//	                  {"id","seq","neighbors","outlier","evicted"}.
+//	POST /v1/score    same body; points are scored against the current
+//	                  window without being ingested.
+//	GET  /healthz     liveness.
+//	GET  /statsz      counters and p50/p99 latency histograms.
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dod/internal/serve"
+	"dod/internal/stream"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8334", "listen address")
+		r        = flag.Float64("r", 0, "distance threshold (required)")
+		k        = flag.Int("k", 0, "neighbor-count threshold (required)")
+		dim      = flag.Int("dim", 2, "point dimensionality")
+		window   = flag.Int("window", 0, "window capacity in points (0 = unbounded; then -ttl is required)")
+		ttl      = flag.Duration("ttl", 0, "window age horizon (0 = none; then -window is required)")
+		shards   = flag.Int("shards", 0, "index shard count (0 = default)")
+		workers  = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 0, "max NDJSON lines per request (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Stream: stream.Config{
+			R:        *r,
+			K:        *k,
+			Dim:      *dim,
+			Capacity: *window,
+			TTL:      *ttl,
+			Shards:   *shards,
+		},
+		Workers:  *workers,
+		MaxBatch: *maxBatch,
+	}
+	if err := run(*addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dodserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config) error {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dodserve: listening on %s (r=%g k=%d dim=%d window=%d ttl=%s)\n",
+			addr, cfg.Stream.R, cfg.Stream.K, cfg.Stream.Dim, cfg.Stream.Capacity, cfg.Stream.TTL)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "dodserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dod/internal/serve"
+	"dod/internal/stream"
+)
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	// Missing r/k and missing window bound must fail before listening.
+	err := run("127.0.0.1:0", serve.Config{Stream: stream.Config{}})
+	if err == nil {
+		t.Fatal("empty config accepted")
+	}
+	err = run("127.0.0.1:0", serve.Config{Stream: stream.Config{R: 1, K: 2, Dim: 2}})
+	if err == nil {
+		t.Fatal("unbounded window accepted")
+	}
+}
+
+// TestServeAndGracefulShutdown boots the real binary entry point on an
+// ephemeral port, ingests and scores over HTTP, then delivers SIGTERM and
+// waits for the drain.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	// Find a free port, then hand the address to run().
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cfg := serve.Config{Stream: stream.Config{R: 2, K: 1, Dim: 2, Capacity: 100}}
+	done := make(chan error, 1)
+	go func() { done <- run(addr, cfg) }()
+
+	base := "http://" + addr
+	waitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		select {
+		case <-waitCtx.Done():
+			t.Fatal("server never became healthy")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	resp, err := http.Post(base+"/v1/ingest", "application/x-ndjson",
+		strings.NewReader(`{"id":1,"coords":[0,0]}`+"\n"+`{"id":2,"coords":[1,0]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		var v map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("bad verdict line: %v", err)
+		}
+		if e, ok := v["error"]; ok {
+			t.Fatalf("verdict error: %v", e)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("got %d verdict lines, want 2", lines)
+	}
+
+	resp2, err := http.Post(base+"/v1/score", "application/x-ndjson",
+		strings.NewReader(`{"id":99,"coords":[50,50]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var score struct {
+		Outlier bool `json:"outlier"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&score); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if !score.Outlier {
+		t.Fatal("distant query scored as inlier")
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+}

@@ -25,6 +25,7 @@ package dod
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dod/internal/cluster"
 	"dod/internal/core"
@@ -148,8 +149,13 @@ func (r *Result) IsOutlier(id uint64) bool {
 }
 
 // Detect finds all distance-threshold outliers in points. Point IDs must be
-// unique; verdicts refer to them.
+// unique; verdicts refer to them. Empty datasets and duplicate IDs are
+// rejected (a duplicated ID would silently corrupt neighbor counts, since
+// detectors treat equal IDs as the same point).
 func Detect(points []Point, cfg Config) (*Result, error) {
+	if err := validatePoints(points); err != nil {
+		return nil, err
+	}
 	if cfg.BucketsPerDim == 0 {
 		// Size mini buckets so density estimates stay statistically stable
 		// (~25 expected points per bucket).
@@ -185,8 +191,8 @@ func DetectCentralized(points []Point, detector Detector, r float64, k int) ([]u
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	if len(points) == 0 {
-		return nil, fmt.Errorf("dod: empty dataset")
+	if err := validatePoints(points); err != nil {
+		return nil, err
 	}
 	res := core.DetectCentralized(points, detector, params, 1)
 	ids := append([]uint64(nil), res.OutlierIDs...)
@@ -195,11 +201,23 @@ func DetectCentralized(points []Point, detector Detector, r float64, k int) ([]u
 }
 
 func sortIDs(ids []uint64) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// validatePoints rejects the inputs the detectors cannot give meaningful
+// answers for: empty datasets and duplicate point IDs.
+func validatePoints(points []Point) error {
+	if len(points) == 0 {
+		return fmt.Errorf("dod: empty dataset")
 	}
+	seen := make(map[uint64]struct{}, len(points))
+	for _, p := range points {
+		if _, dup := seen[p.ID]; dup {
+			return fmt.Errorf("dod: duplicate point ID %d", p.ID)
+		}
+		seen[p.ID] = struct{}{}
+	}
+	return nil
 }
 
 // toCore translates the public config into the driver config.

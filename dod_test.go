@@ -104,6 +104,30 @@ func TestDetectValidation(t *testing.T) {
 	}
 }
 
+func TestDetectRejectsDuplicateIDs(t *testing.T) {
+	pts := testDataset(10, 7)
+	dup := append(append([]Point(nil), pts...), Point{ID: pts[3].ID, Coords: []float64{1, 2}})
+	if _, err := Detect(dup, Config{R: 5, K: 4}); err == nil {
+		t.Error("Detect accepted duplicate point IDs")
+	}
+	if _, err := DetectCentralized(dup, CellBased, 5, 4); err == nil {
+		t.Error("DetectCentralized accepted duplicate point IDs")
+	}
+	if _, err := Detect(pts, Config{R: 5, K: 4, SampleRate: 1}); err != nil {
+		t.Errorf("unique IDs rejected: %v", err)
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []uint64{9, 1, 7, 7, 0, 42, 3}
+	sortIDs(ids)
+	want := []uint64{0, 1, 3, 7, 7, 9, 42}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("sortIDs = %v, want %v", ids, want)
+	}
+	sortIDs(nil) // must not panic on empty input
+}
+
 func TestResultIsOutlier(t *testing.T) {
 	r := &Result{OutlierIDs: []uint64{2, 5, 9}}
 	for _, id := range []uint64{2, 5, 9} {

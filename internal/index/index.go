@@ -1,0 +1,342 @@
+// Package index provides a sharded, mutex-striped incremental grid index
+// for online distance-threshold outlier detection.
+//
+// The batch Cell-Based detector (internal/detect) hashes a fixed dataset
+// into a grid of cell side r/(2√d) once and then prunes whole cells. The
+// serving path cannot rebuild that layout per request: points arrive and
+// expire one at a time. Index keeps the same density-aware cell geometry
+// resident and mutable:
+//
+//   - any two points whose cells are within Chebyshev distance 1 are at
+//     most 2·(r/(2√d))·√d = r apart, so the L1 block is auto-accepted as
+//     neighbors without a single distance computation (Lemma 4.2's inlier
+//     rule, turned into a per-point counting shortcut);
+//   - points whose cells are more than ⌈2√d⌉ apart are farther than r, so
+//     ring expansion stops at the L2 radius (the outlier rule's cutoff).
+//
+// NeighborCount therefore decides a point's inlier/outlier status by
+// expanding rings outward from its cell and terminating as soon as k
+// neighbors are certain — without ever scanning the full window.
+//
+// Cells live in an open (unbounded) integer coordinate space, so the index
+// needs no domain rectangle and survives arbitrary drift. Cells are hashed
+// onto a fixed set of shards, each guarded by its own RWMutex, so inserts,
+// removals and queries on different regions of space proceed in parallel.
+package index
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sync"
+
+	"dod/internal/detect"
+	"dod/internal/geom"
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 16
+
+// Config sizes an Index.
+type Config struct {
+	// Dim is the point dimensionality; all inserted and queried points
+	// must match.
+	Dim int
+	// R is the neighbor distance threshold; it fixes the cell side
+	// r/(2√d) and cannot change after construction.
+	R float64
+	// Shards is the number of independently locked shards; default
+	// DefaultShards. More shards admit more concurrent mutators at the
+	// cost of a little memory.
+	Shards int
+}
+
+// cellKey is the flattened string form of a cell's integer coordinates,
+// usable as a map key for any dimensionality.
+type cellKey string
+
+// cell holds the points currently hashed to one grid cell.
+type cell struct {
+	points []geom.Point
+}
+
+// shard is one lock stripe: a fraction of the cells, guarded by one mutex.
+type shard struct {
+	mu    sync.RWMutex
+	cells map[cellKey]*cell
+	n     int // points resident in this shard
+}
+
+// Index is a sharded incremental grid index. All methods are safe for
+// concurrent use. Mutations on distinct shards do not contend; queries
+// take only read locks.
+type Index struct {
+	dim    int
+	r      float64
+	side   float64 // cell side r/(2√d)
+	l2     int     // Chebyshev radius beyond which no neighbor exists
+	shards []shard
+	seed   maphash.Seed
+}
+
+// New builds an empty index for dim-dimensional points with distance
+// threshold r.
+func New(cfg Config) (*Index, error) {
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("index: dimension must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.R <= 0 {
+		return nil, fmt.Errorf("index: distance threshold r must be positive, got %g", cfg.R)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	ix := &Index{
+		dim:    cfg.Dim,
+		r:      cfg.R,
+		side:   detect.CellSide(cfg.Dim, cfg.R),
+		l2:     detect.L2Radius(cfg.Dim),
+		shards: make([]shard, shards),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range ix.shards {
+		ix.shards[i].cells = make(map[cellKey]*cell)
+	}
+	return ix, nil
+}
+
+// Dim returns the index dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// R returns the neighbor distance threshold.
+func (ix *Index) R() float64 { return ix.r }
+
+// coords maps a point to its integer cell coordinate vector.
+func (ix *Index) coords(p geom.Point) []int64 {
+	c := make([]int64, ix.dim)
+	for i, v := range p.Coords {
+		c[i] = int64(math.Floor(v / ix.side))
+	}
+	return c
+}
+
+// key flattens integer cell coordinates into a map key.
+func key(c []int64) cellKey {
+	buf := make([]byte, 0, len(c)*8)
+	for _, v := range c {
+		u := uint64(v)
+		buf = append(buf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return cellKey(buf)
+}
+
+// shardFor maps a cell key onto its lock stripe.
+func (ix *Index) shardFor(k cellKey) *shard {
+	var h maphash.Hash
+	h.SetSeed(ix.seed)
+	h.WriteString(string(k))
+	return &ix.shards[h.Sum64()%uint64(len(ix.shards))]
+}
+
+// checkDim validates a point's dimensionality against the index.
+func (ix *Index) checkDim(p geom.Point) error {
+	if p.Dim() != ix.dim {
+		return fmt.Errorf("index: point %d has dimension %d, index has %d", p.ID, p.Dim(), ix.dim)
+	}
+	return nil
+}
+
+// Insert adds p to the index. The caller is responsible for ID uniqueness;
+// the sliding-window layer above enforces it.
+func (ix *Index) Insert(p geom.Point) error {
+	if err := ix.checkDim(p); err != nil {
+		return err
+	}
+	k := key(ix.coords(p))
+	sh := ix.shardFor(k)
+	sh.mu.Lock()
+	c := sh.cells[k]
+	if c == nil {
+		c = &cell{}
+		sh.cells[k] = c
+	}
+	c.points = append(c.points, p)
+	sh.n++
+	sh.mu.Unlock()
+	return nil
+}
+
+// Remove deletes the point with p's ID from the cell containing p's
+// coordinates. It reports whether the point was found.
+func (ix *Index) Remove(p geom.Point) bool {
+	if p.Dim() != ix.dim {
+		return false
+	}
+	k := key(ix.coords(p))
+	sh := ix.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := sh.cells[k]
+	if c == nil {
+		return false
+	}
+	for i := range c.points {
+		if c.points[i].ID == p.ID {
+			last := len(c.points) - 1
+			c.points[i] = c.points[last]
+			c.points = c.points[:last]
+			if len(c.points) == 0 {
+				delete(sh.cells, k)
+			}
+			sh.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of points currently indexed.
+func (ix *Index) Len() int {
+	total := 0
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		total += sh.n
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// ShardOccupancy returns the number of resident points per shard, in shard
+// order — the /statsz occupancy gauge.
+func (ix *Index) ShardOccupancy() []int {
+	occ := make([]int, len(ix.shards))
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		occ[i] = sh.n
+		sh.mu.RUnlock()
+	}
+	return occ
+}
+
+// readCell calls fn under the owning shard's read lock with the points of
+// the cell at key k, if the cell exists.
+func (ix *Index) readCell(k cellKey, fn func(pts []geom.Point)) {
+	sh := ix.shardFor(k)
+	sh.mu.RLock()
+	if c := sh.cells[k]; c != nil {
+		fn(c.points)
+	}
+	sh.mu.RUnlock()
+}
+
+// ringCells calls fn with the key of every cell whose Chebyshev distance
+// from center is exactly radius (or, for radius 0, the center itself).
+func ringCells(center []int64, radius int, fn func(k cellKey)) {
+	if radius == 0 {
+		fn(key(center))
+		return
+	}
+	cur := make([]int64, len(center))
+	var rec func(dim int, onSurface bool)
+	rec = func(dim int, onSurface bool) {
+		if dim == len(center) {
+			if onSurface {
+				fn(key(cur))
+			}
+			return
+		}
+		for off := -radius; off <= radius; off++ {
+			cur[dim] = center[dim] + int64(off)
+			rec(dim+1, onSurface || off == -radius || off == radius)
+		}
+	}
+	rec(0, false)
+}
+
+// NeighborCount counts points within distance r of p (excluding any point
+// sharing p's ID), early-terminating once the count reaches limit. It
+// returns min(true count, limit). With limit = k this decides the
+// distance-threshold verdict: a return < k means p is an outlier with
+// respect to the current index contents.
+//
+// The L1 block (Chebyshev radius 1) is auto-accepted without distance
+// computations; rings 2..⌈2√d⌉ are expanded outward with exact checks and
+// the scan stops at whichever comes first, limit neighbors or the L2 radius.
+func (ix *Index) NeighborCount(p geom.Point, limit int) (int, error) {
+	if err := ix.checkDim(p); err != nil {
+		return 0, err
+	}
+	if limit < 1 {
+		return 0, fmt.Errorf("index: NeighborCount limit must be >= 1, got %d", limit)
+	}
+	center := ix.coords(p)
+	count := 0
+	// L1 auto-accept: every point in the radius-1 block is within r.
+	for radius := 0; radius <= 1 && count < limit; radius++ {
+		ringCells(center, radius, func(k cellKey) {
+			ix.readCell(k, func(pts []geom.Point) {
+				for _, q := range pts {
+					if q.ID != p.ID {
+						count++
+					}
+				}
+			})
+		})
+	}
+	if count >= limit {
+		return limit, nil
+	}
+	// Ring expansion with exact distance checks out to the L2 cutoff.
+	for radius := 2; radius <= ix.l2 && count < limit; radius++ {
+		ringCells(center, radius, func(k cellKey) {
+			if count >= limit {
+				return
+			}
+			ix.readCell(k, func(pts []geom.Point) {
+				for _, q := range pts {
+					if count >= limit {
+						return
+					}
+					if q.ID != p.ID && geom.WithinDist(p, q, ix.r) {
+						count++
+					}
+				}
+			})
+		})
+	}
+	if count > limit {
+		count = limit
+	}
+	return count, nil
+}
+
+// Neighbors calls fn with every indexed point within distance r of p,
+// excluding any point sharing p's ID. Unlike NeighborCount it never
+// terminates early — the sliding-window layer uses it to maintain exact
+// per-point neighbor counts under eviction.
+func (ix *Index) Neighbors(p geom.Point, fn func(q geom.Point)) error {
+	if err := ix.checkDim(p); err != nil {
+		return err
+	}
+	center := ix.coords(p)
+	for radius := 0; radius <= ix.l2; radius++ {
+		exact := radius > 1 // L1 block needs no distance checks
+		ringCells(center, radius, func(k cellKey) {
+			ix.readCell(k, func(pts []geom.Point) {
+				for _, q := range pts {
+					if q.ID == p.ID {
+						continue
+					}
+					if !exact || geom.WithinDist(p, q, ix.r) {
+						fn(q)
+					}
+				}
+			})
+		})
+	}
+	return nil
+}

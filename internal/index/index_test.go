@@ -1,0 +1,275 @@
+package index
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dod/internal/geom"
+)
+
+func randPoints(n, dim int, scale float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		coords := make([]float64, dim)
+		for j := range coords {
+			coords[j] = rng.Float64() * scale
+		}
+		pts[i] = geom.Point{ID: uint64(i), Coords: coords}
+	}
+	return pts
+}
+
+// bruteCount is the reference neighbor count: points with a different ID
+// within distance r.
+func bruteCount(p geom.Point, pool []geom.Point, r float64) int {
+	n := 0
+	for _, q := range pool {
+		if q.ID != p.ID && geom.WithinDist(p, q, r) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 0, R: 1}); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := New(Config{Dim: 2, R: 0}); err == nil {
+		t.Error("r 0 accepted")
+	}
+	if _, err := New(Config{Dim: 2, R: -1}); err == nil {
+		t.Error("negative r accepted")
+	}
+	ix, err := New(Config{Dim: 2, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.shards) != DefaultShards {
+		t.Errorf("default shards = %d, want %d", len(ix.shards), DefaultShards)
+	}
+}
+
+func TestNeighborCountMatchesBruteForce(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		pts := randPoints(500, dim, 10, int64(dim))
+		const r = 1.5
+		ix, err := New(Config{Dim: dim, R: r, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if err := ix.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range pts {
+			want := bruteCount(p, pts, r)
+			// A limit above any possible count makes the index count exact.
+			got, err := ix.NeighborCount(p, len(pts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("dim %d: NeighborCount(%v) = %d, want %d", dim, p, got, want)
+			}
+		}
+	}
+}
+
+func TestNeighborCountEarlyTermination(t *testing.T) {
+	pts := randPoints(300, 2, 5, 7)
+	const r = 2.0
+	ix, err := New(Config{Dim: 2, R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const k = 4
+	for _, p := range pts {
+		want := bruteCount(p, pts, r)
+		if want > k {
+			want = k
+		}
+		got, err := ix.NeighborCount(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("NeighborCount(%v, %d) = %d, want %d", p, k, got, want)
+		}
+	}
+}
+
+func TestNeighborsEnumeratesExactly(t *testing.T) {
+	pts := randPoints(400, 2, 8, 11)
+	const r = 1.0
+	ix, err := New(Config{Dim: 2, R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pts[:50] {
+		seen := make(map[uint64]bool)
+		if err := ix.Neighbors(p, func(q geom.Point) { seen[q.ID] = true }); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range pts {
+			want := q.ID != p.ID && geom.WithinDist(p, q, r)
+			if seen[q.ID] != want {
+				t.Fatalf("Neighbors(%v): point %d reported %v, want %v", p, q.ID, seen[q.ID], want)
+			}
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	pts := randPoints(100, 2, 3, 3)
+	ix, err := New(Config{Dim: 2, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", ix.Len(), len(pts))
+	}
+	for _, p := range pts {
+		if !ix.Remove(p) {
+			t.Fatalf("Remove(%v) = false on resident point", p)
+		}
+		if ix.Remove(p) {
+			t.Fatalf("Remove(%v) = true after removal", p)
+		}
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len after removing all = %d, want 0", ix.Len())
+	}
+	occ := ix.ShardOccupancy()
+	for i, n := range occ {
+		if n != 0 {
+			t.Fatalf("shard %d occupancy = %d after removing all", i, n)
+		}
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	ix, err := New(Config{Dim: 2, R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := geom.Point{ID: 1, Coords: []float64{1, 2, 3}}
+	if err := ix.Insert(bad); err == nil {
+		t.Error("Insert accepted mismatched dimension")
+	}
+	if _, err := ix.NeighborCount(bad, 1); err == nil {
+		t.Error("NeighborCount accepted mismatched dimension")
+	}
+	if err := ix.Neighbors(bad, func(geom.Point) {}); err == nil {
+		t.Error("Neighbors accepted mismatched dimension")
+	}
+	if ix.Remove(bad) {
+		t.Error("Remove found a mismatched-dimension point")
+	}
+	good := geom.Point{ID: 1, Coords: []float64{1, 2}}
+	if _, err := ix.NeighborCount(good, 0); err == nil {
+		t.Error("NeighborCount accepted limit 0")
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	// Cell coords use floor division, so negative space must work too.
+	pts := randPoints(300, 2, 6, 19)
+	for i := range pts {
+		pts[i].Coords[0] -= 3
+		pts[i].Coords[1] -= 3
+	}
+	const r = 1.2
+	ix, err := New(Config{Dim: 2, R: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := ix.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		want := bruteCount(p, pts, r)
+		got, err := ix.NeighborCount(p, len(pts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("NeighborCount(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestConcurrentHammer exercises concurrent insert, remove, and query under
+// the race detector: each goroutine owns a disjoint ID range and cycles its
+// points in and out of the index while counting neighbors.
+func TestConcurrentHammer(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 200
+	)
+	ix, err := New(Config{Dim: 2, R: 1, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			own := make([]geom.Point, perWorker)
+			for i := range own {
+				own[i] = geom.Point{
+					ID:     uint64(w*perWorker + i),
+					Coords: []float64{rng.Float64() * 10, rng.Float64() * 10},
+				}
+			}
+			for round := 0; round < 3; round++ {
+				for _, p := range own {
+					if err := ix.Insert(p); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for _, p := range own {
+					if _, err := ix.NeighborCount(p, 5); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				ix.Len()
+				ix.ShardOccupancy()
+				for _, p := range own {
+					if !ix.Remove(p) {
+						t.Errorf("lost point %d", p.ID)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != 0 {
+		t.Fatalf("Len after hammer = %d, want 0", ix.Len())
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log-spaced latency buckets: bucket i counts
+// observations in (2^(i-1), 2^i] microseconds, so the range spans 1µs to
+// ~2.1s with the last bucket catching everything slower.
+const histBuckets = 32
+
+// histogram is a lock-free latency histogram with power-of-two microsecond
+// buckets. Record is wait-free; quantiles are read from a racy but
+// monotonically-growing snapshot, which is fine for monitoring.
+type histogram struct {
+	count   atomic.Int64
+	sumUs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Record adds one observation.
+func (h *histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumUs.Add(d.Microseconds())
+	h.buckets[bucketFor(d)].Add(1)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in microseconds as the
+// upper bound of the bucket containing it. Zero observations yield 0.
+func (h *histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return int64(1) << i // bucket upper bound in µs
+		}
+	}
+	return int64(1) << (histBuckets - 1)
+}
+
+// LatencySummary is the JSON shape of one histogram in /statsz.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  int64   `json:"p50_us"`
+	P99Us  int64   `json:"p99_us"`
+}
+
+// Summary snapshots the histogram for /statsz.
+func (h *histogram) Summary() LatencySummary {
+	count := h.count.Load()
+	s := LatencySummary{
+		Count: count,
+		P50Us: h.Quantile(0.50),
+		P99Us: h.Quantile(0.99),
+	}
+	if count > 0 {
+		s.MeanUs = float64(h.sumUs.Load()) / float64(count)
+	}
+	return s
+}

@@ -1,0 +1,398 @@
+// Package serve exposes the sliding-window outlier detector
+// (internal/stream) as a concurrent HTTP service speaking NDJSON.
+//
+// Endpoints:
+//
+//	POST /v1/ingest — one point per line; each is admitted to the window
+//	                  and answered, in order, with its verdict line.
+//	POST /v1/score  — one point per line; each is scored against the
+//	                  current window without being ingested.
+//	GET  /healthz   — liveness plus window size.
+//	GET  /statsz    — counters: points ingested/evicted, queries, errors,
+//	                  per-shard occupancy, p50/p99 latency histograms.
+//
+// A point line is {"id": 7, "coords": [1.5, 2.0]}. Responses are NDJSON in
+// request order; a malformed or rejected line yields an {"id", "error"}
+// line and processing continues, so one bad point cannot poison a batch.
+//
+// Request bodies are processed through a fixed worker pool: scoring fans
+// each batch out across workers (reads scale with the index's lock
+// striping), while ingest batches run as one serialized job each (window
+// mutation is ordered by sequence number anyway). The pool bounds total
+// CPU concurrency no matter how many requests are in flight.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dod/internal/geom"
+	"dod/internal/stream"
+)
+
+// DefaultMaxBatch bounds the number of NDJSON lines per request.
+const DefaultMaxBatch = 100_000
+
+// maxLineBytes bounds one NDJSON line (high-dimensional points are long).
+const maxLineBytes = 1 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// Stream configures the sliding window (R, K, Dim, Capacity, TTL,
+	// Shards).
+	Stream stream.Config
+	// Workers sizes the request worker pool; default GOMAXPROCS.
+	Workers int
+	// MaxBatch caps NDJSON lines per request; default DefaultMaxBatch.
+	MaxBatch int
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Server is the HTTP serving layer. Create with New, mount via Handler,
+// and Close when done.
+type Server struct {
+	cfg      Config
+	win      *stream.Window
+	mux      *http.ServeMux
+	pool     *workerPool
+	started  time.Time
+	now      func() time.Time
+	stopEvic chan struct{}
+	evicWG   sync.WaitGroup
+
+	ingestReqs  atomic.Int64
+	scoreReqs   atomic.Int64
+	ingestLines atomic.Int64
+	scoreLines  atomic.Int64
+	lineErrors  atomic.Int64
+	ingestHist  histogram
+	scoreHist   histogram
+}
+
+// New builds a Server with an empty window. If the window has a TTL, a
+// background evictor drains expired points even when ingest is idle.
+func New(cfg Config) (*Server, error) {
+	win, err := stream.NewWindow(cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	s := &Server{
+		cfg:      cfg,
+		win:      win,
+		mux:      http.NewServeMux(),
+		pool:     newWorkerPool(cfg.Workers),
+		now:      cfg.now,
+		started:  cfg.now(),
+		stopEvic: make(chan struct{}),
+	}
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/score", s.handleScore)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	if ttl := cfg.Stream.TTL; ttl > 0 {
+		interval := ttl / 4
+		if interval < 100*time.Millisecond {
+			interval = 100 * time.Millisecond
+		}
+		s.evicWG.Add(1)
+		go s.evictLoop(interval)
+	}
+	return s, nil
+}
+
+// Window exposes the underlying sliding window (tests and embedders).
+func (s *Server) Window() *stream.Window { return s.win }
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool and the background evictor. In-flight
+// requests should be drained first (http.Server.Shutdown does this).
+func (s *Server) Close() {
+	close(s.stopEvic)
+	s.evicWG.Wait()
+	s.pool.close()
+}
+
+func (s *Server) evictLoop(interval time.Duration) {
+	defer s.evicWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopEvic:
+			return
+		case <-t.C:
+			s.win.EvictExpired(s.now())
+		}
+	}
+}
+
+// pointLine is the NDJSON wire form of a point.
+type pointLine struct {
+	ID     uint64    `json:"id"`
+	Coords []float64 `json:"coords"`
+}
+
+// verdictLine answers one ingest line.
+type verdictLine struct {
+	ID        uint64 `json:"id"`
+	Seq       uint64 `json:"seq,omitempty"`
+	Neighbors int    `json:"neighbors"`
+	Outlier   bool   `json:"outlier"`
+	Evicted   int    `json:"evicted,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// scoreLine answers one score line.
+type scoreLine struct {
+	ID        uint64 `json:"id"`
+	Neighbors int    `json:"neighbors"`
+	Outlier   bool   `json:"outlier"`
+	Error     string `json:"error,omitempty"`
+}
+
+// readBatch parses up to maxBatch NDJSON point lines from the request.
+// A parse failure on line i is returned as a per-line error at index i
+// (Point.Coords nil), keeping request-level failures for oversize input.
+type batchItem struct {
+	pt  geom.Point
+	err error
+}
+
+func (s *Server) readBatch(r *http.Request) ([]batchItem, error) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	var items []batchItem
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if len(items) >= s.cfg.MaxBatch {
+			return nil, fmt.Errorf("batch exceeds %d lines", s.cfg.MaxBatch)
+		}
+		var pl pointLine
+		if err := json.Unmarshal(line, &pl); err != nil {
+			items = append(items, batchItem{err: fmt.Errorf("malformed point line: %v", err)})
+			continue
+		}
+		items = append(items, batchItem{pt: geom.Point{ID: pl.ID, Coords: pl.Coords}})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading body: %v", err)
+	}
+	return items, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.ingestReqs.Add(1)
+	items, err := s.readBatch(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := make([]verdictLine, len(items))
+	// One pool job per batch: ingest is serialized by the window lock and
+	// must preserve line order for sequence numbers, so there is nothing
+	// to fan out — the pool's job is bounding concurrent batches.
+	s.pool.do(func() {
+		for i, it := range items {
+			if it.err != nil {
+				out[i] = verdictLine{ID: it.pt.ID, Error: it.err.Error()}
+				s.lineErrors.Add(1)
+				continue
+			}
+			start := s.now()
+			v, err := s.win.Process(it.pt, start)
+			s.ingestHist.Record(s.now().Sub(start))
+			s.ingestLines.Add(1)
+			if err != nil {
+				out[i] = verdictLine{ID: it.pt.ID, Error: err.Error()}
+				s.lineErrors.Add(1)
+				continue
+			}
+			out[i] = verdictLine{ID: v.ID, Seq: v.Seq, Neighbors: v.Neighbors, Outlier: v.Outlier, Evicted: v.Evicted}
+		}
+	})
+	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.scoreReqs.Add(1)
+	items, err := s.readBatch(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := make([]scoreLine, len(items))
+	// Scoring is read-only and lock-striped, so fan the batch out across
+	// the pool in contiguous chunks; results land at their line index.
+	const chunk = 64
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		wg.Add(1)
+		s.pool.submit(func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				it := items[i]
+				if it.err != nil {
+					out[i] = scoreLine{ID: it.pt.ID, Error: it.err.Error()}
+					s.lineErrors.Add(1)
+					continue
+				}
+				start := s.now()
+				sc, err := s.win.ScorePoint(it.pt)
+				s.scoreHist.Record(s.now().Sub(start))
+				s.scoreLines.Add(1)
+				if err != nil {
+					out[i] = scoreLine{ID: it.pt.ID, Error: err.Error()}
+					s.lineErrors.Add(1)
+					continue
+				}
+				out[i] = scoreLine{ID: sc.ID, Neighbors: sc.Neighbors, Outlier: sc.Outlier}
+			}
+		})
+	}
+	wg.Wait()
+	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+}
+
+// writeNDJSON streams n lines through one buffered encoder.
+func writeNDJSON(w http.ResponseWriter, n int, line func(enc *json.Encoder, i int) error) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := 0; i < n; i++ {
+		if err := line(enc, i); err != nil {
+			return
+		}
+	}
+	bw.Flush()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.win.Stats()
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.now().Sub(s.started).Seconds(),
+		"window":         st.Len,
+	})
+}
+
+// StatsResponse is the /statsz JSON shape.
+type StatsResponse struct {
+	UptimeSeconds  float64        `json:"uptime_seconds"`
+	IngestRequests int64          `json:"ingest_requests"`
+	ScoreRequests  int64          `json:"score_requests"`
+	PointsIngested uint64         `json:"points_ingested"`
+	PointsEvicted  uint64         `json:"points_evicted"`
+	Queries        int64          `json:"queries"`
+	LineErrors     int64          `json:"line_errors"`
+	WindowLen      int            `json:"window_len"`
+	WindowSeq      uint64         `json:"window_seq"`
+	Outliers       int            `json:"outliers"`
+	FlipIn         uint64         `json:"flips_outlier_to_inlier"`
+	FlipOut        uint64         `json:"flips_inlier_to_outlier"`
+	ShardOccupancy []int          `json:"shard_occupancy"`
+	IngestLatency  LatencySummary `json:"ingest_latency"`
+	ScoreLatency   LatencySummary `json:"score_latency"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	st := s.win.Stats()
+	writeJSON(w, StatsResponse{
+		UptimeSeconds:  s.now().Sub(s.started).Seconds(),
+		IngestRequests: s.ingestReqs.Load(),
+		ScoreRequests:  s.scoreReqs.Load(),
+		PointsIngested: st.Ingested,
+		PointsEvicted:  st.Evicted,
+		Queries:        s.scoreLines.Load(),
+		LineErrors:     s.lineErrors.Load(),
+		WindowLen:      st.Len,
+		WindowSeq:      st.Seq,
+		Outliers:       st.Outliers,
+		FlipIn:         st.FlipIn,
+		FlipOut:        st.FlipOut,
+		ShardOccupancy: st.Occupancy,
+		IngestLatency:  s.ingestHist.Summary(),
+		ScoreLatency:   s.scoreHist.Summary(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// workerPool is a fixed set of goroutines draining a job queue. It bounds
+// the service's compute concurrency: HTTP handler goroutines enqueue work
+// and wait, so a flood of requests queues instead of spawning unbounded
+// parallel scans.
+type workerPool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{jobs: make(chan func())}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues fn and returns immediately; fn runs on some worker.
+func (p *workerPool) submit(fn func()) { p.jobs <- fn }
+
+// do enqueues fn and blocks until it has run.
+func (p *workerPool) do(fn func()) {
+	done := make(chan struct{})
+	p.jobs <- func() {
+		defer close(done)
+		fn()
+	}
+	<-done
+}
+
+// close drains the pool; submit/do must not be called afterwards.
+func (p *workerPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -1,0 +1,314 @@
+// Package stream implements sliding-window distance-threshold outlier
+// detection on top of the incremental grid index (internal/index).
+//
+// A Window holds the most recent points of an unbounded stream — bounded by
+// a count capacity, a time horizon, or both — and maintains every resident
+// point's exact neighbor count incrementally:
+//
+//   - when a point arrives, its neighbors are enumerated once through the
+//     index; each gains a neighbor, and any current outlier reaching k
+//     neighbors flips to inlier;
+//   - when the oldest point expires, its neighbors each lose a neighbor,
+//     and any inlier dropping below k flips to outlier.
+//
+// The window's verdict set is therefore always exactly what the batch
+// detectors would produce on the same contents: Snapshot() == the outliers
+// of dod.DetectCentralized over Points(). The property tests assert this
+// equivalence on randomized streams.
+//
+// Process (mutation) is serialized by the window mutex; Score (read-only
+// scoring of a query point against the window, without ingesting it) runs
+// lock-free above the index's own striped locks, so scoring scales with
+// index shards.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dod/internal/detect"
+	"dod/internal/geom"
+	"dod/internal/index"
+)
+
+// Config parameterizes a sliding window.
+type Config struct {
+	// R is the neighbor distance threshold (Def. 2.1).
+	R float64
+	// K is the neighbor-count threshold: a window point is an outlier
+	// iff it currently has fewer than K neighbors within R (Def. 2.2,
+	// applied to the window contents).
+	K int
+	// Dim is the point dimensionality.
+	Dim int
+	// Capacity bounds the window point count; ingesting past it evicts
+	// the oldest point first. Zero means no count bound.
+	Capacity int
+	// TTL bounds point age: points older than TTL relative to the
+	// newest ingest time are evicted. Zero means no time bound.
+	TTL time.Duration
+	// Shards is the index shard count; default index.DefaultShards.
+	Shards int
+}
+
+func (cfg Config) validate() error {
+	if err := (detect.Params{R: cfg.R, K: cfg.K}).Validate(); err != nil {
+		return err
+	}
+	if cfg.Dim < 1 {
+		return fmt.Errorf("stream: dimension must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.Capacity < 0 {
+		return fmt.Errorf("stream: capacity must be >= 0, got %d", cfg.Capacity)
+	}
+	if cfg.TTL < 0 {
+		return fmt.Errorf("stream: ttl must be >= 0, got %s", cfg.TTL)
+	}
+	if cfg.Capacity == 0 && cfg.TTL == 0 {
+		return fmt.Errorf("stream: window needs a capacity or a ttl (or both)")
+	}
+	return nil
+}
+
+// entry is a resident window point with its live bookkeeping.
+type entry struct {
+	pt      geom.Point
+	seq     uint64    // monotonic ingest sequence number
+	arrived time.Time // ingest timestamp (drives TTL eviction)
+	count   int       // exact current neighbor count within the window
+	outlier bool      // count < K
+}
+
+// Verdict is the outcome of ingesting one point.
+type Verdict struct {
+	ID        uint64 // the point's ID
+	Seq       uint64 // its monotonic sequence number
+	Neighbors int    // exact neighbor count at admission
+	Outlier   bool   // Neighbors < K at admission
+	Evicted   int    // points this ingest expired from the window
+}
+
+// Score is the outcome of a read-only query.
+type Score struct {
+	ID        uint64 // the query point's ID
+	Neighbors int    // neighbor count, early-terminated at K
+	Outlier   bool   // Neighbors < K
+}
+
+// Stats is a snapshot of the window counters.
+type Stats struct {
+	Len       int    // resident points
+	Seq       uint64 // last assigned sequence number
+	Ingested  uint64 // total points processed
+	Evicted   uint64 // total points expired
+	Outliers  int    // current outliers in the window
+	FlipIn    uint64 // outlier→inlier transitions caused by arrivals
+	FlipOut   uint64 // inlier→outlier transitions caused by evictions
+	Occupancy []int  // resident points per index shard
+}
+
+// Window is a sliding window of stream points with always-current outlier
+// verdicts. All methods are safe for concurrent use.
+type Window struct {
+	cfg Config
+	ix  *index.Index
+
+	mu       sync.Mutex // serializes mutation and snapshotting
+	entries  map[uint64]*entry
+	fifo     []*entry // arrival order; fifo[head:] are resident
+	head     int
+	seq      uint64
+	ingested uint64
+	evicted  uint64
+	outliers int
+	flipIn   uint64
+	flipOut  uint64
+}
+
+// NewWindow builds an empty sliding window.
+func NewWindow(cfg Config) (*Window, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ix, err := index.New(index.Config{Dim: cfg.Dim, R: cfg.R, Shards: cfg.Shards})
+	if err != nil {
+		return nil, err
+	}
+	return &Window{
+		cfg:     cfg,
+		ix:      ix,
+		entries: make(map[uint64]*entry),
+	}, nil
+}
+
+// Config returns the window configuration.
+func (w *Window) Config() Config { return w.cfg }
+
+// Process ingests p with the given arrival time, evicting expired points
+// first, and returns p's admission verdict. Arrival times must be
+// non-decreasing for TTL semantics to be meaningful; sequence numbers are
+// assigned monotonically regardless.
+func (w *Window) Process(p geom.Point, now time.Time) (Verdict, error) {
+	if p.Dim() != w.cfg.Dim {
+		return Verdict{}, fmt.Errorf("stream: point %d has dimension %d, window has %d", p.ID, p.Dim(), w.cfg.Dim)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.entries[p.ID]; dup {
+		return Verdict{}, fmt.Errorf("stream: duplicate point ID %d in window", p.ID)
+	}
+
+	evictions := 0
+	if w.cfg.Capacity > 0 {
+		for w.len() >= w.cfg.Capacity {
+			w.evictOldest()
+			evictions++
+		}
+	}
+	evictions += w.evictExpired(now)
+
+	// Enumerate p's neighbors once: p's exact admission count, and a
+	// +1 for each of them (arrivals can only flip outliers to inliers).
+	n := 0
+	err := w.ix.Neighbors(p, func(q geom.Point) {
+		n++
+		e := w.entries[q.ID]
+		e.count++
+		if e.outlier && e.count >= w.cfg.K {
+			e.outlier = false
+			w.outliers--
+			w.flipIn++
+		}
+	})
+	if err != nil {
+		return Verdict{}, err
+	}
+	if err := w.ix.Insert(p.Clone()); err != nil {
+		return Verdict{}, err
+	}
+	w.seq++
+	w.ingested++
+	e := &entry{pt: p.Clone(), seq: w.seq, arrived: now, count: n, outlier: n < w.cfg.K}
+	if e.outlier {
+		w.outliers++
+	}
+	w.entries[p.ID] = e
+	w.fifo = append(w.fifo, e)
+	return Verdict{ID: p.ID, Seq: e.seq, Neighbors: n, Outlier: e.outlier, Evicted: evictions}, nil
+}
+
+// EvictExpired expires every point older than the TTL horizon relative to
+// now and returns how many were evicted. Process calls this implicitly;
+// servers may also call it on a timer so idle windows drain.
+func (w *Window) EvictExpired(now time.Time) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.evictExpired(now)
+}
+
+func (w *Window) evictExpired(now time.Time) int {
+	if w.cfg.TTL <= 0 {
+		return 0
+	}
+	horizon := now.Add(-w.cfg.TTL)
+	n := 0
+	for w.len() > 0 && w.fifo[w.head].arrived.Before(horizon) {
+		w.evictOldest()
+		n++
+	}
+	return n
+}
+
+// len is the resident point count; callers hold w.mu.
+func (w *Window) len() int { return len(w.fifo) - w.head }
+
+// evictOldest removes the head of the FIFO, decrementing its neighbors'
+// counts (expiry can only flip inliers to outliers). Callers hold w.mu.
+func (w *Window) evictOldest() {
+	victim := w.fifo[w.head]
+	w.fifo[w.head] = nil
+	w.head++
+	// The victim is older than every remaining point, so its departure
+	// never affects its own bookkeeping — it is leaving anyway.
+	w.ix.Neighbors(victim.pt, func(q geom.Point) {
+		e := w.entries[q.ID]
+		e.count--
+		if !e.outlier && e.count < w.cfg.K {
+			e.outlier = true
+			w.outliers++
+			w.flipOut++
+		}
+	})
+	w.ix.Remove(victim.pt)
+	delete(w.entries, victim.pt.ID)
+	if victim.outlier {
+		w.outliers--
+	}
+	w.evicted++
+	// Reclaim the drained prefix once it dominates the backing array.
+	if w.head > 64 && w.head*2 > len(w.fifo) {
+		w.fifo = append([]*entry(nil), w.fifo[w.head:]...)
+		w.head = 0
+	}
+}
+
+// ScorePoint scores a query point against the current window contents
+// without ingesting it: would p be an outlier if judged against the
+// resident points? The neighbor count early-terminates at K. A resident
+// point may score itself (its own ID is excluded from its count, matching
+// batch semantics). ScorePoint takes no window lock — it reads through the
+// index's striped locks only, so concurrent scoring scales with shards.
+func (w *Window) ScorePoint(p geom.Point) (Score, error) {
+	n, err := w.ix.NeighborCount(p, w.cfg.K)
+	if err != nil {
+		return Score{}, err
+	}
+	return Score{ID: p.ID, Neighbors: n, Outlier: n < w.cfg.K}, nil
+}
+
+// A Snapshot holds the resident points in arrival order and the IDs of the
+// current outliers, sorted ascending. The pair is consistent: it reflects
+// one instant between Process calls, so DetectCentralized over Points must
+// yield exactly OutlierIDs.
+type Snapshot struct {
+	Points     []geom.Point
+	OutlierIDs []uint64
+	Seq        uint64
+}
+
+// Snapshot atomically captures the window contents and verdicts.
+func (w *Window) Snapshot() Snapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	snap := Snapshot{
+		Points: make([]geom.Point, 0, w.len()),
+		Seq:    w.seq,
+	}
+	for _, e := range w.fifo[w.head:] {
+		snap.Points = append(snap.Points, e.pt.Clone())
+		if e.outlier {
+			snap.OutlierIDs = append(snap.OutlierIDs, e.pt.ID)
+		}
+	}
+	sort.Slice(snap.OutlierIDs, func(i, j int) bool { return snap.OutlierIDs[i] < snap.OutlierIDs[j] })
+	return snap
+}
+
+// Stats returns a consistent snapshot of the window counters plus the
+// per-shard index occupancy.
+func (w *Window) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Len:       w.len(),
+		Seq:       w.seq,
+		Ingested:  w.ingested,
+		Evicted:   w.evicted,
+		Outliers:  w.outliers,
+		FlipIn:    w.flipIn,
+		FlipOut:   w.flipOut,
+		Occupancy: w.ix.ShardOccupancy(),
+	}
+}

@@ -1,0 +1,107 @@
+package dod
+
+import (
+	"time"
+
+	"dod/internal/stream"
+)
+
+// StreamConfig parameterizes an online (sliding-window) detector. R, K and
+// Dim are required, plus at least one of WindowCapacity and WindowTTL.
+type StreamConfig struct {
+	// R is the neighbor distance threshold (Def. 2.1).
+	R float64
+	// K is the neighbor-count threshold: a window point is an outlier
+	// iff it currently has fewer than K neighbors within R.
+	K int
+	// Dim is the point dimensionality; every processed and scored point
+	// must match.
+	Dim int
+	// WindowCapacity bounds the window point count; ingesting past it
+	// evicts the oldest point. Zero means no count bound.
+	WindowCapacity int
+	// WindowTTL bounds point age; points older than the TTL relative to
+	// the newest ingest are evicted. Zero means no time bound.
+	WindowTTL time.Duration
+	// Shards is the incremental index's lock-stripe count; zero picks a
+	// default. Concurrent scoring throughput scales with shards.
+	Shards int
+}
+
+// StreamVerdict is the outcome of ingesting one point: its monotonic
+// sequence number, exact neighbor count at admission, and outlier status.
+type StreamVerdict = stream.Verdict
+
+// StreamScore is the outcome of a read-only query against the window.
+type StreamScore = stream.Score
+
+// StreamStats is a snapshot of the window counters.
+type StreamStats = stream.Stats
+
+// StreamSnapshot is a consistent capture of the window contents and the
+// current outlier IDs.
+type StreamSnapshot = stream.Snapshot
+
+// StreamDetector is the online counterpart of Detect: instead of scanning
+// a finite dataset, it maintains a sliding window over an unbounded stream
+// with every resident point's verdict kept current incrementally. At any
+// instant the window's outliers are exactly what DetectCentralized would
+// report on the same contents.
+//
+// All methods are safe for concurrent use. Process is serialized
+// internally; Score runs lock-free over the sharded index, so read
+// throughput scales with StreamConfig.Shards.
+//
+// cmd/dodserve wraps a StreamDetector in an NDJSON HTTP service; this type
+// is the same engine for in-process use.
+type StreamDetector struct {
+	win *stream.Window
+}
+
+// NewStreamDetector builds an empty online detector.
+func NewStreamDetector(cfg StreamConfig) (*StreamDetector, error) {
+	win, err := stream.NewWindow(stream.Config{
+		R:        cfg.R,
+		K:        cfg.K,
+		Dim:      cfg.Dim,
+		Capacity: cfg.WindowCapacity,
+		TTL:      cfg.WindowTTL,
+		Shards:   cfg.Shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDetector{win: win}, nil
+}
+
+// Process ingests p with arrival time time.Now() and returns its verdict.
+func (d *StreamDetector) Process(p Point) (StreamVerdict, error) {
+	return d.win.Process(p, time.Now())
+}
+
+// ProcessAt ingests p with an explicit arrival time — for replaying
+// recorded streams whose event times drive the TTL, and for deterministic
+// tests. Arrival times must be non-decreasing for TTL semantics to hold.
+func (d *StreamDetector) ProcessAt(p Point, now time.Time) (StreamVerdict, error) {
+	return d.win.Process(p, now)
+}
+
+// Score judges a query point against the current window without ingesting
+// it: would p be an outlier among the resident points?
+func (d *StreamDetector) Score(p Point) (StreamScore, error) {
+	return d.win.ScorePoint(p)
+}
+
+// EvictExpired drains points older than the TTL horizon relative to now
+// and reports how many were evicted. Process does this implicitly; call it
+// directly to age out an idle window.
+func (d *StreamDetector) EvictExpired(now time.Time) int {
+	return d.win.EvictExpired(now)
+}
+
+// Snapshot atomically captures the resident points (arrival order) and the
+// current outlier IDs (ascending).
+func (d *StreamDetector) Snapshot() StreamSnapshot { return d.win.Snapshot() }
+
+// Stats returns the window counters and per-shard index occupancy.
+func (d *StreamDetector) Stats() StreamStats { return d.win.Stats() }

@@ -1,0 +1,99 @@
+package dod
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNewStreamDetectorValidation(t *testing.T) {
+	if _, err := NewStreamDetector(StreamConfig{R: 1, K: 2, Dim: 2}); err == nil {
+		t.Fatal("config without a window bound accepted")
+	}
+	if _, err := NewStreamDetector(StreamConfig{K: 2, Dim: 2, WindowCapacity: 10}); err == nil {
+		t.Fatal("config without R accepted")
+	}
+}
+
+// TestStreamDetectorMatchesBatch ingests a drifting stream through the
+// public facade and checks, repeatedly, that the live window verdicts equal
+// DetectCentralized on the snapshotted contents.
+func TestStreamDetectorMatchesBatch(t *testing.T) {
+	const (
+		r        = 1.4
+		k        = 3
+		capacity = 80
+	)
+	det, err := NewStreamDetector(StreamConfig{
+		R: r, K: k, Dim: 2, WindowCapacity: capacity, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 300; i++ {
+		p := Point{
+			ID:     uint64(i),
+			Coords: []float64{rng.Float64()*5 + float64(i)/50, rng.Float64() * 5},
+		}
+		if _, err := det.ProcessAt(p, base.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if i%13 != 0 {
+			continue
+		}
+		snap := det.Snapshot()
+		want, err := DetectCentralized(snap.Points, BruteForce, r, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.OutlierIDs) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(snap.OutlierIDs, want) {
+			t.Fatalf("step %d: stream outliers %v != batch %v", i, snap.OutlierIDs, want)
+		}
+	}
+	st := det.Stats()
+	if st.Ingested != 300 || st.Len != capacity {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestStreamDetectorScoreAndTTL(t *testing.T) {
+	det, err := NewStreamDetector(StreamConfig{
+		R: 2, K: 2, Dim: 2, WindowTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		p := Point{ID: uint64(i), Coords: []float64{float64(i) * 0.3, 0}}
+		if _, err := det.ProcessAt(p, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, err := det.Score(Point{ID: 100, Coords: []float64{0.5, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Outlier {
+		t.Fatalf("cluster query scored outlier: %+v", in)
+	}
+	out, err := det.Score(Point{ID: 101, Coords: []float64{40, 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Outlier {
+		t.Fatalf("distant query scored inlier: %+v", out)
+	}
+	if n := det.EvictExpired(base.Add(2 * time.Minute)); n != 6 {
+		t.Fatalf("EvictExpired drained %d points, want 6", n)
+	}
+	if st := det.Stats(); st.Len != 0 {
+		t.Fatalf("window not empty after TTL drain: %+v", st)
+	}
+}
