@@ -13,6 +13,7 @@ package dod
 // regenerating that figure at bench scale, not a paper quantity.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -174,7 +175,7 @@ func BenchmarkAblationSupportArea(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := core.Run(input, core.Config{
+				rep, err := core.Run(context.Background(), input, core.Config{
 					Params:  detect.Params{R: 5, K: 4},
 					Planner: plan.UniSpace,
 					PlanOpts: plan.Options{
@@ -293,7 +294,7 @@ func BenchmarkAblationSampleRate(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := core.Run(input, core.Config{
+				rep, err := core.Run(context.Background(), input, core.Config{
 					Params:     detect.Params{R: 5, K: 4},
 					Planner:    plan.DMT,
 					PlanOpts:   plan.Options{NumReducers: 8},
@@ -356,7 +357,7 @@ func BenchmarkAblationCandidateSet(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := core.Run(input, core.Config{
+				rep, err := core.Run(context.Background(), input, core.Config{
 					Params:  detect.Params{R: 5, K: 4},
 					Planner: plan.DMT,
 					PlanOpts: plan.Options{

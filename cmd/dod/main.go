@@ -7,7 +7,8 @@
 //	    [-sample 0.005] [-seed 1] [-stats] input.csv
 //
 // The input is one point per line: id,x1,x2,...  Output is one outlier ID
-// per line on stdout; -stats adds an execution report on stderr.
+// per line on stdout; -stats adds an execution report and the run's stage
+// trace on stderr.
 package main
 
 import (
@@ -21,35 +22,35 @@ import (
 )
 
 func main() {
+	// Detector and Strategy implement flag.Value, so the flags parse and
+	// validate themselves (any case, hyphens optional).
+	detector := dod.CellBased
+	strategy := dod.StrategyDMT
 	var (
 		r        = flag.Float64("r", 0, "distance threshold (required)")
 		k        = flag.Int("k", 0, "neighbor-count threshold (required)")
-		strategy = flag.String("strategy", "DMT", "partitioning strategy: Domain | uniSpace | DDriven | CDriven | DMT")
-		detector = flag.String("detector", "CellBased", "detector for single-tactic strategies: NestedLoop | CellBased | CellBasedL2 | KDTree | BruteForce")
 		reducers = flag.Int("reducers", 8, "number of reduce tasks")
 		sample   = flag.Float64("sample", 0.05, "preprocessing sampling rate Υ")
 		seed     = flag.Int64("seed", 1, "random seed")
-		stats    = flag.Bool("stats", false, "print an execution report to stderr")
+		stats    = flag.Bool("stats", false, "print an execution report and stage trace to stderr")
 		planOut  = flag.String("plan", "", "write the generated partition plan as JSON to this file")
 	)
+	flag.Var(&strategy, "strategy", "partitioning strategy: Domain | uniSpace | DDriven | CDriven | DMT")
+	flag.Var(&detector, "detector", "detector for single-tactic strategies: NestedLoop | CellBased | CellBasedL2 | KDTree | BruteForce")
 	flag.Parse()
 
-	if err := run(*r, *k, *strategy, *detector, *reducers, *sample, *seed, *stats, *planOut, flag.Args()); err != nil {
+	if err := run(*r, *k, strategy, detector, *reducers, *sample, *seed, *stats, *planOut, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "dod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(r float64, k int, strategy, detector string, reducers int, sample float64, seed int64, stats bool, planOut string, args []string) error {
+func run(r float64, k int, strategy dod.Strategy, detector dod.Detector, reducers int, sample float64, seed int64, stats bool, planOut string, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("expected exactly one input CSV file, got %d args", len(args))
 	}
 	if r <= 0 || k < 1 {
 		return fmt.Errorf("both -r (> 0) and -k (>= 1) are required")
-	}
-	det, err := parseDetector(detector)
-	if err != nil {
-		return err
 	}
 
 	f, err := os.Open(args[0])
@@ -65,8 +66,8 @@ func run(r float64, k int, strategy, detector string, reducers int, sample float
 	res, err := dod.Detect(points, dod.Config{
 		R:           r,
 		K:           k,
-		Strategy:    dod.Strategy(strategy),
-		Detector:    det,
+		Strategy:    strategy,
+		Detector:    detector,
 		NumReducers: reducers,
 		SampleRate:  sample,
 		Seed:        seed,
@@ -94,23 +95,7 @@ func run(r float64, k int, strategy, detector string, reducers int, sample float
 			rep.Simulated.Preprocess, rep.Simulated.Map, rep.Simulated.Shuffle, rep.Simulated.Reduce, rep.Simulated.Total())
 		fmt.Fprintf(os.Stderr, "shuffle: %d records (%d bytes); support records: %d; distance computations: %d; reduce imbalance: %.2f\n",
 			rep.ShuffleRecords, rep.ShuffleBytes, rep.SupportRecords, rep.DistComps, rep.ReduceImbalance)
+		fmt.Fprint(os.Stderr, rep.Trace.String())
 	}
 	return nil
-}
-
-func parseDetector(name string) (dod.Detector, error) {
-	switch name {
-	case "NestedLoop", "Nested-Loop":
-		return dod.NestedLoop, nil
-	case "CellBased", "Cell-Based":
-		return dod.CellBased, nil
-	case "CellBasedL2", "Cell-Based-L2":
-		return dod.CellBasedL2, nil
-	case "KDTree", "KD-Tree":
-		return dod.KDTree, nil
-	case "BruteForce":
-		return dod.BruteForce, nil
-	default:
-		return 0, fmt.Errorf("unknown detector %q", name)
-	}
 }

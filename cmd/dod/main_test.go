@@ -14,6 +14,7 @@ func TestParseDetector(t *testing.T) {
 	cases := map[string]dod.Detector{
 		"NestedLoop":    dod.NestedLoop,
 		"Nested-Loop":   dod.NestedLoop,
+		"nestedloop":    dod.NestedLoop,
 		"CellBased":     dod.CellBased,
 		"Cell-Based":    dod.CellBased,
 		"CellBasedL2":   dod.CellBasedL2,
@@ -23,16 +24,41 @@ func TestParseDetector(t *testing.T) {
 		"BruteForce":    dod.BruteForce,
 	}
 	for name, want := range cases {
-		got, err := parseDetector(name)
+		got, err := dod.ParseDetector(name)
 		if err != nil {
-			t.Errorf("parseDetector(%q): %v", name, err)
+			t.Errorf("ParseDetector(%q): %v", name, err)
 		}
 		if got != want {
-			t.Errorf("parseDetector(%q) = %v, want %v", name, got, want)
+			t.Errorf("ParseDetector(%q) = %v, want %v", name, got, want)
 		}
 	}
-	if _, err := parseDetector("bogus"); err == nil {
+	if _, err := dod.ParseDetector("bogus"); err == nil {
 		t.Error("bogus detector accepted")
+	}
+}
+
+// TestFlagValueRoundTrip drives the flag.Value implementations the command
+// registers with flag.Var.
+func TestFlagValueRoundTrip(t *testing.T) {
+	det := dod.CellBased
+	if err := det.Set("kd-tree"); err != nil {
+		t.Fatal(err)
+	}
+	if det != dod.KDTree || det.String() != "KD-Tree" {
+		t.Errorf("detector Set/String round-trip: %v %q", det, det.String())
+	}
+	if err := det.Set("nope"); err == nil {
+		t.Error("bad detector accepted by Set")
+	}
+	strat := dod.StrategyDMT
+	if err := strat.Set("unispace"); err != nil {
+		t.Fatal(err)
+	}
+	if strat != dod.StrategyUniSpace || strat.String() != "uniSpace" {
+		t.Errorf("strategy Set/String round-trip: %v %q", strat, strat.String())
+	}
+	if err := strat.Set("nope"); err == nil {
+		t.Error("bad strategy accepted by Set")
 	}
 }
 
@@ -52,7 +78,7 @@ func writeTestCSV(t *testing.T) string {
 
 func TestRunEndToEnd(t *testing.T) {
 	path := writeTestCSV(t)
-	if err := run(5, 4, "DMT", "CellBased", 4, 1.0, 1, true, "", []string{path}); err != nil {
+	if err := run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1.0, 1, true, "", []string{path}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -60,7 +86,7 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunWritesPlanJSON(t *testing.T) {
 	path := writeTestCSV(t)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
-	if err := run(5, 4, "DMT", "CellBased", 4, 1.0, 1, false, planPath, []string{path}); err != nil {
+	if err := run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1.0, 1, false, planPath, []string{path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(planPath)
@@ -85,13 +111,16 @@ func TestRunValidation(t *testing.T) {
 		name string
 		err  func() error
 	}{
-		{"no args", func() error { return run(5, 4, "DMT", "CellBased", 4, 1, 1, false, "", nil) }},
-		{"two args", func() error { return run(5, 4, "DMT", "CellBased", 4, 1, 1, false, "", []string{"a", "b"}) }},
-		{"bad r", func() error { return run(0, 4, "DMT", "CellBased", 4, 1, 1, false, "", []string{path}) }},
-		{"bad k", func() error { return run(5, 0, "DMT", "CellBased", 4, 1, 1, false, "", []string{path}) }},
-		{"bad detector", func() error { return run(5, 4, "DMT", "nope", 4, 1, 1, false, "", []string{path}) }},
-		{"bad strategy", func() error { return run(5, 4, "nope", "CellBased", 4, 1, 1, false, "", []string{path}) }},
-		{"missing file", func() error { return run(5, 4, "DMT", "CellBased", 4, 1, 1, false, "", []string{"/nope.csv"}) }},
+		{"no args", func() error { return run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", nil) }},
+		{"two args", func() error { return run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", []string{"a", "b"}) }},
+		{"bad r", func() error { return run(0, 4, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", []string{path}) }},
+		{"bad k", func() error { return run(5, 0, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", []string{path}) }},
+		{"bad strategy", func() error {
+			return run(5, 4, dod.Strategy("nope"), dod.CellBased, 4, 1, 1, false, "", []string{path})
+		}},
+		{"missing file", func() error {
+			return run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", []string{"/nope.csv"})
+		}},
 	}
 	for _, tc := range cases {
 		if err := tc.err(); err == nil {

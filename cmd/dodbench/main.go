@@ -17,6 +17,8 @@ import (
 	"os"
 	"strings"
 
+	"dod"
+	"dod/internal/detect"
 	"dod/internal/experiments"
 )
 
@@ -25,8 +27,30 @@ type figList []string
 func (f *figList) String() string     { return strings.Join(*f, ",") }
 func (f *figList) Set(v string) error { *f = append(*f, v); return nil }
 
+// detectorList collects repeatable -candidate flags, each parsed through
+// the public name registry.
+type detectorList []detect.Kind
+
+func (d *detectorList) String() string {
+	names := make([]string, len(*d))
+	for i, k := range *d {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ",")
+}
+
+func (d *detectorList) Set(v string) error {
+	k, err := dod.ParseDetector(v)
+	if err != nil {
+		return err
+	}
+	*d = append(*d, k)
+	return nil
+}
+
 func main() {
 	var figs figList
+	var candidates detectorList
 	var (
 		segmentN    = flag.Int("segment-n", 20000, "points per dataset segment (Figs. 7, 9a)")
 		baseN       = flag.Int("base-n", 4000, "per-segment points of the hierarchical levels (Figs. 8, 9b)")
@@ -38,6 +62,7 @@ func main() {
 	)
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV (figure,series,x,y) instead of tables")
 	flag.Var(&figs, "fig", "figure to run (4, 5, 7a, 7b, 8a, 8b, 9a, 9b, 10a, 10b, g=generality); repeatable; default all")
+	flag.Var(&candidates, "candidate", "detector candidate for DMT's per-partition choice (NestedLoop, CellBased, ...); repeatable; default NestedLoop+CellBased")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -48,6 +73,7 @@ func main() {
 		Partitions:  *partitions,
 		Seed:        *seed,
 		Parallelism: *parallelism,
+		Candidates:  candidates,
 	}
 	if err := run(cfg, figs, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dodbench:", err)

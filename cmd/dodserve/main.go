@@ -16,9 +16,13 @@
 //	POST /v1/score    same body; points are scored against the current
 //	                  window without being ingested.
 //	GET  /healthz     liveness.
-//	GET  /statsz      counters and p50/p99 latency histograms.
+//	GET  /statsz      counters and p50/p99 latency histograms (JSON).
+//	GET  /metrics     Prometheus text exposition of every instrument:
+//	                  request/line counters, latency histograms, window
+//	                  occupancy, index ring-expansion depths.
 //
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// -pprof additionally mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
@@ -47,6 +51,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "index shard count (0 = default)")
 		workers  = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 0, "max NDJSON lines per request (0 = default)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -59,8 +64,9 @@ func main() {
 			TTL:      *ttl,
 			Shards:   *shards,
 		},
-		Workers:  *workers,
-		MaxBatch: *maxBatch,
+		Workers:     *workers,
+		MaxBatch:    *maxBatch,
+		EnablePprof: *pprofOn,
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dodserve:", err)

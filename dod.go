@@ -23,14 +23,17 @@
 package dod
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"sort"
+	"strings"
+	"time"
 
 	"dod/internal/cluster"
 	"dod/internal/core"
 	"dod/internal/detect"
 	"dod/internal/dshc"
+	"dod/internal/errs"
 	"dod/internal/geom"
 	"dod/internal/plan"
 )
@@ -56,8 +59,23 @@ const (
 	CellBasedL2 = detect.CellBasedL2
 )
 
-// Strategy names a partitioning strategy (Sec. VI-A).
+// Strategy names a partitioning strategy (Sec. VI-A). It implements
+// flag.Value, so a *Strategy can be passed directly to flag.Var.
 type Strategy string
+
+// String returns the strategy's canonical name.
+func (s Strategy) String() string { return string(s) }
+
+// Set parses name into the receiver; it accepts any case and makes
+// *Strategy a flag.Value.
+func (s *Strategy) Set(name string) error {
+	parsed, err := ParseStrategy(name)
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
 
 // The partitioning strategies evaluated in the paper.
 const (
@@ -126,12 +144,68 @@ type Config struct {
 	FailureRate float64
 }
 
+// ParseDetector resolves a detector name ("NestedLoop", "cell-based",
+// "kdtree", ...) to its Detector; matching ignores case and hyphens. It is
+// the inverse of Detector.String, and Detector implements flag.Value, so
+// command-line tools can accept detector flags without hand-rolled
+// switches. Unknown names return an error matching ErrBadParams.
+func ParseDetector(name string) (Detector, error) { return detect.ParseKind(name) }
+
+// ParseStrategy resolves a strategy name ("DMT", "unispace", ...) to its
+// Strategy; matching ignores case. It is the inverse of Strategy.String.
+// Unknown names return an error matching ErrBadParams.
+func ParseStrategy(name string) (Strategy, error) {
+	all := []Strategy{StrategyDomain, StrategyUniSpace, StrategyDDriven, StrategyCDriven, StrategyDMT}
+	for _, s := range all {
+		if strings.EqualFold(name, string(s)) {
+			return s, nil
+		}
+	}
+	return "", errs.BadParams("unknown strategy %q", name)
+}
+
 // Result is the outcome of a detection run.
 type Result struct {
 	// OutlierIDs are the IDs of all distance-threshold outliers, sorted.
 	OutlierIDs []uint64
 	// Report profiles the distributed execution.
 	Report *core.Report
+}
+
+// TraceSpan is one timed stage of a detection run: "preprocess", "plan",
+// "map", "shuffle", "reduce", or one "partition.detect" per partition.
+type TraceSpan struct {
+	// Name identifies the stage.
+	Name string
+	// Start is the stage's wall-clock start.
+	Start time.Time
+	// Duration is the stage's length.
+	Duration time.Duration
+	// Attrs annotate the stage: partition id, chosen detector, record and
+	// distance-computation counts, ...
+	Attrs map[string]string
+}
+
+// Trace returns the run's execution trace: every pipeline stage and every
+// per-partition detector invocation, in recording order. It returns nil if
+// the run recorded no trace.
+func (r *Result) Trace() []TraceSpan {
+	if r.Report == nil || r.Report.Trace == nil {
+		return nil
+	}
+	spans := r.Report.Trace.Spans()
+	out := make([]TraceSpan, len(spans))
+	for i, s := range spans {
+		ts := TraceSpan{Name: s.Name, Start: s.Start, Duration: s.Duration}
+		if len(s.Attrs) > 0 {
+			ts.Attrs = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ts.Attrs[a.Key] = a.Value
+			}
+		}
+		out[i] = ts
+	}
+	return out
 }
 
 // IsOutlier reports whether the given point ID was classified an outlier.
@@ -151,8 +225,18 @@ func (r *Result) IsOutlier(id uint64) bool {
 // Detect finds all distance-threshold outliers in points. Point IDs must be
 // unique; verdicts refer to them. Empty datasets and duplicate IDs are
 // rejected (a duplicated ID would silently corrupt neighbor counts, since
-// detectors treat equal IDs as the same point).
+// detectors treat equal IDs as the same point): the returned errors match
+// ErrEmptyDataset and ErrDuplicateID.
 func Detect(points []Point, cfg Config) (*Result, error) {
+	return DetectContext(context.Background(), points, cfg)
+}
+
+// DetectContext is Detect with cooperative cancellation: once ctx is done,
+// the run stops dispatching MapReduce tasks, stops between pipeline stages
+// and between reduce key groups, and returns ctx.Err(). Work already
+// running on worker goroutines finishes its current partition before the
+// call returns.
+func DetectContext(ctx context.Context, points []Point, cfg Config) (*Result, error) {
 	if err := validatePoints(points); err != nil {
 		return nil, err
 	}
@@ -176,8 +260,13 @@ func Detect(points []Point, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := core.Run(input, coreCfg)
+	rep, err := core.Run(ctx, input, coreCfg)
 	if err != nil {
+		// A cancelled run surfaces as exactly ctx.Err(), however deep in
+		// the pipeline the cancellation was observed.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	return &Result{OutlierIDs: rep.Outliers, Report: rep}, nil
@@ -208,12 +297,12 @@ func sortIDs(ids []uint64) {
 // answers for: empty datasets and duplicate point IDs.
 func validatePoints(points []Point) error {
 	if len(points) == 0 {
-		return fmt.Errorf("dod: empty dataset")
+		return errs.ErrEmptyDataset
 	}
 	seen := make(map[uint64]struct{}, len(points))
 	for _, p := range points {
 		if _, dup := seen[p.ID]; dup {
-			return fmt.Errorf("dod: duplicate point ID %d", p.ID)
+			return &errs.DuplicateIDError{ID: p.ID}
 		}
 		seen[p.ID] = struct{}{}
 	}

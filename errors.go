@@ -1,0 +1,34 @@
+package dod
+
+import "dod/internal/errs"
+
+// The sentinel errors of the dod API. Every rejection across the package —
+// batch detection, streaming windows, the serving layer — is matchable
+// against one of these with errors.Is, regardless of which layer produced
+// it or how it was wrapped.
+var (
+	// ErrEmptyDataset is returned by Detect and DetectContext for a
+	// zero-length dataset.
+	ErrEmptyDataset = errs.ErrEmptyDataset
+	// ErrDuplicateID is returned when two points carry the same ID — in a
+	// batch dataset or within a streaming window. The concrete error is a
+	// *DuplicateIDError carrying the offending ID (use errors.As).
+	ErrDuplicateID = errs.ErrDuplicateID
+	// ErrDimMismatch is returned when a point's dimensionality disagrees
+	// with the detector or window it is offered to. The concrete error is a
+	// *DimMismatchError carrying the got/want dimensions (use errors.As).
+	ErrDimMismatch = errs.ErrDimMismatch
+	// ErrBadParams is returned for invalid configuration: r <= 0, k < 1,
+	// unknown detector or strategy names, bad window bounds, ...
+	ErrBadParams = errs.ErrBadParams
+	// ErrClosed is returned when a StreamDetector is used after Close.
+	ErrClosed = errs.ErrClosed
+)
+
+// DuplicateIDError is the concrete error behind ErrDuplicateID; it carries
+// the point ID that appeared twice.
+type DuplicateIDError = errs.DuplicateIDError
+
+// DimMismatchError is the concrete error behind ErrDimMismatch; it carries
+// the offending point's ID and the got/want dimensions.
+type DimMismatchError = errs.DimMismatchError

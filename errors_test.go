@@ -1,0 +1,120 @@
+package dod
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestErrEmptyDataset(t *testing.T) {
+	_, err := Detect(nil, Config{R: 5, K: 4})
+	if !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("Detect(nil) = %v, want ErrEmptyDataset", err)
+	}
+	if _, err := DetectCentralized(nil, CellBased, 5, 4); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("DetectCentralized(nil) = %v, want ErrEmptyDataset", err)
+	}
+}
+
+func TestErrDuplicateID(t *testing.T) {
+	pts := []Point{
+		{ID: 7, Coords: []float64{0, 0}},
+		{ID: 7, Coords: []float64{1, 1}},
+	}
+	_, err := Detect(pts, Config{R: 5, K: 4})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v, want ErrDuplicateID", err)
+	}
+	var dup *DuplicateIDError
+	if !errors.As(err, &dup) {
+		t.Fatalf("err = %v, want *DuplicateIDError", err)
+	}
+	if dup.ID != 7 {
+		t.Errorf("DuplicateIDError.ID = %d, want 7", dup.ID)
+	}
+}
+
+func TestErrBadParams(t *testing.T) {
+	pts := testDataset(100, 1)
+	cases := map[string]error{}
+	_, cases["zero r"] = Detect(pts, Config{R: 0, K: 4})
+	_, cases["negative r"] = Detect(pts, Config{R: -1, K: 4})
+	_, cases["zero k"] = Detect(pts, Config{R: 5, K: 0})
+	_, cases["unknown detector"] = ParseDetector("nope")
+	_, cases["unknown strategy"] = ParseStrategy("nope")
+	_, cases["bad stream config"] = NewStreamDetector(StreamConfig{R: 5, K: 4, Dim: 2})
+	for name, err := range cases {
+		if !errors.Is(err, ErrBadParams) {
+			t.Errorf("%s: err = %v, want ErrBadParams", name, err)
+		}
+	}
+}
+
+func TestStreamErrDimMismatch(t *testing.T) {
+	d, err := NewStreamDetector(StreamConfig{R: 5, K: 4, Dim: 2, WindowCapacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	_, err = d.Process(Point{ID: 1, Coords: []float64{1, 2, 3}})
+	if !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("err = %v, want ErrDimMismatch", err)
+	}
+	var dim *DimMismatchError
+	if !errors.As(err, &dim) {
+		t.Fatalf("err = %v, want *DimMismatchError", err)
+	}
+	if dim.ID != 1 || dim.Got != 3 || dim.Want != 2 {
+		t.Errorf("DimMismatchError = %+v, want {ID:1 Got:3 Want:2}", dim)
+	}
+	if _, err := d.Score(Point{ID: 2, Coords: []float64{1}}); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("Score err = %v, want ErrDimMismatch", err)
+	}
+}
+
+func TestStreamErrDuplicateID(t *testing.T) {
+	d, err := NewStreamDetector(StreamConfig{R: 5, K: 4, Dim: 2, WindowCapacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Process(Point{ID: 3, Coords: []float64{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Process(Point{ID: 3, Coords: []float64{1, 1}})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v, want ErrDuplicateID", err)
+	}
+	var dup *DuplicateIDError
+	if !errors.As(err, &dup) || dup.ID != 3 {
+		t.Fatalf("err = %v, want *DuplicateIDError with ID 3", err)
+	}
+}
+
+func TestStreamDetectorClose(t *testing.T) {
+	d, err := NewStreamDetector(StreamConfig{R: 5, K: 4, Dim: 2, WindowCapacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Process(Point{ID: 1, Coords: []float64{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := d.Process(Point{ID: 2, Coords: []float64{1, 1}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Process after Close = %v, want ErrClosed", err)
+	}
+	if _, err := d.Score(Point{ID: 2, Coords: []float64{1, 1}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Score after Close = %v, want ErrClosed", err)
+	}
+	// Inspection still works on a closed detector.
+	if snap := d.Snapshot(); len(snap.Points) != 1 {
+		t.Errorf("Snapshot after Close: %d points, want 1", len(snap.Points))
+	}
+	if st := d.Stats(); st.Ingested != 1 {
+		t.Errorf("Stats after Close: Ingested = %d, want 1", st.Ingested)
+	}
+}

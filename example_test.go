@@ -1,0 +1,48 @@
+package dod_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dod"
+)
+
+// ExampleParseDetector shows name→Detector resolution; matching ignores
+// case and hyphens, so flag and config values round-trip through String.
+func ExampleParseDetector() {
+	det, err := dod.ParseDetector("cell-based")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(det)
+
+	if _, err := dod.ParseDetector("nope"); err != nil {
+		fmt.Println("unknown names are rejected")
+	}
+	// Output:
+	// Cell-Based
+	// unknown names are rejected
+}
+
+// ExampleDetectContext runs the distributed pipeline under a deadline: a
+// 10×10 unit grid plus one isolated point, which is the only outlier.
+func ExampleDetectContext() {
+	var points []dod.Point
+	for i := 0; i < 100; i++ {
+		points = append(points, dod.Point{
+			ID:     uint64(i),
+			Coords: []float64{float64(i % 10), float64(i / 10)},
+		})
+	}
+	points = append(points, dod.Point{ID: 999, Coords: []float64{50, 50}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := dod.DetectContext(ctx, points, dod.Config{R: 3, K: 4, SampleRate: 1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.OutlierIDs)
+	// Output: [999]
+}

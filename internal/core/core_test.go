@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -66,7 +67,7 @@ func TestDistributedMatchesCentralized(t *testing.T) {
 	}
 	for _, planner := range allPlanners {
 		for _, det := range []detect.Kind{detect.NestedLoop, detect.CellBased} {
-			rep, err := Run(input, Config{
+			rep, err := Run(context.Background(), input, Config{
 				Params:  testParams,
 				Planner: planner,
 				PlanOpts: plan.Options{
@@ -96,7 +97,7 @@ func TestDistributedMatchesCentralizedAcrossScales(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := Run(input, Config{
+		rep, err := Run(context.Background(), input, Config{
 			Params:     testParams,
 			Planner:    plan.DMT,
 			PlanOpts:   plan.Options{NumReducers: 3},
@@ -122,7 +123,7 @@ func TestDistributedWithSampledStatistics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, planner := range []plan.Planner{plan.DDriven, plan.CDriven, plan.DMT} {
-		rep, err := Run(input, Config{
+		rep, err := Run(context.Background(), input, Config{
 			Params:     testParams,
 			Planner:    planner,
 			PlanOpts:   plan.Options{NumReducers: 4, NumPartitions: 16, Detector: detect.CellBased},
@@ -145,7 +146,7 @@ func TestDistributedSurvivesTaskFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:      testParams,
 		Planner:     plan.DMT,
 		PlanOpts:    plan.Options{NumReducers: 4},
@@ -167,7 +168,7 @@ func TestDomainBaselineTwoJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:   testParams,
 		Planner:  plan.Domain,
 		PlanOpts: plan.Options{NumReducers: 4, NumPartitions: 9, Detector: detect.NestedLoop},
@@ -190,7 +191,7 @@ func TestDomainBaselineTwoJobs(t *testing.T) {
 func TestSinglePassPlannersRunOneDetectionJob(t *testing.T) {
 	points := makeSkewed(500, 17)
 	input, _ := InputFromPoints(points, 100)
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:     testParams,
 		Planner:    plan.UniSpace,
 		PlanOpts:   plan.Options{NumReducers: 2, NumPartitions: 4, Detector: detect.CellBased},
@@ -214,7 +215,7 @@ func TestSinglePassPlannersRunOneDetectionJob(t *testing.T) {
 func TestDMTReportsPreprocessing(t *testing.T) {
 	points := makeSkewed(2000, 21)
 	input, _ := InputFromPoints(points, 200)
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:     testParams,
 		Planner:    plan.DMT,
 		PlanOpts:   plan.Options{NumReducers: 4},
@@ -241,7 +242,7 @@ func TestDMTReportsPreprocessing(t *testing.T) {
 func TestRunValidatesParams(t *testing.T) {
 	points := makeSkewed(100, 25)
 	input, _ := InputFromPoints(points, 50)
-	if _, err := Run(input, Config{Params: detect.Params{R: -1, K: 2}}); err == nil {
+	if _, err := Run(context.Background(), input, Config{Params: detect.Params{R: -1, K: 2}}); err == nil {
 		t.Error("invalid params accepted")
 	}
 }
@@ -286,7 +287,7 @@ func TestDFSRoundTrip(t *testing.T) {
 	}
 	// End-to-end through DFS input must match the in-memory path.
 	want := bruteForceIDs(points, testParams)
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:     testParams,
 		Planner:    plan.DMT,
 		PlanOpts:   plan.Options{NumReducers: 3},
@@ -336,7 +337,7 @@ func TestHigherDimensionalEndToEnd(t *testing.T) {
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 
 	input, _ := InputFromPoints(pts, 100)
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:        params,
 		Planner:       plan.DMT,
 		PlanOpts:      plan.Options{NumReducers: 3},

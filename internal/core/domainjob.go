@@ -3,11 +3,13 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"dod/internal/codec"
 	"dod/internal/detect"
 	"dod/internal/geom"
 	"dod/internal/mapreduce"
+	"dod/internal/obs"
 	"dod/internal/plan"
 )
 
@@ -77,7 +79,7 @@ func nearBoundary(rect geom.Rect, p geom.Point, r float64) bool {
 // classifies each local outlier as final (interior) or candidate (border).
 // Candidates get an exact local neighbor count via a direct scan — an extra
 // cost the baseline realistically pays for lacking supporting areas.
-func domainJob1Reducer(pl *plan.Plan, params detect.Params, seed int64) mapreduce.ReducerFunc {
+func domainJob1Reducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.Trace) mapreduce.ReducerFunc {
 	return func(ctx *mapreduce.TaskContext, key uint64, values [][]byte, emit mapreduce.Emit) error {
 		core, _, err := decodeTaggedGroup(values)
 		if err != nil {
@@ -85,7 +87,14 @@ func domainJob1Reducer(pl *plan.Plan, params detect.Params, seed int64) mapreduc
 		}
 		part := pl.Partitions[key]
 		detector := detect.New(part.Algo, seed+int64(key))
+		start := time.Now()
 		res := detector.Detect(core, nil, params)
+		tr.Add("partition.detect", start, time.Since(start),
+			obs.Int("partition", int64(key)),
+			obs.Str("algo", part.Algo.String()),
+			obs.Int("core", int64(len(core))),
+			obs.Int("distcomps", res.Stats.DistComps),
+			obs.Int("outliers", int64(len(res.OutlierIDs))))
 		work := res.Stats.Cost() + int64(len(values))
 
 		byID := make(map[uint64]geom.Point, len(res.OutlierIDs))

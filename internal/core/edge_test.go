@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -17,7 +18,7 @@ func runDMT(t *testing.T, points []geom.Point, params detect.Params) *Report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:     params,
 		Planner:    plan.DMT,
 		PlanOpts:   plan.Options{NumReducers: 3},
@@ -115,7 +116,7 @@ func TestAllDetectorKindsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, det := range []detect.Kind{detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.KDTree, detect.Pivot} {
-		rep, err := Run(input, Config{
+		rep, err := Run(context.Background(), input, Config{
 			Params:     testParams,
 			Planner:    plan.CDriven,
 			PlanOpts:   plan.Options{NumReducers: 4, NumPartitions: 12, Detector: det},
@@ -138,7 +139,7 @@ func TestExtendedCandidateSetEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:  testParams,
 		Planner: plan.DMT,
 		PlanOpts: plan.Options{
@@ -172,7 +173,7 @@ func TestManyReducersFewPoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:     testParams,
 		Planner:    plan.DMT,
 		PlanOpts:   plan.Options{NumReducers: 32}, // more reducers than natural partitions

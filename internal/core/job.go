@@ -3,11 +3,13 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"dod/internal/codec"
 	"dod/internal/detect"
 	"dod/internal/geom"
 	"dod/internal/mapreduce"
+	"dod/internal/obs"
 	"dod/internal/plan"
 )
 
@@ -49,8 +51,9 @@ func detectionMapper(pl *plan.Plan) mapreduce.MapperFunc {
 
 // detectionReducer implements the reduce function of Fig. 3: split the
 // group into core and support lists, run the partition's assigned detector,
-// and report outliers among the core points.
-func detectionReducer(pl *plan.Plan, params detect.Params, seed int64) mapreduce.ReducerFunc {
+// and report outliers among the core points. Each partition's detector
+// choice and runtime is recorded as a "partition.detect" span on tr.
+func detectionReducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.Trace) mapreduce.ReducerFunc {
 	return func(ctx *mapreduce.TaskContext, key uint64, values [][]byte, emit mapreduce.Emit) error {
 		if key >= uint64(len(pl.Partitions)) {
 			return fmt.Errorf("core: reduce key %d out of range (%d partitions)", key, len(pl.Partitions))
@@ -61,7 +64,15 @@ func detectionReducer(pl *plan.Plan, params detect.Params, seed int64) mapreduce
 		}
 		part := pl.Partitions[key]
 		detector := detect.New(part.Algo, seed+int64(key))
+		start := time.Now()
 		res := detector.Detect(core, support, params)
+		tr.Add("partition.detect", start, time.Since(start),
+			obs.Int("partition", int64(key)),
+			obs.Str("algo", part.Algo.String()),
+			obs.Int("core", int64(len(core))),
+			obs.Int("support", int64(len(support))),
+			obs.Int("distcomps", res.Stats.DistComps),
+			obs.Int("outliers", int64(len(res.OutlierIDs))))
 		for _, id := range res.OutlierIDs {
 			emit(key, binary.AppendUvarint(nil, id))
 		}

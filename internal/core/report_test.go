@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dod/internal/cluster"
@@ -14,7 +15,7 @@ func TestReportAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(input, Config{
+	rep, err := Run(context.Background(), input, Config{
 		Params:     testParams,
 		Planner:    plan.DMT,
 		PlanOpts:   plan.Options{NumReducers: 4},
@@ -43,7 +44,7 @@ func TestReportAccounting(t *testing.T) {
 	}
 	// Simulated times are derived from deterministic counters: two
 	// identical runs must agree exactly.
-	rep2, err := Run(input, Config{
+	rep2, err := Run(context.Background(), input, Config{
 		Params:     testParams,
 		Planner:    plan.DMT,
 		PlanOpts:   plan.Options{NumReducers: 4},
@@ -65,7 +66,7 @@ func TestCustomClusterConfig(t *testing.T) {
 	points := makeSkewed(800, 75)
 	input, _ := InputFromPoints(points, 100)
 	run := func(nodes int) *Report {
-		rep, err := Run(input, Config{
+		rep, err := Run(context.Background(), input, Config{
 			Params:     testParams,
 			Planner:    plan.CDriven,
 			PlanOpts:   plan.Options{NumReducers: 8, NumPartitions: 16, Detector: detect.NestedLoop},

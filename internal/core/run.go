@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"dod/internal/detect"
 	"dod/internal/geom"
 	"dod/internal/mapreduce"
+	"dod/internal/obs"
 	"dod/internal/plan"
 	"dod/internal/sample"
 )
@@ -68,10 +70,18 @@ type Report struct {
 	Plan     *plan.Plan
 	Outliers []uint64 // sorted IDs
 
+	// Trace is the structured execution record: one span per pipeline
+	// stage ("preprocess", "plan", "map", "shuffle", "reduce") plus one
+	// "partition.detect" span per partition annotated with the chosen
+	// detector and its work counters. The Wall breakdown below is derived
+	// from it.
+	Trace *obs.Trace
+
 	// Simulated is the paper-comparable stage breakdown: per-task work
 	// counters replayed through the cluster simulator.
 	Simulated cluster.PhaseBreakdown
-	// Wall is the in-process wall-clock breakdown of the same stages.
+	// Wall is the in-process wall-clock breakdown of the same stages,
+	// derived from Trace.
 	Wall cluster.PhaseBreakdown
 
 	ShuffleBytes   int64
@@ -90,7 +100,12 @@ type Report struct {
 // preprocessing job (when the planner needs statistics), the single-pass
 // detection job, and — for the Domain baseline — the second verification
 // job.
-func Run(input *Input, cfg Config) (*Report, error) {
+//
+// Cancellation is cooperative: between pipeline stages and between reduce
+// key groups, ctx is polled and the run aborts with ctx's error. Every run
+// records a structured trace (Report.Trace) from which the Wall breakdown
+// is derived.
+func Run(ctx context.Context, input *Input, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -99,7 +114,8 @@ func Run(input *Input, cfg Config) (*Report, error) {
 		cfg.Planner = plan.DMT
 	}
 
-	rep := &Report{}
+	tr := obs.NewTrace("dod.run")
+	rep := &Report{Trace: tr}
 
 	// ---- Preprocessing: sampling + plan generation ----
 	var hist *sample.Histogram
@@ -110,9 +126,12 @@ func Run(input *Input, cfg Config) (*Report, error) {
 			Rate:          cfg.SampleRate,
 			Seed:          cfg.Seed,
 		}
+		sp := tr.Start("preprocess").SetAttr(
+			obs.Int("splits", int64(len(input.Splits))),
+			obs.Int("buckets_per_dim", int64(cfg.BucketsPerDim)))
 		var res *mapreduce.Result
 		var err error
-		hist, res, err = sample.RunJob(sCfg, mapreduce.Config{
+		hist, res, err = sample.RunJobContext(ctx, sCfg, mapreduce.Config{
 			Parallelism: cfg.Parallelism,
 			FailureRate: cfg.FailureRate,
 			Seed:        cfg.Seed + 1,
@@ -120,23 +139,33 @@ func Run(input *Input, cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: preprocessing: %w", err)
 		}
+		sp.SetAttr(obs.Int("sampled", res.Metrics.Counter("sample.sampled"))).End()
 		pre := simulateJob(cfg.Cluster, res, input.Splits)
 		rep.Simulated.Preprocess = pre.Map + pre.Shuffle + pre.Reduce
-		rep.Wall.Preprocess = res.Metrics.MapWall + res.Metrics.ShuffleWall + res.Metrics.ReduceWall
 		rep.NumJobs++
 	} else {
 		// Domain/uniSpace only need the domain rectangle.
 		grid := geom.NewGrid(input.Domain, dimsFor(input.Domain.Dim(), cfg.BucketsPerDim))
 		hist = &sample.Histogram{Grid: grid, Counts: make([]float64, grid.NumCells()), Rate: 1}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	opts := cfg.PlanOpts
 	opts.Params = cfg.Params
+	psp := tr.Start("plan").SetAttr(obs.Str("planner", cfg.Planner.Name()))
 	pl, err := cfg.Planner.Build(hist, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: planning: %w", err)
 	}
+	psp.SetAttr(
+		obs.Int("partitions", int64(len(pl.Partitions))),
+		obs.Int("reducers", int64(pl.NumReducers))).End()
 	rep.Plan = pl
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// ---- Detection job (single pass, Fig. 2/3) ----
 	mrCfg := mapreduce.Config{
@@ -148,7 +177,7 @@ func Run(input *Input, cfg Config) (*Report, error) {
 	}
 
 	if pl.SupportR > 0 {
-		res, err := mapreduce.Run(mrCfg, input.Splits, detectionMapper(pl), detectionReducer(pl, cfg.Params, cfg.Seed))
+		res, err := mapreduce.RunContext(ctx, mrCfg, input.Splits, detectionMapper(pl), detectionReducer(pl, cfg.Params, cfg.Seed, tr))
 		if err != nil {
 			return nil, fmt.Errorf("core: detection: %w", err)
 		}
@@ -157,10 +186,10 @@ func Run(input *Input, cfg Config) (*Report, error) {
 			return nil, err
 		}
 		rep.NumJobs++
-		accumulateJob(rep, cfg.Cluster, res, input.Splits)
+		accumulateJob(rep, cfg.Cluster, res, input.Splits, tr)
 	} else {
 		// ---- Domain baseline: two jobs ----
-		res1, err := mapreduce.Run(mrCfg, input.Splits, detectionMapper(pl), domainJob1Reducer(pl, cfg.Params, cfg.Seed))
+		res1, err := mapreduce.RunContext(ctx, mrCfg, input.Splits, detectionMapper(pl), domainJob1Reducer(pl, cfg.Params, cfg.Seed, tr))
 		if err != nil {
 			return nil, fmt.Errorf("core: domain job 1: %w", err)
 		}
@@ -169,13 +198,16 @@ func Run(input *Input, cfg Config) (*Report, error) {
 			return nil, err
 		}
 		rep.NumJobs++
-		accumulateJob(rep, cfg.Cluster, res1, input.Splits)
+		accumulateJob(rep, cfg.Cluster, res1, input.Splits, tr)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		splits2 := append(append([]mapreduce.Split(nil), input.Splits...), mapreduce.Split{
 			Name: candidatesSplitName,
 			Data: encodeCandidates(cands),
 		})
-		res2, err := mapreduce.Run(mrCfg, splits2, domainJob2Mapper(pl, cfg.Params), domainJob2Reducer(cfg.Params))
+		res2, err := mapreduce.RunContext(ctx, mrCfg, splits2, domainJob2Mapper(pl, cfg.Params), domainJob2Reducer(cfg.Params))
 		if err != nil {
 			return nil, fmt.Errorf("core: domain job 2: %w", err)
 		}
@@ -185,7 +217,17 @@ func Run(input *Input, cfg Config) (*Report, error) {
 		}
 		rep.Outliers = append(finals, confirmed...)
 		rep.NumJobs++
-		accumulateJob(rep, cfg.Cluster, res2, splits2)
+		accumulateJob(rep, cfg.Cluster, res2, splits2, tr)
+	}
+
+	// The Wall breakdown is a view over the trace: stage spans are
+	// summed across jobs, making the Report derivable from the trace
+	// rather than a parallel bookkeeping structure.
+	rep.Wall = cluster.PhaseBreakdown{
+		Preprocess: tr.Total("preprocess"),
+		Map:        tr.Total("map"),
+		Shuffle:    tr.Total("shuffle"),
+		Reduce:     tr.Total("reduce"),
 	}
 
 	sort.Slice(rep.Outliers, func(i, j int) bool { return rep.Outliers[i] < rep.Outliers[j] })
@@ -252,15 +294,27 @@ func simulateJob(cfg cluster.Config, res *mapreduce.Result, splits []mapreduce.S
 	}
 }
 
-// accumulateJob folds one detection-stage job into the report.
-func accumulateJob(rep *Report, cfg cluster.Config, res *mapreduce.Result, splits []mapreduce.Split) {
+// accumulateJob folds one detection-stage job into the report and records
+// the job's map/shuffle/reduce stages as trace spans (start times are
+// reconstructed backwards from the job's completion instant, so spans
+// order correctly in the trace).
+func accumulateJob(rep *Report, cfg cluster.Config, res *mapreduce.Result, splits []mapreduce.Split, tr *obs.Trace) {
 	jb := simulateJob(cfg, res, splits)
+	job := int64(rep.NumJobs - 1)
+	reduceStart := time.Now().Add(-jb.reduceWall)
+	shuffleStart := reduceStart.Add(-jb.shuffleWall)
+	mapStart := shuffleStart.Add(-jb.mapWall)
+	tr.Add("map", mapStart, jb.mapWall,
+		obs.Int("job", job), obs.Int("tasks", int64(len(res.Metrics.MapTasks))))
+	tr.Add("shuffle", shuffleStart, jb.shuffleWall,
+		obs.Int("job", job),
+		obs.Int("bytes", res.Metrics.ShuffleBytes),
+		obs.Int("records", res.Metrics.ShuffleRecords))
+	tr.Add("reduce", reduceStart, jb.reduceWall,
+		obs.Int("job", job), obs.Int("tasks", int64(len(res.Metrics.ReduceTasks))))
 	rep.Simulated.Map += jb.Map
 	rep.Simulated.Shuffle += jb.Shuffle
 	rep.Simulated.Reduce += jb.Reduce
-	rep.Wall.Map += jb.mapWall
-	rep.Wall.Shuffle += jb.shuffleWall
-	rep.Wall.Reduce += jb.reduceWall
 	rep.ShuffleBytes += res.Metrics.ShuffleBytes
 	rep.ShuffleRecords += res.Metrics.ShuffleRecords
 	rep.CoreRecords += res.Metrics.Counter(counterCoreRecords)

@@ -11,7 +11,9 @@ package detect
 
 import (
 	"fmt"
+	"strings"
 
+	"dod/internal/errs"
 	"dod/internal/geom"
 )
 
@@ -54,19 +56,44 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind resolves a detector name back to its Kind — the inverse of
+// String. Matching is case-insensitive and ignores hyphens, so
+// "CellBased", "cell-based" and "Cell-Based" all parse. Failures match
+// errs.ErrBadParams.
+func ParseKind(name string) (Kind, error) {
+	norm := strings.ToLower(strings.ReplaceAll(name, "-", ""))
+	for _, k := range []Kind{BruteForce, NestedLoop, CellBased, KDTree, CellBasedL2, Pivot} {
+		if norm == strings.ToLower(strings.ReplaceAll(k.String(), "-", "")) {
+			return k, nil
+		}
+	}
+	return Unspecified, errs.BadParams("unknown detector %q", name)
+}
+
+// Set implements flag.Value, so a *Kind can be passed to flag.Var.
+func (k *Kind) Set(name string) error {
+	parsed, err := ParseKind(name)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
 // Params are the distance-threshold outlier parameters of Def. 2.2.
 type Params struct {
 	R float64 // distance threshold; neighbors satisfy dist <= R
 	K int     // neighbor-count threshold; outliers have fewer than K neighbors
 }
 
-// Validate reports whether the parameters are usable.
+// Validate reports whether the parameters are usable. Failures match
+// errs.ErrBadParams via errors.Is.
 func (p Params) Validate() error {
 	if p.R <= 0 {
-		return fmt.Errorf("detect: distance threshold r must be positive, got %g", p.R)
+		return errs.BadParams("distance threshold r must be positive, got %g", p.R)
 	}
 	if p.K < 1 {
-		return fmt.Errorf("detect: neighbor threshold k must be >= 1, got %d", p.K)
+		return errs.BadParams("neighbor threshold k must be >= 1, got %d", p.K)
 	}
 	return nil
 }

@@ -1,0 +1,69 @@
+// Package errs defines the error identities shared across the public API
+// and the internal detection/streaming packages.
+//
+// The sentinels live here — below both the root package and every internal
+// package — so that internal/detect, internal/stream and internal/index can
+// return them without importing the public dod package (which would be a
+// cycle). The root package re-exports them (dod.ErrEmptyDataset is the same
+// value as errs.ErrEmptyDataset), so errors.Is/errors.As matching works no
+// matter which layer produced the error.
+//
+// Two failure modes carry data: DuplicateIDError holds the offending point
+// ID and DimMismatchError holds the got/want dimensions. Both match their
+// sentinel via errors.Is and expose their payload via errors.As.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The sentinel error identities of the dod API.
+var (
+	// ErrEmptyDataset rejects detection over zero points.
+	ErrEmptyDataset = errors.New("dod: empty dataset")
+	// ErrDuplicateID rejects datasets or windows holding two points with
+	// one ID. Concrete errors are DuplicateIDError values carrying the ID.
+	ErrDuplicateID = errors.New("dod: duplicate point ID")
+	// ErrDimMismatch rejects points whose dimensionality disagrees with
+	// the detector/index/window they are offered to. Concrete errors are
+	// DimMismatchError values carrying the got/want dimensions.
+	ErrDimMismatch = errors.New("dod: point dimension mismatch")
+	// ErrBadParams rejects invalid configuration (r <= 0, k < 1, bad
+	// window bounds, ...). Concrete errors wrap it with specifics.
+	ErrBadParams = errors.New("dod: invalid parameters")
+	// ErrClosed rejects use of a detector after Close.
+	ErrClosed = errors.New("dod: detector is closed")
+)
+
+// BadParams builds an ErrBadParams-wrapping error with details.
+func BadParams(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadParams, fmt.Sprintf(format, args...))
+}
+
+// DuplicateIDError reports the point ID that appeared twice.
+type DuplicateIDError struct {
+	ID uint64
+}
+
+func (e *DuplicateIDError) Error() string {
+	return fmt.Sprintf("dod: duplicate point ID %d", e.ID)
+}
+
+// Is makes errors.Is(err, ErrDuplicateID) match.
+func (e *DuplicateIDError) Is(target error) bool { return target == ErrDuplicateID }
+
+// DimMismatchError reports a point whose dimensionality disagrees with the
+// structure it was offered to.
+type DimMismatchError struct {
+	ID   uint64 // the offending point's ID
+	Got  int    // the point's dimensionality
+	Want int    // the structure's dimensionality
+}
+
+func (e *DimMismatchError) Error() string {
+	return fmt.Sprintf("dod: point %d has dimension %d, want %d", e.ID, e.Got, e.Want)
+}
+
+// Is makes errors.Is(err, ErrDimMismatch) match.
+func (e *DimMismatchError) Is(target error) bool { return target == ErrDimMismatch }

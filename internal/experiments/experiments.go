@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"dod/internal/detect"
 )
 
 // Point is one (x, y) sample of a series.
@@ -127,6 +129,9 @@ type Config struct {
 	Seed int64
 	// Parallelism bounds in-process goroutines (0 = GOMAXPROCS).
 	Parallelism int
+	// Candidates overrides the DMT planner's detector candidate set
+	// (default NestedLoop + CellBased); single-tactic planners ignore it.
+	Candidates []detect.Kind
 }
 
 func (c Config) withDefaults() Config {

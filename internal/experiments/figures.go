@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,13 +51,14 @@ func runCase(cfg Config, pts []geom.Point, planner plan.Planner, det detect.Kind
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(input, core.Config{
+	return core.Run(context.Background(), input, core.Config{
 		Params:  PaperParams,
 		Planner: planner,
 		PlanOpts: plan.Options{
 			NumReducers:   cfg.Reducers,
 			NumPartitions: cfg.Partitions,
 			Detector:      det,
+			Candidates:    cfg.Candidates,
 		},
 		SampleRate:    sampleRate(len(pts)),
 		BucketsPerDim: bucketsPerDim(len(pts)),

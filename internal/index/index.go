@@ -25,13 +25,14 @@
 package index
 
 import (
-	"fmt"
 	"hash/maphash"
 	"math"
 	"sync"
 
 	"dod/internal/detect"
+	"dod/internal/errs"
 	"dod/internal/geom"
+	"dod/internal/obs"
 )
 
 // DefaultShards is the shard count used when Config.Shards is zero.
@@ -49,6 +50,10 @@ type Config struct {
 	// DefaultShards. More shards admit more concurrent mutators at the
 	// cost of a little memory.
 	Shards int
+	// Obs, when non-nil, receives the index's metrics: query counters and
+	// the ring-expansion depth histogram. Nil disables instrumentation at
+	// zero hot-path cost beyond one pointer check.
+	Obs *obs.Registry
 }
 
 // cellKey is the flattened string form of a cell's integer coordinates,
@@ -77,16 +82,47 @@ type Index struct {
 	l2     int     // Chebyshev radius beyond which no neighbor exists
 	shards []shard
 	seed   maphash.Seed
+	met    *indexMetrics // nil when unobserved
+}
+
+// indexMetrics are the obs instruments of one Index.
+type indexMetrics struct {
+	inserts   *obs.Counter
+	removes   *obs.Counter
+	counts    *obs.Counter   // NeighborCount queries
+	scans     *obs.Counter   // Neighbors enumerations
+	ringDepth *obs.Histogram // terminal expansion radius per NeighborCount
+}
+
+// register creates the index instruments on reg.
+func registerMetrics(reg *obs.Registry, ix *Index) *indexMetrics {
+	reg.GaugeFunc("dod_index_points",
+		"points currently resident in the grid index",
+		func() float64 { return float64(ix.Len()) })
+	reg.GaugeFunc("dod_index_shards",
+		"lock-stripe count of the grid index",
+		func() float64 { return float64(len(ix.shards)) })
+	return &indexMetrics{
+		inserts: reg.Counter("dod_index_inserts_total", "points inserted into the grid index"),
+		removes: reg.Counter("dod_index_removes_total", "points removed from the grid index"),
+		counts: reg.Counter("dod_index_queries_total",
+			"index neighbor queries", obs.L("op", "count")),
+		scans: reg.Counter("dod_index_queries_total",
+			"index neighbor queries", obs.L("op", "enumerate")),
+		ringDepth: reg.Histogram("dod_index_ring_depth",
+			"terminal Chebyshev ring radius reached per NeighborCount query",
+			obs.LinearBuckets(0, 1, ix.l2+1)),
+	}
 }
 
 // New builds an empty index for dim-dimensional points with distance
 // threshold r.
 func New(cfg Config) (*Index, error) {
 	if cfg.Dim < 1 {
-		return nil, fmt.Errorf("index: dimension must be >= 1, got %d", cfg.Dim)
+		return nil, errs.BadParams("index dimension must be >= 1, got %d", cfg.Dim)
 	}
 	if cfg.R <= 0 {
-		return nil, fmt.Errorf("index: distance threshold r must be positive, got %g", cfg.R)
+		return nil, errs.BadParams("distance threshold r must be positive, got %g", cfg.R)
 	}
 	shards := cfg.Shards
 	if shards <= 0 {
@@ -102,6 +138,9 @@ func New(cfg Config) (*Index, error) {
 	}
 	for i := range ix.shards {
 		ix.shards[i].cells = make(map[cellKey]*cell)
+	}
+	if cfg.Obs != nil {
+		ix.met = registerMetrics(cfg.Obs, ix)
 	}
 	return ix, nil
 }
@@ -140,10 +179,11 @@ func (ix *Index) shardFor(k cellKey) *shard {
 	return &ix.shards[h.Sum64()%uint64(len(ix.shards))]
 }
 
-// checkDim validates a point's dimensionality against the index.
+// checkDim validates a point's dimensionality against the index. Failures
+// match errs.ErrDimMismatch.
 func (ix *Index) checkDim(p geom.Point) error {
 	if p.Dim() != ix.dim {
-		return fmt.Errorf("index: point %d has dimension %d, index has %d", p.ID, p.Dim(), ix.dim)
+		return &errs.DimMismatchError{ID: p.ID, Got: p.Dim(), Want: ix.dim}
 	}
 	return nil
 }
@@ -165,6 +205,9 @@ func (ix *Index) Insert(p geom.Point) error {
 	c.points = append(c.points, p)
 	sh.n++
 	sh.mu.Unlock()
+	if ix.met != nil {
+		ix.met.inserts.Inc()
+	}
 	return nil
 }
 
@@ -191,6 +234,9 @@ func (ix *Index) Remove(p geom.Point) bool {
 				delete(sh.cells, k)
 			}
 			sh.n--
+			if ix.met != nil {
+				ix.met.removes.Inc()
+			}
 			return true
 		}
 	}
@@ -271,12 +317,14 @@ func (ix *Index) NeighborCount(p geom.Point, limit int) (int, error) {
 		return 0, err
 	}
 	if limit < 1 {
-		return 0, fmt.Errorf("index: NeighborCount limit must be >= 1, got %d", limit)
+		return 0, errs.BadParams("NeighborCount limit must be >= 1, got %d", limit)
 	}
 	center := ix.coords(p)
 	count := 0
+	depth := 0 // deepest ring entered; feeds the ring-depth histogram
 	// L1 auto-accept: every point in the radius-1 block is within r.
 	for radius := 0; radius <= 1 && count < limit; radius++ {
+		depth = radius
 		ringCells(center, radius, func(k cellKey) {
 			ix.readCell(k, func(pts []geom.Point) {
 				for _, q := range pts {
@@ -287,26 +335,30 @@ func (ix *Index) NeighborCount(p geom.Point, limit int) (int, error) {
 			})
 		})
 	}
-	if count >= limit {
-		return limit, nil
-	}
-	// Ring expansion with exact distance checks out to the L2 cutoff.
-	for radius := 2; radius <= ix.l2 && count < limit; radius++ {
-		ringCells(center, radius, func(k cellKey) {
-			if count >= limit {
-				return
-			}
-			ix.readCell(k, func(pts []geom.Point) {
-				for _, q := range pts {
-					if count >= limit {
-						return
-					}
-					if q.ID != p.ID && geom.WithinDist(p, q, ix.r) {
-						count++
-					}
+	if count < limit {
+		// Ring expansion with exact distance checks out to the L2 cutoff.
+		for radius := 2; radius <= ix.l2 && count < limit; radius++ {
+			depth = radius
+			ringCells(center, radius, func(k cellKey) {
+				if count >= limit {
+					return
 				}
+				ix.readCell(k, func(pts []geom.Point) {
+					for _, q := range pts {
+						if count >= limit {
+							return
+						}
+						if q.ID != p.ID && geom.WithinDist(p, q, ix.r) {
+							count++
+						}
+					}
+				})
 			})
-		})
+		}
+	}
+	if ix.met != nil {
+		ix.met.counts.Inc()
+		ix.met.ringDepth.Observe(float64(depth))
 	}
 	if count > limit {
 		count = limit
@@ -321,6 +373,9 @@ func (ix *Index) NeighborCount(p geom.Point, limit int) (int, error) {
 func (ix *Index) Neighbors(p geom.Point, fn func(q geom.Point)) error {
 	if err := ix.checkDim(p); err != nil {
 		return err
+	}
+	if ix.met != nil {
+		ix.met.scans.Inc()
 	}
 	center := ix.coords(p)
 	for radius := 0; radius <= ix.l2; radius++ {

@@ -20,6 +20,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -185,8 +186,19 @@ type injectedFailure struct{ phase string }
 
 func (e injectedFailure) Error() string { return "mapreduce: injected " + e.phase + " task failure" }
 
-// Run executes one MapReduce job over the given splits.
+// Run executes one MapReduce job over the given splits without a
+// cancellation context; see RunContext.
 func Run(cfg Config, splits []Split, mapper Mapper, reducer Reducer) (*Result, error) {
+	return RunContext(context.Background(), cfg, splits, mapper, reducer)
+}
+
+// RunContext executes one MapReduce job over the given splits with
+// cooperative cancellation: the worker pools stop dispatching tasks and
+// reduce tasks stop between key groups once ctx is done, and the job
+// returns ctx.Err(). A task already inside user map/reduce code finishes
+// its current group first — cancellation is prompt at group granularity,
+// which for the detection job means per partition.
+func RunContext(jobCtx context.Context, cfg Config, splits []Split, mapper Mapper, reducer Reducer) (*Result, error) {
 	cfg = cfg.withDefaults()
 
 	// Per-task seeded RNGs make failure injection deterministic regardless
@@ -209,7 +221,7 @@ func Run(cfg Config, splits []Split, mapper Mapper, reducer Reducer) (*Result, e
 		buckets [][]Pair // per-reducer
 	}
 	mapOuts := make([]mapOut, len(splits))
-	if err := runTasks(cfg.Parallelism, len(splits), func(i int) error {
+	if err := runTasks(jobCtx, cfg.Parallelism, len(splits), func(i int) error {
 		var lastErr error
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 			ctx := &TaskContext{Phase: "map", TaskID: i, Attempt: attempt}
@@ -270,7 +282,7 @@ func Run(cfg Config, splits []Split, mapper Mapper, reducer Reducer) (*Result, e
 		values [][]byte
 	}
 	grouped := make([][]group, cfg.NumReducers)
-	if err := runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) error {
+	if err := runTasks(jobCtx, cfg.Parallelism, cfg.NumReducers, func(r int) error {
 		pairs := perReducer[r]
 		sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
 		var gs []group
@@ -300,7 +312,7 @@ func Run(cfg Config, splits []Split, mapper Mapper, reducer Reducer) (*Result, e
 		output []Pair
 	}
 	reduceOuts := make([]reduceOut, cfg.NumReducers)
-	if err := runTasks(cfg.Parallelism, cfg.NumReducers, func(r int) error {
+	if err := runTasks(jobCtx, cfg.Parallelism, cfg.NumReducers, func(r int) error {
 		var lastErr error
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 			ctx := &TaskContext{Phase: "reduce", TaskID: r, Attempt: attempt}
@@ -314,6 +326,12 @@ func Run(cfg Config, splits []Split, mapper Mapper, reducer Reducer) (*Result, e
 			}
 			var err error
 			for _, g := range grouped[r] {
+				// Cancellation is checked between key groups, so a
+				// long reduce task stops at the next partition
+				// boundary instead of running to completion.
+				if err = jobCtx.Err(); err != nil {
+					return err
+				}
 				in += int64(len(g.values))
 				for _, v := range g.values {
 					bytesIn += int64(8 + len(v))
@@ -407,13 +425,14 @@ func combine(combiner Reducer, ctx *TaskContext, buckets [][]Pair) (out [][]Pair
 }
 
 // runTasks executes fn(0..n-1) on a bounded worker pool, returning the
-// first error.
-func runTasks(parallelism, n int, fn func(i int) error) error {
+// first error. Workers re-check ctx before claiming each task, so a
+// cancelled job stops dispatching promptly and returns ctx.Err().
+func runTasks(ctx context.Context, parallelism, n int, fn func(i int) error) error {
 	if parallelism > n {
 		parallelism = n
 	}
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	var (
 		wg      sync.WaitGroup
@@ -427,6 +446,9 @@ func runTasks(parallelism, n int, fn func(i int) error) error {
 			defer wg.Done()
 			for {
 				mu.Lock()
+				if firstEr == nil {
+					firstEr = ctx.Err()
+				}
 				if firstEr != nil || next >= n {
 					mu.Unlock()
 					return

@@ -8,6 +8,7 @@
 package sample
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -108,6 +109,13 @@ func dims(cfg Config) []int {
 // stage-one MapReduce: mappers sample and pre-aggregate per mini bucket; a
 // single reducer merges the bucket statistics.
 func RunJob(cfg Config, mrCfg mapreduce.Config, splits []mapreduce.Split) (*Histogram, *mapreduce.Result, error) {
+	return RunJobContext(context.Background(), cfg, mrCfg, splits)
+}
+
+// RunJobContext is RunJob with cooperative cancellation: once jobCtx is
+// done the underlying MapReduce job stops dispatching tasks and returns
+// jobCtx's error.
+func RunJobContext(jobCtx context.Context, cfg Config, mrCfg mapreduce.Config, splits []mapreduce.Split) (*Histogram, *mapreduce.Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
@@ -150,7 +158,7 @@ func RunJob(cfg Config, mrCfg mapreduce.Config, splits []mapreduce.Split) (*Hist
 
 	// Plan generation is centralized (Sec. V-A): one reducer.
 	mrCfg.NumReducers = 1
-	res, err := mapreduce.Run(mrCfg, splits, mapper, reducer)
+	res, err := mapreduce.RunContext(jobCtx, mrCfg, splits, mapper, reducer)
 	if err != nil {
 		return nil, nil, err
 	}

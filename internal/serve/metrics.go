@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"time"
+
+	"dod/internal/obs"
+)
+
+// serverMetrics holds the serving layer's instruments, all registered in
+// the server's obs.Registry — the same registry the sliding window and the
+// incremental index instrument themselves into, so /metrics exposes the
+// whole stack in one scrape.
+type serverMetrics struct {
+	ingestReqs  *obs.Counter
+	scoreReqs   *obs.Counter
+	healthReqs  *obs.Counter
+	statszReqs  *obs.Counter
+	metricsReqs *obs.Counter
+
+	ingestLines *obs.Counter
+	scoreLines  *obs.Counter
+	lineErrors  *obs.Counter
+
+	ingestLatency *obs.Histogram
+	scoreLatency  *obs.Histogram
+
+	ingestStage [3]*obs.Histogram // read, process, write
+	scoreStage  [3]*obs.Histogram
+}
+
+// Stage indices for serverMetrics.ingestStage/scoreStage.
+const (
+	stageRead = iota
+	stageProcess
+	stageWrite
+)
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	const (
+		reqHelp   = "HTTP requests received, by endpoint."
+		lineHelp  = "NDJSON point lines processed, by endpoint."
+		errHelp   = "NDJSON lines rejected with a per-line error."
+		latHelp   = "Per-line window operation latency in seconds."
+		stageHelp = "Per-request batch stage duration in seconds."
+	)
+	stages := func(endpoint string) [3]*obs.Histogram {
+		var out [3]*obs.Histogram
+		for i, stage := range []string{"read", "process", "write"} {
+			out[i] = reg.Histogram("dod_serve_batch_stage_seconds", stageHelp, nil,
+				obs.L("endpoint", endpoint), obs.L("stage", stage))
+		}
+		return out
+	}
+	return &serverMetrics{
+		ingestReqs:  reg.Counter("dod_serve_requests_total", reqHelp, obs.L("endpoint", "ingest")),
+		scoreReqs:   reg.Counter("dod_serve_requests_total", reqHelp, obs.L("endpoint", "score")),
+		healthReqs:  reg.Counter("dod_serve_requests_total", reqHelp, obs.L("endpoint", "healthz")),
+		statszReqs:  reg.Counter("dod_serve_requests_total", reqHelp, obs.L("endpoint", "statsz")),
+		metricsReqs: reg.Counter("dod_serve_requests_total", reqHelp, obs.L("endpoint", "metrics")),
+
+		ingestLines: reg.Counter("dod_serve_lines_total", lineHelp, obs.L("endpoint", "ingest")),
+		scoreLines:  reg.Counter("dod_serve_lines_total", lineHelp, obs.L("endpoint", "score")),
+		lineErrors:  reg.Counter("dod_serve_line_errors_total", errHelp),
+
+		ingestLatency: reg.Histogram("dod_serve_latency_seconds", latHelp, nil, obs.L("op", "ingest")),
+		scoreLatency:  reg.Histogram("dod_serve_latency_seconds", latHelp, nil, obs.L("op", "score")),
+
+		ingestStage: stages("ingest"),
+		scoreStage:  stages("score"),
+	}
+}
+
+// LatencySummary is the JSON shape of one latency histogram in /statsz.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  int64   `json:"p50_us"`
+	P99Us  int64   `json:"p99_us"`
+}
+
+// summarize condenses a latency histogram (seconds) into the /statsz
+// microsecond summary.
+func summarize(h *obs.Histogram) LatencySummary {
+	count := h.Count()
+	s := LatencySummary{
+		Count: count,
+		P50Us: int64(h.Quantile(0.50) * 1e6),
+		P99Us: int64(h.Quantile(0.99) * 1e6),
+	}
+	if count > 0 {
+		s.MeanUs = h.Sum() / float64(count) * 1e6
+	}
+	return s
+}
+
+// observeSince records seconds-elapsed on h using the server's clock.
+func (s *Server) observeSince(h *obs.Histogram, start time.Time) {
+	d := s.now().Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(d.Seconds())
+}

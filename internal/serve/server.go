@@ -10,6 +10,11 @@
 //	GET  /healthz   — liveness plus window size.
 //	GET  /statsz    — counters: points ingested/evicted, queries, errors,
 //	                  per-shard occupancy, p50/p99 latency histograms.
+//	GET  /metrics   — the same numbers (and the window's and index's own
+//	                  instruments) in Prometheus text exposition format.
+//
+// With Config.EnablePprof, the net/http/pprof profiling handlers are
+// mounted under /debug/pprof/.
 //
 // A point line is {"id": 7, "coords": [1.5, 2.0]}. Responses are NDJSON in
 // request order; a malformed or rejected line yields an {"id", "error"}
@@ -27,12 +32,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dod/internal/geom"
+	"dod/internal/obs"
 	"dod/internal/stream"
 )
 
@@ -51,6 +57,14 @@ type Config struct {
 	Workers int
 	// MaxBatch caps NDJSON lines per request; default DefaultMaxBatch.
 	MaxBatch int
+	// Obs is the metrics registry backing /metrics and /statsz; default a
+	// fresh registry. Pass one to aggregate several servers, or to scrape
+	// the server's instruments without HTTP.
+	Obs *obs.Registry
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: the profiling endpoints reveal internals and cost
+	// CPU, so they are opt-in.
+	EnablePprof bool
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -62,23 +76,23 @@ type Server struct {
 	win      *stream.Window
 	mux      *http.ServeMux
 	pool     *workerPool
+	reg      *obs.Registry
+	met      *serverMetrics
 	started  time.Time
 	now      func() time.Time
 	stopEvic chan struct{}
 	evicWG   sync.WaitGroup
-
-	ingestReqs  atomic.Int64
-	scoreReqs   atomic.Int64
-	ingestLines atomic.Int64
-	scoreLines  atomic.Int64
-	lineErrors  atomic.Int64
-	ingestHist  histogram
-	scoreHist   histogram
 }
 
 // New builds a Server with an empty window. If the window has a TTL, a
 // background evictor drains expired points even when ingest is idle.
 func New(cfg Config) (*Server, error) {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	// The window and its index register their own instruments in the same
+	// registry, so one /metrics scrape covers the whole stack.
+	cfg.Stream.Obs = cfg.Obs
 	win, err := stream.NewWindow(cfg.Stream)
 	if err != nil {
 		return nil, err
@@ -97,14 +111,27 @@ func New(cfg Config) (*Server, error) {
 		win:      win,
 		mux:      http.NewServeMux(),
 		pool:     newWorkerPool(cfg.Workers),
+		reg:      cfg.Obs,
+		met:      newServerMetrics(cfg.Obs),
 		now:      cfg.now,
 		started:  cfg.now(),
 		stopEvic: make(chan struct{}),
 	}
+	s.reg.GaugeFunc("dod_serve_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return s.now().Sub(s.started).Seconds()
+	})
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/v1/score", s.handleScore)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	if ttl := cfg.Stream.TTL; ttl > 0 {
 		interval := ttl / 4
 		if interval < 100*time.Millisecond {
@@ -118,6 +145,9 @@ func New(cfg Config) (*Server, error) {
 
 // Window exposes the underlying sliding window (tests and embedders).
 func (s *Server) Window() *stream.Window { return s.win }
+
+// Registry exposes the metrics registry backing /metrics and /statsz.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -206,13 +236,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.ingestReqs.Add(1)
+	s.met.ingestReqs.Inc()
+	readStart := s.now()
 	items, err := s.readBatch(r)
+	s.observeSince(s.met.ingestStage[stageRead], readStart)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	out := make([]verdictLine, len(items))
+	procStart := s.now()
 	// One pool job per batch: ingest is serialized by the window lock and
 	// must preserve line order for sequence numbers, so there is nothing
 	// to fan out — the pool's job is bounding concurrent batches.
@@ -220,22 +253,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		for i, it := range items {
 			if it.err != nil {
 				out[i] = verdictLine{ID: it.pt.ID, Error: it.err.Error()}
-				s.lineErrors.Add(1)
+				s.met.lineErrors.Inc()
 				continue
 			}
 			start := s.now()
 			v, err := s.win.Process(it.pt, start)
-			s.ingestHist.Record(s.now().Sub(start))
-			s.ingestLines.Add(1)
+			s.observeSince(s.met.ingestLatency, start)
+			s.met.ingestLines.Inc()
 			if err != nil {
 				out[i] = verdictLine{ID: it.pt.ID, Error: err.Error()}
-				s.lineErrors.Add(1)
+				s.met.lineErrors.Inc()
 				continue
 			}
 			out[i] = verdictLine{ID: v.ID, Seq: v.Seq, Neighbors: v.Neighbors, Outlier: v.Outlier, Evicted: v.Evicted}
 		}
 	})
+	s.observeSince(s.met.ingestStage[stageProcess], procStart)
+	writeStart := s.now()
 	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+	s.observeSince(s.met.ingestStage[stageWrite], writeStart)
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -243,13 +279,16 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	s.scoreReqs.Add(1)
+	s.met.scoreReqs.Inc()
+	readStart := s.now()
 	items, err := s.readBatch(r)
+	s.observeSince(s.met.scoreStage[stageRead], readStart)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	out := make([]scoreLine, len(items))
+	procStart := s.now()
 	// Scoring is read-only and lock-striped, so fan the batch out across
 	// the pool in contiguous chunks; results land at their line index.
 	const chunk = 64
@@ -266,16 +305,16 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 				it := items[i]
 				if it.err != nil {
 					out[i] = scoreLine{ID: it.pt.ID, Error: it.err.Error()}
-					s.lineErrors.Add(1)
+					s.met.lineErrors.Inc()
 					continue
 				}
 				start := s.now()
 				sc, err := s.win.ScorePoint(it.pt)
-				s.scoreHist.Record(s.now().Sub(start))
-				s.scoreLines.Add(1)
+				s.observeSince(s.met.scoreLatency, start)
+				s.met.scoreLines.Inc()
 				if err != nil {
 					out[i] = scoreLine{ID: it.pt.ID, Error: err.Error()}
-					s.lineErrors.Add(1)
+					s.met.lineErrors.Inc()
 					continue
 				}
 				out[i] = scoreLine{ID: sc.ID, Neighbors: sc.Neighbors, Outlier: sc.Outlier}
@@ -283,7 +322,10 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	wg.Wait()
+	s.observeSince(s.met.scoreStage[stageProcess], procStart)
+	writeStart := s.now()
 	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+	s.observeSince(s.met.scoreStage[stageWrite], writeStart)
 }
 
 // writeNDJSON streams n lines through one buffered encoder.
@@ -300,6 +342,7 @@ func writeNDJSON(w http.ResponseWriter, n int, line func(enc *json.Encoder, i in
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.healthReqs.Inc()
 	st := s.win.Stats()
 	writeJSON(w, map[string]any{
 		"status":         "ok",
@@ -328,24 +371,32 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.met.statszReqs.Inc()
 	st := s.win.Stats()
 	writeJSON(w, StatsResponse{
 		UptimeSeconds:  s.now().Sub(s.started).Seconds(),
-		IngestRequests: s.ingestReqs.Load(),
-		ScoreRequests:  s.scoreReqs.Load(),
+		IngestRequests: s.met.ingestReqs.Value(),
+		ScoreRequests:  s.met.scoreReqs.Value(),
 		PointsIngested: st.Ingested,
 		PointsEvicted:  st.Evicted,
-		Queries:        s.scoreLines.Load(),
-		LineErrors:     s.lineErrors.Load(),
+		Queries:        s.met.scoreLines.Value(),
+		LineErrors:     s.met.lineErrors.Value(),
 		WindowLen:      st.Len,
 		WindowSeq:      st.Seq,
 		Outliers:       st.Outliers,
 		FlipIn:         st.FlipIn,
 		FlipOut:        st.FlipOut,
 		ShardOccupancy: st.Occupancy,
-		IngestLatency:  s.ingestHist.Summary(),
-		ScoreLatency:   s.scoreHist.Summary(),
+		IngestLatency:  summarize(s.met.ingestLatency),
+		ScoreLatency:   summarize(s.met.scoreLatency),
 	})
+}
+
+// handleMetrics renders the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.metricsReqs.Inc()
+	w.Header().Set("Content-Type", obs.TextContentType)
+	s.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

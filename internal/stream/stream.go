@@ -23,14 +23,16 @@
 package stream
 
 import (
-	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dod/internal/detect"
+	"dod/internal/errs"
 	"dod/internal/geom"
 	"dod/internal/index"
+	"dod/internal/obs"
 )
 
 // Config parameterizes a sliding window.
@@ -51,23 +53,28 @@ type Config struct {
 	TTL time.Duration
 	// Shards is the index shard count; default index.DefaultShards.
 	Shards int
+	// Obs, when non-nil, receives the window's and the underlying index's
+	// metrics: ingest/evict/flip counters plus window-occupancy gauges.
+	Obs *obs.Registry
 }
 
+// validate rejects unusable configurations; failures match
+// errs.ErrBadParams.
 func (cfg Config) validate() error {
 	if err := (detect.Params{R: cfg.R, K: cfg.K}).Validate(); err != nil {
 		return err
 	}
 	if cfg.Dim < 1 {
-		return fmt.Errorf("stream: dimension must be >= 1, got %d", cfg.Dim)
+		return errs.BadParams("window dimension must be >= 1, got %d", cfg.Dim)
 	}
 	if cfg.Capacity < 0 {
-		return fmt.Errorf("stream: capacity must be >= 0, got %d", cfg.Capacity)
+		return errs.BadParams("window capacity must be >= 0, got %d", cfg.Capacity)
 	}
 	if cfg.TTL < 0 {
-		return fmt.Errorf("stream: ttl must be >= 0, got %s", cfg.TTL)
+		return errs.BadParams("window ttl must be >= 0, got %s", cfg.TTL)
 	}
 	if cfg.Capacity == 0 && cfg.TTL == 0 {
-		return fmt.Errorf("stream: window needs a capacity or a ttl (or both)")
+		return errs.BadParams("window needs a capacity or a ttl (or both)")
 	}
 	return nil
 }
@@ -114,6 +121,9 @@ type Stats struct {
 type Window struct {
 	cfg Config
 	ix  *index.Index
+	met *windowMetrics // nil when unobserved
+
+	closed atomic.Bool // set by Close; checked lock-free by Process/Score
 
 	mu       sync.Mutex // serializes mutation and snapshotting
 	entries  map[uint64]*entry
@@ -127,20 +137,45 @@ type Window struct {
 	flipOut  uint64
 }
 
+// windowMetrics are the obs instruments of one Window. Eviction and flip
+// counters are incremented under w.mu alongside the Stats fields; the
+// occupancy gauges read the live fields at scrape time.
+type windowMetrics struct {
+	ingested *obs.Counter
+	evicted  *obs.Counter
+	flipIn   *obs.Counter
+	flipOut  *obs.Counter
+}
+
 // NewWindow builds an empty sliding window.
 func NewWindow(cfg Config) (*Window, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ix, err := index.New(index.Config{Dim: cfg.Dim, R: cfg.R, Shards: cfg.Shards})
+	ix, err := index.New(index.Config{Dim: cfg.Dim, R: cfg.R, Shards: cfg.Shards, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
-	return &Window{
+	w := &Window{
 		cfg:     cfg,
 		ix:      ix,
 		entries: make(map[uint64]*entry),
-	}, nil
+	}
+	if reg := cfg.Obs; reg != nil {
+		w.met = &windowMetrics{
+			ingested: reg.Counter("dod_stream_ingested_total", "points admitted to the sliding window"),
+			evicted:  reg.Counter("dod_stream_evicted_total", "points expired from the sliding window"),
+			flipIn: reg.Counter("dod_stream_verdict_flips_total",
+				"verdict transitions caused by window churn", obs.L("direction", "outlier_to_inlier")),
+			flipOut: reg.Counter("dod_stream_verdict_flips_total",
+				"verdict transitions caused by window churn", obs.L("direction", "inlier_to_outlier")),
+		}
+		reg.GaugeFunc("dod_stream_window_points", "points currently resident in the window",
+			func() float64 { w.mu.Lock(); defer w.mu.Unlock(); return float64(w.len()) })
+		reg.GaugeFunc("dod_stream_outliers", "current outliers in the window",
+			func() float64 { w.mu.Lock(); defer w.mu.Unlock(); return float64(w.outliers) })
+	}
+	return w, nil
 }
 
 // Config returns the window configuration.
@@ -151,13 +186,16 @@ func (w *Window) Config() Config { return w.cfg }
 // non-decreasing for TTL semantics to be meaningful; sequence numbers are
 // assigned monotonically regardless.
 func (w *Window) Process(p geom.Point, now time.Time) (Verdict, error) {
+	if w.closed.Load() {
+		return Verdict{}, errs.ErrClosed
+	}
 	if p.Dim() != w.cfg.Dim {
-		return Verdict{}, fmt.Errorf("stream: point %d has dimension %d, window has %d", p.ID, p.Dim(), w.cfg.Dim)
+		return Verdict{}, &errs.DimMismatchError{ID: p.ID, Got: p.Dim(), Want: w.cfg.Dim}
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, dup := w.entries[p.ID]; dup {
-		return Verdict{}, fmt.Errorf("stream: duplicate point ID %d in window", p.ID)
+		return Verdict{}, &errs.DuplicateIDError{ID: p.ID}
 	}
 
 	evictions := 0
@@ -180,6 +218,9 @@ func (w *Window) Process(p geom.Point, now time.Time) (Verdict, error) {
 			e.outlier = false
 			w.outliers--
 			w.flipIn++
+			if w.met != nil {
+				w.met.flipIn.Inc()
+			}
 		}
 	})
 	if err != nil {
@@ -190,6 +231,9 @@ func (w *Window) Process(p geom.Point, now time.Time) (Verdict, error) {
 	}
 	w.seq++
 	w.ingested++
+	if w.met != nil {
+		w.met.ingested.Inc()
+	}
 	e := &entry{pt: p.Clone(), seq: w.seq, arrived: now, count: n, outlier: n < w.cfg.K}
 	if e.outlier {
 		w.outliers++
@@ -239,6 +283,9 @@ func (w *Window) evictOldest() {
 			e.outlier = true
 			w.outliers++
 			w.flipOut++
+			if w.met != nil {
+				w.met.flipOut.Inc()
+			}
 		}
 	})
 	w.ix.Remove(victim.pt)
@@ -247,6 +294,9 @@ func (w *Window) evictOldest() {
 		w.outliers--
 	}
 	w.evicted++
+	if w.met != nil {
+		w.met.evicted.Inc()
+	}
 	// Reclaim the drained prefix once it dominates the backing array.
 	if w.head > 64 && w.head*2 > len(w.fifo) {
 		w.fifo = append([]*entry(nil), w.fifo[w.head:]...)
@@ -261,11 +311,24 @@ func (w *Window) evictOldest() {
 // batch semantics). ScorePoint takes no window lock — it reads through the
 // index's striped locks only, so concurrent scoring scales with shards.
 func (w *Window) ScorePoint(p geom.Point) (Score, error) {
+	if w.closed.Load() {
+		return Score{}, errs.ErrClosed
+	}
 	n, err := w.ix.NeighborCount(p, w.cfg.K)
 	if err != nil {
 		return Score{}, err
 	}
 	return Score{ID: p.ID, Neighbors: n, Outlier: n < w.cfg.K}, nil
+}
+
+// Close marks the window closed: subsequent Process and ScorePoint calls
+// fail with errs.ErrClosed. Close is idempotent; the window holds no
+// goroutines or file handles, so Close exists for API symmetry and to make
+// lifecycle bugs loud rather than silent. Snapshot and Stats keep working
+// so a closed window can still be inspected.
+func (w *Window) Close() error {
+	w.closed.Store(true)
+	return nil
 }
 
 // A Snapshot holds the resident points in arrival order and the IDs of the

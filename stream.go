@@ -105,3 +105,9 @@ func (d *StreamDetector) Snapshot() StreamSnapshot { return d.win.Snapshot() }
 
 // Stats returns the window counters and per-shard index occupancy.
 func (d *StreamDetector) Stats() StreamStats { return d.win.Stats() }
+
+// Close marks the detector closed: subsequent Process, ProcessAt and Score
+// calls fail with an error matching ErrClosed. Snapshot and Stats keep
+// working, so a drained detector can still be inspected. Close is
+// idempotent and safe to call concurrently with other methods.
+func (d *StreamDetector) Close() error { return d.win.Close() }
