@@ -1,0 +1,244 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dod/internal/core"
+	"dod/internal/detect"
+	"dod/internal/geom"
+	"dod/internal/obs"
+	"dod/internal/plan"
+	"dod/internal/synth"
+)
+
+// The -json mode measures the detection kernels and one end-to-end pipeline
+// run, emitting a machine-readable record per benchmark. Committed
+// BENCH_<date>.json files form the repository's performance trajectory:
+// re-running `dodbench -json` on the same hardware class and diffing
+// against the last committed baseline shows whether a change moved the hot
+// paths.
+
+// benchFile is the top-level JSON document.
+type benchFile struct {
+	Schema    string         `json:"schema"` // "dodbench/v1"
+	Generated string         `json:"generated"`
+	GoVersion string         `json:"go"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	MaxProcs  int            `json:"gomaxprocs"`
+	Params    benchParams    `json:"params"`
+	Kernels   []kernelRecord `json:"kernels"`
+	Pipeline  pipelineRecord `json:"pipeline"`
+}
+
+type benchParams struct {
+	R float64 `json:"r"`
+	K int     `json:"k"`
+}
+
+// kernelRecord is one detector benchmark measured via testing.Benchmark.
+type kernelRecord struct {
+	Name         string  `json:"name"`
+	Detector     string  `json:"detector"`
+	N            int     `json:"n"`
+	Dim          int     `json:"dim"`
+	Iters        int     `json:"iters"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	DistComps    int64   `json:"dist_comps"` // per detection pass
+	Outliers     int     `json:"outliers"`   // result size (sanity anchor)
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+// pipelineRecord is one traced end-to-end core.Run.
+type pipelineRecord struct {
+	Planner       string       `json:"planner"`
+	Detector      string       `json:"detector"`
+	Points        int          `json:"points"`
+	Reducers      int          `json:"reducers"`
+	Outliers      int          `json:"outliers"`
+	DistComps     int64        `json:"dist_comps"`
+	PointsIndexed int64        `json:"points_indexed"`
+	ShuffleBytes  int64        `json:"shuffle_bytes"`
+	WallMs        float64      `json:"wall_ms"`
+	Spans         []spanRecord `json:"spans"`
+}
+
+// spanRecord flattens an obs.Trace span. Per-partition detect spans are
+// aggregated by the caller into one record per stage name, keeping the
+// artifact size independent of the partition count.
+type spanRecord struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+// benchCases mirrors internal/detect/bench_test.go so the committed JSON
+// trajectory and `go test -bench` measure the same kernels.
+type benchCase struct {
+	name string
+	kind detect.Kind
+	pts  func() []geom.Point
+	n    int
+	dim  int
+}
+
+func jsonBenchCases() []benchCase {
+	ma := func(n int) func() []geom.Point {
+		return func() []geom.Point { return synth.Segment(synth.Massachusetts, n, 3) }
+	}
+	cloud3 := func(n int) func() []geom.Point {
+		return func() []geom.Point { return synth.GaussianCloud(n, 3, 17) }
+	}
+	return []benchCase{
+		{"NestedLoop2D/n=2000", detect.NestedLoop, ma(2000), 2000, 2},
+		{"NestedLoop2D/n=8000", detect.NestedLoop, ma(8000), 8000, 2},
+		{"CellBased2D/n=2000", detect.CellBased, ma(2000), 2000, 2},
+		{"CellBased2D/n=8000", detect.CellBased, ma(8000), 8000, 2},
+		{"CellBasedL2_2D/n=8000", detect.CellBasedL2, ma(8000), 8000, 2},
+		{"KDTree2D/n=8000", detect.KDTree, ma(8000), 8000, 2},
+		{"Pivot2D/n=8000", detect.Pivot, ma(8000), 8000, 2},
+		{"CellBased3D/n=8000", detect.CellBased, cloud3(8000), 8000, 3},
+	}
+}
+
+// jsonParams matches the kernel benchmarks in internal/detect: r=5, k=4 on
+// the segment analogs (the paper's Sec. VI operating point).
+var jsonParams = detect.Params{R: 5, K: 4}
+
+func measureKernel(c benchCase) kernelRecord {
+	pts := c.pts()
+	set := geom.PointSetOf(pts)
+	d := detect.New(c.kind, 7)
+	// One un-timed pass pins the deterministic work counters and result.
+	ref := detect.DetectSet(d, set, set.Len(), jsonParams)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			detect.DetectSet(d, set, set.Len(), jsonParams)
+		}
+	})
+	nsPerOp := res.NsPerOp()
+	rec := kernelRecord{
+		Name:        c.name,
+		Detector:    c.kind.String(),
+		N:           c.n,
+		Dim:         c.dim,
+		Iters:       res.N,
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		DistComps:   ref.Stats.DistComps,
+		Outliers:    len(ref.OutlierIDs),
+	}
+	if nsPerOp > 0 {
+		rec.PointsPerSec = float64(c.n) * 1e9 / float64(nsPerOp)
+	}
+	return rec
+}
+
+// measurePipeline runs one canonical distributed detection (DMT planner,
+// Cell-Based partitions) and folds its trace into per-stage span totals.
+func measurePipeline(cfg benchRunConfig) (pipelineRecord, error) {
+	pts := synth.Segment(synth.Massachusetts, cfg.points, 3)
+	input, err := core.InputFromPoints(pts, 8192)
+	if err != nil {
+		return pipelineRecord{}, err
+	}
+	start := time.Now()
+	rep, err := core.Run(context.Background(), input, core.Config{
+		Params:  jsonParams,
+		Planner: plan.DMT,
+		PlanOpts: plan.Options{
+			NumReducers: cfg.reducers,
+			Detector:    detect.CellBased,
+		},
+		SampleRate:  1,
+		Seed:        cfg.seed,
+		Parallelism: cfg.parallelism,
+	})
+	if err != nil {
+		return pipelineRecord{}, err
+	}
+	wall := time.Since(start)
+
+	rec := pipelineRecord{
+		Planner:       plan.DMT.Name(),
+		Detector:      detect.CellBased.String(),
+		Points:        len(pts),
+		Reducers:      cfg.reducers,
+		Outliers:      len(rep.Outliers),
+		DistComps:     rep.DistComps,
+		PointsIndexed: rep.PointsIndexed,
+		ShuffleBytes:  rep.ShuffleBytes,
+		WallMs:        float64(wall) / float64(time.Millisecond),
+	}
+	rec.Spans = aggregateSpans(rep.Trace)
+	return rec, nil
+}
+
+// aggregateSpans sums span durations by name, in first-appearance order.
+func aggregateSpans(tr *obs.Trace) []spanRecord {
+	var out []spanRecord
+	byName := map[string]int{}
+	for _, sp := range tr.Spans() {
+		i, ok := byName[sp.Name]
+		if !ok {
+			i = len(out)
+			byName[sp.Name] = i
+			out = append(out, spanRecord{Name: sp.Name})
+		}
+		out[i].Count++
+		out[i].TotalMs += float64(sp.Duration) / float64(time.Millisecond)
+	}
+	return out
+}
+
+type benchRunConfig struct {
+	points      int
+	reducers    int
+	seed        int64
+	parallelism int
+}
+
+// runJSONBench measures every kernel plus the canonical pipeline and writes
+// the document to path ("-" for stdout).
+func runJSONBench(cfg benchRunConfig, path string) error {
+	doc := benchFile{
+		Schema:    "dodbench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Params:    benchParams{R: jsonParams.R, K: jsonParams.K},
+	}
+	for _, c := range jsonBenchCases() {
+		fmt.Fprintf(os.Stderr, "dodbench: measuring %s\n", c.name)
+		doc.Kernels = append(doc.Kernels, measureKernel(c))
+	}
+	fmt.Fprintf(os.Stderr, "dodbench: measuring pipeline (%d points, %d reducers)\n", cfg.points, cfg.reducers)
+	pipe, err := measurePipeline(cfg)
+	if err != nil {
+		return err
+	}
+	doc.Pipeline = pipe
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -6,15 +6,25 @@
 //	dodbench                       # run every figure at default scale
 //	dodbench -fig 9a -fig 10b      # run selected figures
 //	dodbench -segment-n 60000 -base-n 8000 -reducers 8 -seed 1
+//	dodbench -json BENCH.json      # machine-readable kernel + pipeline benchmarks
+//	dodbench -json - -cpuprofile cpu.pprof
 //
 // Larger -segment-n / -base-n values reduce the laptop-scale artifacts
 // discussed in EXPERIMENTS.md at the price of longer runs.
+//
+// -json switches from figure tables to the benchmark suite: each detection
+// kernel is measured with testing.Benchmark (ns/op, allocs/op, distance
+// computations) and one traced end-to-end run contributes per-stage span
+// totals; the document is the format committed as BENCH_<date>.json.
+// -cpuprofile and -memprofile write pprof profiles of whichever mode ran.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dod"
@@ -61,9 +71,53 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "local goroutines (default GOMAXPROCS)")
 	)
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV (figure,series,x,y) instead of tables")
+	jsonOut := flag.String("json", "", "run the benchmark suite instead of figures and write JSON records to this file (- for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Var(&figs, "fig", "figure to run (4, 5, 7a, 7b, 8a, 8b, 9a, 9b, 10a, 10b, g=generality); repeatable; default all")
 	flag.Var(&candidates, "candidate", "detector candidate for DMT's per-partition choice (NestedLoop, CellBased, ...); repeatable; default NestedLoop+CellBased")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dodbench:", err)
+		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	if *jsonOut != "" {
+		if err := runJSONBench(benchRunConfig{
+			points:      *segmentN,
+			reducers:    *reducers,
+			seed:        *seed,
+			parallelism: *parallelism,
+		}, *jsonOut); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	cfg := experiments.Config{
 		SegmentN:    *segmentN,
@@ -76,8 +130,7 @@ func main() {
 		Candidates:  candidates,
 	}
 	if err := run(cfg, figs, *csvOut); err != nil {
-		fmt.Fprintln(os.Stderr, "dodbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }
 

@@ -118,3 +118,73 @@ func DecodePoints(buf []byte) ([]geom.Point, error) {
 	}
 	return points, nil
 }
+
+// DecodePointInto decodes one point from the front of buf directly into
+// the columnar set — the allocation-free counterpart of DecodePoint for
+// the map/reduce hot paths (no per-point Coords slice is materialized).
+// An empty set with Dim 0 adopts the first record's dimensionality;
+// afterwards a mismatching record is an error.
+func DecodePointInto(buf []byte, set *geom.PointSet) (int, error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	off := n
+	dim, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	off += n
+	if dim > 1<<16 {
+		return 0, fmt.Errorf("codec: implausible dimension %d", dim)
+	}
+	if set.Dim == 0 && set.Len() == 0 {
+		set.Dim = int(dim)
+	}
+	if int(dim) != set.Dim {
+		return 0, fmt.Errorf("codec: dimension mismatch %d vs %d", dim, set.Dim)
+	}
+	need := int(dim) * 8
+	if len(buf[off:]) < need {
+		return 0, ErrTruncated
+	}
+	set.IDs = append(set.IDs, id)
+	for i := 0; i < int(dim); i++ {
+		set.Coords = append(set.Coords, math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+		off += 8
+	}
+	return off, nil
+}
+
+// DecodeTaggedPointInto decodes a (tag, point) record from the front of
+// buf into the set, returning the tag and the bytes consumed.
+func DecodeTaggedPointInto(buf []byte, set *geom.PointSet) (tag byte, n int, err error) {
+	if len(buf) < 1 {
+		return 0, 0, ErrTruncated
+	}
+	tag = buf[0]
+	m, err := DecodePointInto(buf[1:], set)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tag, 1 + m, nil
+}
+
+// DecodePointsInto decodes an EncodePoints block into the set, appending
+// every point. The set keeps its capacity across calls, so a pooled set
+// amortizes all decode allocations.
+func DecodePointsInto(buf []byte, set *geom.PointSet) error {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return ErrTruncated
+	}
+	off := n
+	for i := uint64(0); i < count; i++ {
+		m, err := DecodePointInto(buf[off:], set)
+		if err != nil {
+			return fmt.Errorf("codec: point %d/%d: %w", i, count, err)
+		}
+		off += m
+	}
+	return nil
+}

@@ -81,28 +81,34 @@ func nearBoundary(rect geom.Rect, p geom.Point, r float64) bool {
 // cost the baseline realistically pays for lacking supporting areas.
 func domainJob1Reducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.Trace) mapreduce.ReducerFunc {
 	return func(ctx *mapreduce.TaskContext, key uint64, values [][]byte, emit mapreduce.Emit) error {
-		core, _, err := decodeTaggedGroup(values)
+		sc := scratchPool.Get().(*taskScratch)
+		defer scratchPool.Put(sc)
+		// Support records (if any) stay in sc.supp, unmerged: the Domain
+		// baseline's defining property is detecting on core points alone.
+		nCore, err := decodeTaggedGroupSet(values, sc)
 		if err != nil {
 			return fmt.Errorf("core: partition %d: %w", key, err)
 		}
 		part := pl.Partitions[key]
 		detector := detect.New(part.Algo, seed+int64(key))
 		start := time.Now()
-		res := detector.Detect(core, nil, params)
+		res := detect.DetectSet(detector, &sc.core, nCore, params)
 		tr.Add("partition.detect", start, time.Since(start),
 			obs.Int("partition", int64(key)),
 			obs.Str("algo", part.Algo.String()),
-			obs.Int("core", int64(len(core))),
+			obs.Int("core", int64(nCore)),
 			obs.Int("distcomps", res.Stats.DistComps),
 			obs.Int("outliers", int64(len(res.OutlierIDs))))
 		work := res.Stats.Cost() + int64(len(values))
 
-		byID := make(map[uint64]geom.Point, len(res.OutlierIDs))
-		for _, p := range core {
-			byID[p.ID] = p
+		byID := make(map[uint64]int, len(res.OutlierIDs))
+		for i := 0; i < nCore; i++ {
+			byID[sc.core.IDs[i]] = i
 		}
+		r2 := params.R * params.R
 		for _, id := range res.OutlierIDs {
-			p := byID[id]
+			pi := byID[id]
+			p := sc.core.At(pi)
 			if !nearBoundary(part.Rect, p, params.R) {
 				// Interior: no external point can be a neighbor; final.
 				emit(key, binary.AppendUvarint([]byte{domainFinalOutlier}, id))
@@ -110,12 +116,12 @@ func domainJob1Reducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.
 			}
 			// Border outlier: exact local count for job-2 reconciliation.
 			localCount := 0
-			for _, q := range core {
-				if q.ID == id {
+			for j := 0; j < nCore; j++ {
+				if sc.core.IDs[j] == id {
 					continue
 				}
 				work++
-				if geom.WithinDist(p, q, params.R) {
+				if sc.core.Within2(pi, j, r2) {
 					localCount++
 				}
 			}
@@ -221,13 +227,16 @@ func domainJob2Mapper(pl *plan.Plan, params detect.Params) mapreduce.MapperFunc 
 			ctx.Inc(counterMapWork, work)
 			return nil
 		}
-		points, err := codec.DecodePoints(split.Data)
-		if err != nil {
+		sc := scratchPool.Get().(*taskScratch)
+		defer scratchPool.Put(sc)
+		sc.core.Clear()
+		if err := codec.DecodePointsInto(split.Data, &sc.core); err != nil {
 			return fmt.Errorf("core: split %s: %w", split.Name, err)
 		}
 		var work int64
-		for _, p := range points {
+		for i, n := 0, sc.core.Len(); i < n; i++ {
 			work++
+			p := sc.core.At(i)
 			core, _ := pl.Locate(p)
 			if nearBoundary(pl.Partitions[core].Rect, p, params.R) {
 				emit(uint64(core), codec.AppendTaggedPoint(nil, job2BorderPoint, p))
@@ -244,7 +253,10 @@ func domainJob2Mapper(pl *plan.Plan, params detect.Params) mapreduce.MapperFunc 
 // neighbors the candidate is an inlier regardless of the rest.
 func domainJob2Reducer(params detect.Params) mapreduce.ReducerFunc {
 	return func(ctx *mapreduce.TaskContext, key uint64, values [][]byte, emit mapreduce.Emit) error {
-		var border []geom.Point
+		sc := scratchPool.Get().(*taskScratch)
+		defer scratchPool.Put(sc)
+		border := &sc.core
+		border.Clear()
 		var cands []candidate
 		for _, v := range values {
 			if len(v) == 0 {
@@ -252,11 +264,9 @@ func domainJob2Reducer(params detect.Params) mapreduce.ReducerFunc {
 			}
 			switch v[0] {
 			case job2BorderPoint:
-				_, p, _, err := codec.DecodeTaggedPoint(v)
-				if err != nil {
+				if _, _, err := codec.DecodeTaggedPointInto(v, border); err != nil {
 					return err
 				}
-				border = append(border, p)
 			case domainCandidate:
 				c, err := decodeCandidate(v)
 				if err != nil {
@@ -268,14 +278,15 @@ func domainJob2Reducer(params detect.Params) mapreduce.ReducerFunc {
 			}
 		}
 		var work int64 = int64(len(values))
+		r2 := params.R * params.R
 		for _, c := range cands {
 			count := 0
-			for _, q := range border {
+			for j, nb := 0, border.Len(); j < nb; j++ {
 				if count >= params.K {
 					break
 				}
 				work++
-				if geom.WithinDist(c.point, q, params.R) {
+				if border.Within2Coords(j, c.point.Coords, r2) {
 					count++
 				}
 			}

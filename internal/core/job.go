@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
 	"dod/internal/codec"
@@ -25,16 +26,32 @@ const (
 	counterOutliers       = "detect.outliers"
 )
 
+// taskScratch is the per-task columnar decode buffer. One pooled pair of
+// point sets serves both sides of a job: mappers decode their whole split
+// into core (reusing its arrays split after split), reducers decode a value
+// group into core/supp and then run the detector straight off the columnar
+// layout. Pooling keeps the steady-state reduce path free of per-group
+// slice churn — tasks borrow grown-once arrays instead of reallocating one
+// []geom.Point plus one Coords slice per record.
+type taskScratch struct {
+	core, supp geom.PointSet
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(taskScratch) }}
+
 // detectionMapper implements the map function of Fig. 3: one core record
 // per point, one support record per supporting partition.
 func detectionMapper(pl *plan.Plan) mapreduce.MapperFunc {
 	return func(ctx *mapreduce.TaskContext, split mapreduce.Split, emit mapreduce.Emit) error {
-		points, err := codec.DecodePoints(split.Data)
-		if err != nil {
+		sc := scratchPool.Get().(*taskScratch)
+		defer scratchPool.Put(sc)
+		sc.core.Clear()
+		if err := codec.DecodePointsInto(split.Data, &sc.core); err != nil {
 			return fmt.Errorf("core: split %s: %w", split.Name, err)
 		}
 		var work int64
-		for _, p := range points {
+		for i, n := 0, sc.core.Len(); i < n; i++ {
+			p := sc.core.At(i) // aliased view; Locate and the codec copy, never retain
 			core, supports := pl.Locate(p)
 			emit(uint64(core), codec.AppendTaggedPoint(nil, codec.TagCore, p))
 			work += 1 + int64(len(supports))
@@ -58,19 +75,27 @@ func detectionReducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.T
 		if key >= uint64(len(pl.Partitions)) {
 			return fmt.Errorf("core: reduce key %d out of range (%d partitions)", key, len(pl.Partitions))
 		}
-		core, support, err := decodeTaggedGroup(values)
+		sc := scratchPool.Get().(*taskScratch)
+		defer scratchPool.Put(sc)
+		nCore, err := decodeTaggedGroupSet(values, sc)
 		if err != nil {
 			return fmt.Errorf("core: partition %d: %w", key, err)
+		}
+		nSupport := sc.supp.Len()
+		if nCore > 0 {
+			// Neighbor pool = core ∪ support, core first, so point i < nCore
+			// is a core point — the layout detect.DetectSet expects.
+			sc.core.AppendSet(&sc.supp)
 		}
 		part := pl.Partitions[key]
 		detector := detect.New(part.Algo, seed+int64(key))
 		start := time.Now()
-		res := detector.Detect(core, support, params)
+		res := detect.DetectSet(detector, &sc.core, nCore, params)
 		tr.Add("partition.detect", start, time.Since(start),
 			obs.Int("partition", int64(key)),
 			obs.Str("algo", part.Algo.String()),
-			obs.Int("core", int64(len(core))),
-			obs.Int("support", int64(len(support))),
+			obs.Int("core", int64(nCore)),
+			obs.Int("support", int64(nSupport)),
 			obs.Int("distcomps", res.Stats.DistComps),
 			obs.Int("outliers", int64(len(res.OutlierIDs))))
 		for _, id := range res.OutlierIDs {
@@ -84,24 +109,32 @@ func detectionReducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.T
 	}
 }
 
-// decodeTaggedGroup splits a reducer value group into core and support
-// point lists by their record tags.
-func decodeTaggedGroup(values [][]byte) (core, support []geom.Point, err error) {
+// decodeTaggedGroupSet splits a reducer value group into the scratch's core
+// and supp sets by record tag, decoding every point straight into the
+// columnar arrays (no intermediate []geom.Point). It returns the core count;
+// the caller decides whether to merge supp into core (the detection job's
+// neighbor pool) or ignore it (the Domain baseline detects on core alone).
+func decodeTaggedGroupSet(values [][]byte, sc *taskScratch) (nCore int, err error) {
+	sc.core.Clear()
+	sc.supp.Clear()
 	for _, v := range values {
-		tag, p, _, err := codec.DecodeTaggedPoint(v)
-		if err != nil {
-			return nil, nil, err
+		if len(v) == 0 {
+			return 0, codec.ErrTruncated
 		}
-		switch tag {
+		var target *geom.PointSet
+		switch v[0] {
 		case codec.TagCore:
-			core = append(core, p)
+			target = &sc.core
 		case codec.TagSupport:
-			support = append(support, p)
+			target = &sc.supp
 		default:
-			return nil, nil, fmt.Errorf("unknown record tag %d", tag)
+			return 0, fmt.Errorf("unknown record tag %d", v[0])
+		}
+		if _, _, err := codec.DecodeTaggedPointInto(v, target); err != nil {
+			return 0, err
 		}
 	}
-	return core, support, nil
+	return sc.core.Len(), nil
 }
 
 // decodeOutlierIDs extracts the outlier IDs from a detection job's output.

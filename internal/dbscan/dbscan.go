@@ -80,6 +80,17 @@ func Cluster(points []geom.Point, params Params) (*Result, error) {
 // for home points (their full eps-neighborhood is present by the
 // supporting-area guarantee) and conservative for support points. Returns
 // per-point facts keyed by ID, and the number of local clusters.
+// cellMapHint sizes a cell-index map for the expected number of occupied
+// cells rather than the point count: on dense data many points share a
+// cell, so hinting n entries overallocates buckets by an order of magnitude.
+func cellMapHint(n int) int {
+	h := n / 8
+	if h < 16 {
+		h = 16
+	}
+	return h
+}
+
 func clusterLocal(core, support []geom.Point, params Params) (map[uint64]localLabel, int) {
 	all := make([]geom.Point, 0, len(core)+len(support))
 	all = append(all, core...)
@@ -89,9 +100,12 @@ func clusterLocal(core, support []geom.Point, params Params) (map[uint64]localLa
 		return facts, 0
 	}
 
-	// Grid index with cell width eps: neighbors lie in the 3^d block.
+	// Grid index with cell width eps: neighbors lie in the 3^d block. The
+	// map holds one entry per *occupied cell*, far fewer than one per point
+	// on dense data — hint len/8 (min 16) instead of overallocating buckets
+	// for len(all) entries.
 	grid := geom.NewGridByWidth(geom.Bounds(all), params.Eps)
-	cells := make(map[int][]int, len(all))
+	cells := make(map[int][]int, cellMapHint(len(all)))
 	for i, p := range all {
 		ord := grid.CellOrdinal(p)
 		cells[ord] = append(cells[ord], i)

@@ -26,48 +26,229 @@ func L2Radius(d int) int {
 // variants: every point hashed into cells of diagonal r/2, with per-cell
 // counts. Building it is the linear "scanning and indexing" term of
 // Lemma 4.2.
+//
+// The layout is CSR-style rather than map-based: one counting sort groups
+// the point indices of the backing PointSet contiguously by cell ordinal,
+// so a cell's membership is a subslice (ptIdx[start[ord]:start[ord+1]])
+// and blockCount is a handful of dense array reads instead of map probes.
+// Because points are scattered in input order, a cell's members are in
+// ascending point-index order; with the core points forming the set's
+// prefix, a cell's core members are exactly its leading run of indices
+// < nCore — no separate core-by-cell structure is needed.
+//
+// When the grid has vastly more cells than points (high dimensionality or
+// tiny r — e.g. a 4D grid easily exceeds 10⁸ cells for a few thousand
+// points), dense per-ordinal arrays would dwarf the data; the index then
+// falls back to a sorted sparse layout (distinct ordinals + binary search)
+// with the same CSR membership slices.
 type cellIndex struct {
-	grid       *geom.Grid
-	cellPoints map[int][]geom.Point
-	count      map[int]int
-	l2         int
+	grid *geom.Grid
+	l2   int
+
+	// ptIdx holds point indices grouped by cell, ascending within a cell.
+	ptIdx []int32
+
+	// Dense layout (counts != nil): cell ord occupies
+	// ptIdx[start[ord]:start[ord+1]] and holds counts[ord] points.
+	start  []int32 // len NumCells+1, prefix sums of counts
+	counts []int32 // len NumCells
+
+	// Sparse layout (counts == nil): cells lists the non-empty ordinals in
+	// ascending order; cells[i] occupies ptIdx[cellStart[i]:cellStart[i+1]].
+	cells     []int
+	cellStart []int32
+
+	// Neighborhood iteration scratch (one odometer per index, so block
+	// scans allocate nothing).
+	nbIdx, nbLo, nbHi, nbCur []int
 }
 
-func buildCellIndex(all []geom.Point, r float64, stats *Stats) *cellIndex {
-	d := all[0].Dim()
-	ix := &cellIndex{
-		grid:       geom.NewGridByWidth(geom.Bounds(all), CellSide(d, r)),
-		cellPoints: make(map[int][]geom.Point, len(all)/2+1),
-		count:      make(map[int]int, len(all)/2+1),
-		l2:         L2Radius(d),
+// maxDenseCells bounds the dense layout's per-ordinal arrays: dense until
+// the cell count exceeds 256 cells per point (with a 2²¹ floor so small
+// inputs on fine grids stay dense) or an absolute 2²⁵-cell / 256 MiB cap.
+func maxDenseCells(n int) int {
+	limit := 1 << 21
+	if 256*n > limit {
+		limit = 256 * n
 	}
-	for _, p := range all {
-		ord := ix.grid.CellOrdinal(p)
-		ix.cellPoints[ord] = append(ix.cellPoints[ord], p)
-		ix.count[ord]++
+	if limit > 1<<25 {
+		limit = 1 << 25
+	}
+	return limit
+}
+
+func buildCellIndex(all *geom.PointSet, r float64, stats *Stats) *cellIndex {
+	d := all.Dim
+	ix := &cellIndex{
+		grid: geom.NewGridByWidth(all.Bounds(), CellSide(d, r)),
+		l2:   L2Radius(d),
+	}
+	ix.nbIdx = make([]int, d)
+	ix.nbLo = make([]int, d)
+	ix.nbHi = make([]int, d)
+	ix.nbCur = make([]int, d)
+
+	n := all.Len()
+	nc := ix.grid.NumCells()
+	ords := make([]int, n)
+	for i := 0; i < n; i++ {
+		ords[i] = ix.grid.CellOrdinalCoords(all.Coords[i*d : (i+1)*d])
 		stats.PointsIndexed++
 	}
+	ix.ptIdx = make([]int32, n)
+
+	// nc can wrap negative when a tiny r yields an astronomically fine
+	// grid (the ordinal product overflows int); such grids are handled by
+	// the sparse layout, which — like the map index it replaced — only
+	// ever touches the wrapped ordinals points actually hash to.
+	if nc > 0 && nc <= maxDenseCells(n) {
+		// Dense: counting sort by ordinal.
+		ix.counts = make([]int32, nc)
+		for _, ord := range ords {
+			ix.counts[ord]++
+		}
+		ix.start = make([]int32, nc+1)
+		for ord, c := range ix.counts {
+			ix.start[ord+1] = ix.start[ord] + c
+		}
+		next := make([]int32, nc)
+		copy(next, ix.start[:nc])
+		for i, ord := range ords {
+			ix.ptIdx[next[ord]] = int32(i)
+			next[ord]++
+		}
+		return ix
+	}
+
+	// Sparse: sort point indices by (ordinal, index) and extract runs.
+	for i := range ix.ptIdx {
+		ix.ptIdx[i] = int32(i)
+	}
+	sort.Slice(ix.ptIdx, func(a, b int) bool {
+		pa, pb := ix.ptIdx[a], ix.ptIdx[b]
+		if ords[pa] != ords[pb] {
+			return ords[pa] < ords[pb]
+		}
+		return pa < pb
+	})
+	for i := 0; i < n; {
+		ord := ords[ix.ptIdx[i]]
+		j := i
+		for j < n && ords[ix.ptIdx[j]] == ord {
+			j++
+		}
+		ix.cells = append(ix.cells, ord)
+		ix.cellStart = append(ix.cellStart, int32(i))
+		i = j
+	}
+	ix.cellStart = append(ix.cellStart, int32(n))
 	return ix
+}
+
+// count returns the number of points in the cell with the given ordinal.
+func (ix *cellIndex) count(ord int) int {
+	if ix.counts != nil {
+		return int(ix.counts[ord])
+	}
+	c := sort.SearchInts(ix.cells, ord)
+	if c == len(ix.cells) || ix.cells[c] != ord {
+		return 0
+	}
+	return int(ix.cellStart[c+1] - ix.cellStart[c])
+}
+
+// members returns the point indices of the cell with the given ordinal,
+// ascending (core points — set indices < nCore — first).
+func (ix *cellIndex) members(ord int) []int32 {
+	if ix.counts != nil {
+		return ix.ptIdx[ix.start[ord]:ix.start[ord+1]]
+	}
+	c := sort.SearchInts(ix.cells, ord)
+	if c == len(ix.cells) || ix.cells[c] != ord {
+		return nil
+	}
+	return ix.ptIdx[ix.cellStart[c]:ix.cellStart[c+1]]
+}
+
+// forEachCoreCell visits every cell containing at least one core point, in
+// ascending ordinal order, passing the cell's core members (the leading
+// run of indices < nCore). This reproduces the iteration order of the old
+// sorted-map grouping exactly.
+func (ix *cellIndex) forEachCoreCell(nCore int, fn func(ord int, coreMembers []int32)) {
+	emit := func(ord int, members []int32) {
+		if len(members) == 0 || int(members[0]) >= nCore {
+			return
+		}
+		hi := len(members)
+		for hi > 0 && int(members[hi-1]) >= nCore {
+			hi--
+		}
+		fn(ord, members[:hi])
+	}
+	if ix.counts != nil {
+		for ord := range ix.counts {
+			if ix.counts[ord] != 0 {
+				emit(ord, ix.ptIdx[ix.start[ord]:ix.start[ord+1]])
+			}
+		}
+		return
+	}
+	for c, ord := range ix.cells {
+		emit(ord, ix.ptIdx[ix.cellStart[c]:ix.cellStart[c+1]])
+	}
+}
+
+// forNeighborhood calls fn with the ordinal of every cell within Chebyshev
+// distance radius of the cell with ordinal ord (including itself), clipped
+// to the grid — the same row-major order as geom.Grid.Neighborhood, but
+// iterative over the index's scratch odometer so block scans allocate
+// nothing.
+func (ix *cellIndex) forNeighborhood(ord, radius int, fn func(o int)) {
+	dims := ix.grid.Dims
+	d := len(dims)
+	for i := d - 1; i >= 0; i-- {
+		ix.nbIdx[i] = ord % dims[i]
+		ord /= dims[i]
+	}
+	for i := 0; i < d; i++ {
+		lo := ix.nbIdx[i] - radius
+		if lo < 0 {
+			lo = 0
+		}
+		hi := ix.nbIdx[i] + radius
+		if hi > dims[i]-1 {
+			hi = dims[i] - 1
+		}
+		ix.nbLo[i], ix.nbHi[i], ix.nbCur[i] = lo, hi, lo
+	}
+	for {
+		o := 0
+		for i := 0; i < d; i++ {
+			o = o*dims[i] + ix.nbCur[i]
+		}
+		fn(o)
+		i := d - 1
+		for ; i >= 0; i-- {
+			ix.nbCur[i]++
+			if ix.nbCur[i] <= ix.nbHi[i] {
+				break
+			}
+			ix.nbCur[i] = ix.nbLo[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
 }
 
 // blockCount sums the point counts of all cells within Chebyshev radius of
 // the cell with ordinal ord.
 func (ix *cellIndex) blockCount(ord, radius int) int {
 	total := 0
-	ix.grid.Neighborhood(ix.grid.Unflatten(ord), radius, func(o int) {
-		total += ix.count[o]
+	ix.forNeighborhood(ord, radius, func(o int) {
+		total += ix.count(o)
 	})
 	return total
-}
-
-// coreByCell groups the core points by their cell ordinal.
-func (ix *cellIndex) coreByCell(core []geom.Point) map[int][]geom.Point {
-	out := make(map[int][]geom.Point, len(core)/2+1)
-	for _, p := range core {
-		ord := ix.grid.CellOrdinal(p)
-		out[ord] = append(out[ord], p)
-	}
-	return out
 }
 
 // cellBasedDetector implements the Cell-Based algorithm exactly as the
@@ -94,54 +275,39 @@ type cellBasedDetector struct {
 func (cellBasedDetector) Kind() Kind { return CellBased }
 
 func (d cellBasedDetector) Detect(core, support []geom.Point, params Params) Result {
-	if err := params.Validate(); err != nil {
-		panic(err)
-	}
+	return rowDetect(d, core, support, params)
+}
+
+func (d cellBasedDetector) detectSet(all *geom.PointSet, nCore int, params Params) Result {
 	var res Result
-	if len(core) == 0 {
-		return res
-	}
-	all := concat(core, support)
 	ix := buildCellIndex(all, params.R, &res.Stats)
 
 	rng := rand.New(rand.NewSource(d.seed))
-	order := rng.Perm(len(all))
+	order := rng.Perm(all.Len())
+	r2 := params.R * params.R
 
-	coreCells := ix.coreByCell(core)
-	for _, ord := range sortedOrdinals(coreCells) {
-		corePts := coreCells[ord]
+	ix.forEachCoreCell(nCore, func(ord int, corePts []int32) {
 		if ix.blockCount(ord, 1)-1 >= params.K {
 			res.Stats.CellsPruned++ // inlier cell
-			continue
+			return
 		}
 		if ix.blockCount(ord, ix.l2)-1 < params.K {
 			res.Stats.CellsPruned++ // outlier cell
-			for _, p := range corePts {
-				res.OutlierIDs = append(res.OutlierIDs, p.ID)
+			for _, pi := range corePts {
+				res.OutlierIDs = append(res.OutlierIDs, all.IDs[pi])
 			}
-			continue
+			return
 		}
 		// Undecided ("white") cell: Nested-Loop-style random scan over the
 		// full pool, early-terminating at k neighbors — exactly the
 		// |D|·A(D)·k/(πr²) fallback of Lemma 4.2's Equation (3).
-		for _, p := range corePts {
-			if randomScan(p, all, order, params.R, params.K, &res.Stats) < params.K {
-				res.OutlierIDs = append(res.OutlierIDs, p.ID)
+		for _, pi := range corePts {
+			if randomScan(all, int(pi), order, r2, params.K, &res.Stats) < params.K {
+				res.OutlierIDs = append(res.OutlierIDs, all.IDs[pi])
 			}
 		}
-	}
+	})
 	return res
-}
-
-// sortedOrdinals returns the map's keys in ascending order so detection is
-// deterministic regardless of map iteration order.
-func sortedOrdinals(m map[int][]geom.Point) []int {
-	out := make([]int, 0, len(m))
-	for ord := range m {
-		out = append(out, ord)
-	}
-	sort.Ints(out)
-	return out
 }
 
 // cellBasedL2Detector is an optimized Cell-Based variant beyond the paper:
@@ -153,58 +319,61 @@ type cellBasedL2Detector struct{}
 
 func (cellBasedL2Detector) Kind() Kind { return CellBasedL2 }
 
-func (cellBasedL2Detector) Detect(core, support []geom.Point, params Params) Result {
-	if err := params.Validate(); err != nil {
-		panic(err)
-	}
-	var res Result
-	if len(core) == 0 {
-		return res
-	}
-	all := concat(core, support)
-	ix := buildCellIndex(all, params.R, &res.Stats)
+func (d cellBasedL2Detector) Detect(core, support []geom.Point, params Params) Result {
+	return rowDetect(d, core, support, params)
+}
 
-	coreCells := ix.coreByCell(core)
-	for _, ord := range sortedOrdinals(coreCells) {
-		corePts := coreCells[ord]
+func (cellBasedL2Detector) detectSet(all *geom.PointSet, nCore int, params Params) Result {
+	var res Result
+	ix := buildCellIndex(all, params.R, &res.Stats)
+	r2 := params.R * params.R
+
+	// Per-cell scratch, reused across undecided cells: the L1 block's
+	// ordinals and the ring membership (point indices).
+	var l1Ords []int
+	var ring []int32
+
+	ix.forEachCoreCell(nCore, func(ord int, corePts []int32) {
 		cnt1 := ix.blockCount(ord, 1)
 		if cnt1-1 >= params.K {
 			res.Stats.CellsPruned++
-			continue
+			return
 		}
 		if ix.blockCount(ord, ix.l2)-1 < params.K {
 			res.Stats.CellsPruned++
-			for _, p := range corePts {
-				res.OutlierIDs = append(res.OutlierIDs, p.ID)
+			for _, pi := range corePts {
+				res.OutlierIDs = append(res.OutlierIDs, all.IDs[pi])
 			}
-			continue
+			return
 		}
 		// Points in the L1 block are guaranteed neighbors; only the ring
 		// between L1 and L2 needs distance checks.
-		idx := ix.grid.Unflatten(ord)
-		l1Set := make(map[int]bool, 9)
-		ix.grid.Neighborhood(idx, 1, func(o int) { l1Set[o] = true })
-		var ring []geom.Point
-		ix.grid.Neighborhood(idx, ix.l2, func(o int) {
-			if !l1Set[o] {
-				ring = append(ring, ix.cellPoints[o]...)
+		l1Ords = l1Ords[:0]
+		ix.forNeighborhood(ord, 1, func(o int) { l1Ords = append(l1Ords, o) })
+		ring = ring[:0]
+		ix.forNeighborhood(ord, ix.l2, func(o int) {
+			for _, l1 := range l1Ords {
+				if o == l1 {
+					return
+				}
 			}
+			ring = append(ring, ix.members(o)...)
 		})
-		for _, p := range corePts {
+		for _, pi := range corePts {
 			neighbors := cnt1 - 1 // every L1-block point is within r
-			for _, q := range ring {
+			for _, qi := range ring {
 				if neighbors >= params.K {
 					break
 				}
 				res.Stats.DistComps++
-				if geom.WithinDist(p, q, params.R) {
+				if all.Within2(int(pi), int(qi), r2) {
 					neighbors++
 				}
 			}
 			if neighbors < params.K {
-				res.OutlierIDs = append(res.OutlierIDs, p.ID)
+				res.OutlierIDs = append(res.OutlierIDs, all.IDs[pi])
 			}
 		}
-	}
+	})
 	return res
 }

@@ -135,6 +135,54 @@ type Detector interface {
 	Detect(core, support []geom.Point, params Params) Result
 }
 
+// setDetector is the columnar fast path every built-in detector
+// implements: all holds the core points first (indices [0, nCore)) followed
+// by the support points, and the detector classifies the core prefix.
+type setDetector interface {
+	detectSet(all *geom.PointSet, nCore int, params Params) Result
+}
+
+// DetectSet runs d on a columnar point set without converting back to row
+// points: all must hold the core points as its first nCore entries and the
+// support points after them. For the built-in detectors this is the
+// zero-conversion entry the reduce path uses; third-party Detectors fall
+// back to a materialized Detect call. Results are identical to Detect on
+// the equivalent slices.
+func DetectSet(d Detector, all *geom.PointSet, nCore int, params Params) Result {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if nCore == 0 {
+		return Result{}
+	}
+	if sd, ok := d.(setDetector); ok {
+		return sd.detectSet(all, nCore, params)
+	}
+	pts := all.Points()
+	return d.Detect(pts[:nCore], pts[nCore:], params)
+}
+
+// rowDetect adapts the public row-oriented Detect contract onto a
+// detector's columnar kernel: validate, convert core+support into one
+// contiguous PointSet (core first), and dispatch. Every built-in Detect
+// method is this thin conversion layer.
+func rowDetect(d setDetector, core, support []geom.Point, params Params) Result {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if len(core) == 0 {
+		return Result{}
+	}
+	all := geom.NewPointSet(core[0].Dim(), len(core)+len(support))
+	for _, p := range core {
+		all.Append(p)
+	}
+	for _, p := range support {
+		all.Append(p)
+	}
+	return d.detectSet(all, len(core), params)
+}
+
 // New constructs a detector of the given kind. Seed drives any internal
 // randomization (the Nested-Loop scan order); detectors that use no
 // randomness ignore it.
@@ -163,35 +211,29 @@ type bruteForceDetector struct{}
 
 func (bruteForceDetector) Kind() Kind { return BruteForce }
 
-func (bruteForceDetector) Detect(core, support []geom.Point, params Params) Result {
-	if err := params.Validate(); err != nil {
-		panic(err)
-	}
-	all := concat(core, support)
+func (d bruteForceDetector) Detect(core, support []geom.Point, params Params) Result {
+	return rowDetect(d, core, support, params)
+}
+
+func (bruteForceDetector) detectSet(all *geom.PointSet, nCore int, params Params) Result {
 	var res Result
-	for _, p := range core {
+	n := all.Len()
+	r2 := params.R * params.R
+	for i := 0; i < nCore; i++ {
+		id := all.IDs[i]
 		neighbors := 0
-		for _, q := range all {
-			if q.ID == p.ID {
+		for j := 0; j < n; j++ {
+			if all.IDs[j] == id {
 				continue
 			}
 			res.Stats.DistComps++
-			if geom.WithinDist(p, q, params.R) {
+			if all.Within2(i, j, r2) {
 				neighbors++
 			}
 		}
 		if neighbors < params.K {
-			res.OutlierIDs = append(res.OutlierIDs, p.ID)
+			res.OutlierIDs = append(res.OutlierIDs, id)
 		}
 	}
 	return res
-}
-
-// concat returns core followed by support in one slice without mutating
-// either input.
-func concat(core, support []geom.Point) []geom.Point {
-	all := make([]geom.Point, 0, len(core)+len(support))
-	all = append(all, core...)
-	all = append(all, support...)
-	return all
 }

@@ -36,37 +36,89 @@ func scanOffset(id uint64, n int) int {
 	return int(id % uint64(n) * 7919 % uint64(n)) // 7919 prime decorrelates nearby IDs
 }
 
-// randomScan counts neighbors of p among all (excluding p itself), visiting
-// candidates in the rotated permutation and stopping at limit.
-func randomScan(p geom.Point, all []geom.Point, order []int, r float64, limit int, stats *Stats) int {
-	n := len(all)
-	offset := scanOffset(p.ID, n)
+// randomScan counts neighbors of point pi among the set (excluding pi
+// itself), visiting candidates in the rotated permutation and stopping at
+// limit. r2 is the squared distance threshold. The loop body touches only
+// the set's two flat arrays and the shared permutation — no per-candidate
+// allocation, pointer chasing, or modulo: the rotation is realized as two
+// linear passes over the permutation (order[offset:], then order[:offset]),
+// which visit the identical candidate sequence.
+func randomScan(all *geom.PointSet, pi int, order []int, r2 float64, limit int, stats *Stats) int {
+	n := all.Len()
+	id := all.IDs[pi]
+	offset := scanOffset(id, n)
 	neighbors := 0
-	for j := 0; j < n && neighbors < limit; j++ {
-		q := all[order[(j+offset)%n]]
-		if q.ID == p.ID {
-			continue
+	if all.Dim == 2 {
+		neighbors = scanSegment2(all, pi, id, order[offset:], r2, limit, neighbors, stats)
+		if neighbors < limit {
+			neighbors = scanSegment2(all, pi, id, order[:offset], r2, limit, neighbors, stats)
 		}
-		stats.DistComps++
-		if geom.WithinDist(p, q, r) {
-			neighbors++
-		}
+		return neighbors
+	}
+	neighbors = scanSegment(all, pi, id, order[offset:], r2, limit, neighbors, stats)
+	if neighbors < limit {
+		neighbors = scanSegment(all, pi, id, order[:offset], r2, limit, neighbors, stats)
 	}
 	return neighbors
 }
 
-func (d nestedLoopDetector) Detect(core, support []geom.Point, params Params) Result {
-	if err := params.Validate(); err != nil {
-		panic(err)
+// scanSegment visits one contiguous run of the permutation.
+func scanSegment(all *geom.PointSet, pi int, id uint64, seg []int, r2 float64, limit, neighbors int, stats *Stats) int {
+	comps := int64(0)
+	for _, qi := range seg {
+		if neighbors >= limit {
+			break
+		}
+		if all.IDs[qi] == id {
+			continue
+		}
+		comps++
+		if all.Within2(pi, qi, r2) {
+			neighbors++
+		}
 	}
-	all := concat(core, support)
+	stats.DistComps += comps
+	return neighbors
+}
+
+// scanSegment2 is scanSegment's 2D specialization: the query coordinates
+// live in registers and the distance test is fully inlined (same
+// accumulation order as Within2, so verdicts are bit-identical).
+func scanSegment2(all *geom.PointSet, pi int, id uint64, seg []int, r2 float64, limit, neighbors int, stats *Stats) int {
+	ids, coords := all.IDs, all.Coords
+	px, py := coords[2*pi], coords[2*pi+1]
+	comps := int64(0)
+	for _, qi := range seg {
+		if neighbors >= limit {
+			break
+		}
+		if ids[qi] == id {
+			continue
+		}
+		comps++
+		dx := px - coords[2*qi]
+		dy := py - coords[2*qi+1]
+		if dx*dx+dy*dy <= r2 {
+			neighbors++
+		}
+	}
+	stats.DistComps += comps
+	return neighbors
+}
+
+func (d nestedLoopDetector) Detect(core, support []geom.Point, params Params) Result {
+	return rowDetect(d, core, support, params)
+}
+
+func (d nestedLoopDetector) detectSet(all *geom.PointSet, nCore int, params Params) Result {
 	rng := rand.New(rand.NewSource(d.seed))
-	order := rng.Perm(len(all))
+	order := rng.Perm(all.Len())
+	r2 := params.R * params.R
 
 	var res Result
-	for _, p := range core {
-		if randomScan(p, all, order, params.R, params.K, &res.Stats) < params.K {
-			res.OutlierIDs = append(res.OutlierIDs, p.ID)
+	for i := 0; i < nCore; i++ {
+		if randomScan(all, i, order, r2, params.K, &res.Stats) < params.K {
+			res.OutlierIDs = append(res.OutlierIDs, all.IDs[i])
 		}
 	}
 	return res

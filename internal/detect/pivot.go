@@ -26,71 +26,77 @@ func (pivotDetector) Kind() Kind { return Pivot }
 const numPivots = 8
 
 func (d pivotDetector) Detect(core, support []geom.Point, params Params) Result {
-	if err := params.Validate(); err != nil {
-		panic(err)
-	}
+	return rowDetect(d, core, support, params)
+}
+
+func (d pivotDetector) detectSet(all *geom.PointSet, nCore int, params Params) Result {
 	var res Result
-	if len(core) == 0 {
-		return res
-	}
-	all := concat(core, support)
-	n := len(all)
+	n := all.Len()
 
 	m := numPivots
 	if m > n {
 		m = n
 	}
-	// Seeded pivot choice; distances to pivots double as the index.
+	// Seeded pivot choice; distances to pivots double as the index, stored
+	// point-major (pivDist[q*m : q*m+m] = point q's distances to every
+	// pivot) so the triangle-inequality filter below reads one contiguous
+	// stripe per candidate.
 	rng := rand.New(rand.NewSource(d.seed))
 	pivotIdx := rng.Perm(n)[:m]
-	pivDist := make([][]float64, m)
+	pivDist := make([]float64, n*m)
 	for i, pi := range pivotIdx {
-		pivDist[i] = make([]float64, n)
-		for j, q := range all {
+		for j := 0; j < n; j++ {
 			res.Stats.DistComps++
-			pivDist[i][j] = geom.Dist(all[pi], q)
+			pivDist[j*m+i] = math.Sqrt(all.Dist2At(pi, j))
 		}
 		res.Stats.PointsIndexed += int64(n)
 	}
-	// Position of each point in `all` so a core point can find its own
-	// pivot distances.
-	posByID := make(map[uint64]int, n)
-	for j, q := range all {
-		posByID[q.ID] = j
-	}
 
 	order := rng.Perm(n)
-	for _, p := range core {
-		pPos := posByID[p.ID]
+	r2 := params.R * params.R
+	var pruned, comps int64
+	for p := 0; p < nCore; p++ {
+		// A core point's own pivot distances sit at its set index — the
+		// set replaces the old ID-to-position map.
+		id := all.IDs[p]
+		pRow := pivDist[p*m : p*m+m]
 		neighbors := 0
-		offset := scanOffset(p.ID, n)
-		for j := 0; j < n && neighbors < params.K; j++ {
-			qPos := order[(j+offset)%n]
-			q := all[qPos]
-			if q.ID == p.ID {
-				continue
-			}
-			// Triangle-inequality filter: if any pivot separates p and q
-			// by more than r, q cannot be a neighbor.
-			pruned := false
-			for i := 0; i < m; i++ {
-				if math.Abs(pivDist[i][pPos]-pivDist[i][qPos]) > params.R {
-					pruned = true
+		offset := scanOffset(id, n)
+		// Two linear passes realize the rotated permutation without a
+		// modulo per candidate (same visit sequence as order[(j+offset)%n]).
+		for _, seg := range [2][]int{order[offset:], order[:offset]} {
+			for _, qi := range seg {
+				if neighbors >= params.K {
 					break
 				}
-			}
-			if pruned {
-				res.Stats.CellsPruned++ // counts filtered candidates
-				continue
-			}
-			res.Stats.DistComps++
-			if geom.WithinDist(p, q, params.R) {
-				neighbors++
+				if all.IDs[qi] == id {
+					continue
+				}
+				// Triangle-inequality filter: if any pivot separates p and
+				// q by more than r, q cannot be a neighbor.
+				qRow := pivDist[qi*m : qi*m+m]
+				filtered := false
+				for i := 0; i < m; i++ {
+					if math.Abs(pRow[i]-qRow[i]) > params.R {
+						filtered = true
+						break
+					}
+				}
+				if filtered {
+					pruned++ // counts filtered candidates
+					continue
+				}
+				comps++
+				if all.Within2(p, qi, r2) {
+					neighbors++
+				}
 			}
 		}
 		if neighbors < params.K {
-			res.OutlierIDs = append(res.OutlierIDs, p.ID)
+			res.OutlierIDs = append(res.OutlierIDs, id)
 		}
 	}
+	res.Stats.CellsPruned += pruned
+	res.Stats.DistComps += comps
 	return res
 }

@@ -109,9 +109,30 @@ func (g *Grid) Unflatten(ord int) []int {
 	return idx
 }
 
-// CellOrdinal returns the flattened ordinal of the cell containing p.
+// CellOrdinal returns the flattened ordinal of the cell containing p. It
+// is equivalent to Flatten(CellCoords(p)) but computes the ordinal inline,
+// with no per-call index-slice allocation — it sits inside every indexing
+// loop of the Cell-Based detectors and the histogram builders.
 func (g *Grid) CellOrdinal(p Point) int {
-	return g.Flatten(g.CellCoords(p))
+	return g.CellOrdinalCoords(p.Coords)
+}
+
+// CellOrdinalCoords is CellOrdinal on a bare coordinate row — the form the
+// columnar PointSet hot paths use (clamping semantics identical to
+// CellCoords).
+func (g *Grid) CellOrdinalCoords(coords []float64) int {
+	ord := 0
+	for i, n := range g.Dims {
+		c := int((coords[i] - g.Domain.Min[i]) / g.width[i])
+		if c < 0 {
+			c = 0
+		}
+		if c >= n {
+			c = n - 1
+		}
+		ord = ord*n + c
+	}
+	return ord
 }
 
 // CellRect returns the rectangle of the cell at the given indices.

@@ -1,0 +1,246 @@
+package geom
+
+import "fmt"
+
+// PointSet is a columnar (struct-of-arrays) point collection: one flat
+// coordinate block plus a parallel ID column. It is the allocation-free
+// counterpart of []Point for the detection hot paths — iterating a PointSet
+// touches two contiguous arrays instead of chasing one heap-allocated
+// Coords slice per point, so the "linear scanning and indexing" terms of
+// the cost lemmas stop being cache-miss-and-GC terms.
+//
+// Point i occupies Coords[i*Dim : (i+1)*Dim] and IDs[i]. The zero value is
+// an empty set of unspecified dimensionality; Reset both truncates and
+// (re)fixes Dim, so sets can be pooled across uses.
+type PointSet struct {
+	Dim    int       // dimensionality of every point; fixed per use
+	IDs    []uint64  // IDs[i] identifies point i
+	Coords []float64 // len = Dim*len(IDs), row-major
+}
+
+// NewPointSet returns an empty set of the given dimensionality with
+// capacity for n points.
+func NewPointSet(dim, n int) *PointSet {
+	if dim < 1 {
+		panic("geom: NewPointSet requires dim >= 1")
+	}
+	return &PointSet{Dim: dim, IDs: make([]uint64, 0, n), Coords: make([]float64, 0, n*dim)}
+}
+
+// PointSetOf converts a row-oriented point slice into a fresh columnar set.
+// It panics on an empty input (dimensionality would be unknown) and on
+// mixed dimensionalities, mirroring Dist's contract.
+func PointSetOf(pts []Point) *PointSet {
+	if len(pts) == 0 {
+		panic("geom: PointSetOf of empty slice")
+	}
+	s := NewPointSet(pts[0].Dim(), len(pts))
+	for _, p := range pts {
+		s.Append(p)
+	}
+	return s
+}
+
+// Len returns the number of points in the set.
+func (s *PointSet) Len() int { return len(s.IDs) }
+
+// Clear truncates the set and unfixes its dimensionality, keeping capacity.
+// A cleared set adopts the dimensionality of the first point decoded or
+// appended into it (see codec.DecodePointInto), which is what the pooled
+// reduce scratch needs: partition dimensionality is only known once the
+// first record arrives.
+func (s *PointSet) Clear() {
+	s.Dim = 0
+	s.IDs = s.IDs[:0]
+	s.Coords = s.Coords[:0]
+}
+
+// Reset truncates the set to empty and fixes its dimensionality, keeping
+// the underlying capacity so pooled sets do not reallocate.
+func (s *PointSet) Reset(dim int) {
+	if dim < 1 {
+		panic("geom: PointSet.Reset requires dim >= 1")
+	}
+	s.Dim = dim
+	s.IDs = s.IDs[:0]
+	s.Coords = s.Coords[:0]
+}
+
+// Append adds p to the set. It panics if p's dimensionality does not match.
+func (s *PointSet) Append(p Point) {
+	if len(p.Coords) != s.Dim {
+		panic(fmt.Sprintf("geom: PointSet dimension mismatch %d vs %d", len(p.Coords), s.Dim))
+	}
+	s.IDs = append(s.IDs, p.ID)
+	s.Coords = append(s.Coords, p.Coords...)
+}
+
+// AppendRaw adds a point given as an ID and a coordinate slice, which is
+// copied. It panics on a dimension mismatch.
+func (s *PointSet) AppendRaw(id uint64, coords []float64) {
+	if len(coords) != s.Dim {
+		panic(fmt.Sprintf("geom: PointSet dimension mismatch %d vs %d", len(coords), s.Dim))
+	}
+	s.IDs = append(s.IDs, id)
+	s.Coords = append(s.Coords, coords...)
+}
+
+// AppendSet bulk-appends every point of o. It panics on a dimension
+// mismatch (unless o is empty).
+func (s *PointSet) AppendSet(o *PointSet) {
+	if o.Len() == 0 {
+		return
+	}
+	if o.Dim != s.Dim {
+		panic(fmt.Sprintf("geom: PointSet dimension mismatch %d vs %d", o.Dim, s.Dim))
+	}
+	s.IDs = append(s.IDs, o.IDs...)
+	s.Coords = append(s.Coords, o.Coords...)
+}
+
+// CoordsAt returns the coordinate row of point i, aliased into the set's
+// storage (callers must not hold it across an Append, which may reallocate).
+func (s *PointSet) CoordsAt(i int) []float64 {
+	return s.Coords[i*s.Dim : (i+1)*s.Dim : (i+1)*s.Dim]
+}
+
+// At materializes point i as a row Point whose Coords alias the set.
+func (s *PointSet) At(i int) Point {
+	return Point{ID: s.IDs[i], Coords: s.CoordsAt(i)}
+}
+
+// Points materializes the whole set as a deep-copied []Point — the
+// conversion layer back to the public row-oriented API.
+func (s *PointSet) Points() []Point {
+	out := make([]Point, s.Len())
+	coords := make([]float64, len(s.Coords)) // one block for all rows
+	copy(coords, s.Coords)
+	for i := range out {
+		out[i] = Point{ID: s.IDs[i], Coords: coords[i*s.Dim : (i+1)*s.Dim : (i+1)*s.Dim]}
+	}
+	return out
+}
+
+// Dist2At returns the squared Euclidean distance between points i and j.
+// The accumulation order is identical to Dist2's (term 0 first), so results
+// are bit-identical to converting both points and calling Dist2.
+func (s *PointSet) Dist2At(i, j int) float64 {
+	a := i * s.Dim
+	b := j * s.Dim
+	switch s.Dim {
+	case 2:
+		d0 := s.Coords[a] - s.Coords[b]
+		sum := d0 * d0
+		d1 := s.Coords[a+1] - s.Coords[b+1]
+		return sum + d1*d1
+	case 3:
+		d0 := s.Coords[a] - s.Coords[b]
+		sum := d0 * d0
+		d1 := s.Coords[a+1] - s.Coords[b+1]
+		sum += d1 * d1
+		d2 := s.Coords[a+2] - s.Coords[b+2]
+		return sum + d2*d2
+	}
+	var sum float64
+	for k := 0; k < s.Dim; k++ {
+		d := s.Coords[a+k] - s.Coords[b+k]
+		sum += d * d
+	}
+	return sum
+}
+
+// Within2 reports whether dist(i, j) <= r where r2 = r*r, without a sqrt.
+// Beyond the unrolled 2D/3D cases it early-exits as soon as the partial sum
+// exceeds r2: squared terms are non-negative, so a partial sum already over
+// the threshold can never come back under it — the verdict matches the full
+// Dist2At comparison bit for bit.
+func (s *PointSet) Within2(i, j int, r2 float64) bool {
+	a := i * s.Dim
+	b := j * s.Dim
+	switch s.Dim {
+	case 2:
+		d0 := s.Coords[a] - s.Coords[b]
+		sum := d0 * d0
+		d1 := s.Coords[a+1] - s.Coords[b+1]
+		return sum+d1*d1 <= r2
+	case 3:
+		d0 := s.Coords[a] - s.Coords[b]
+		sum := d0 * d0
+		d1 := s.Coords[a+1] - s.Coords[b+1]
+		sum += d1 * d1
+		d2 := s.Coords[a+2] - s.Coords[b+2]
+		return sum+d2*d2 <= r2
+	}
+	var sum float64
+	for k := 0; k < s.Dim; k++ {
+		d := s.Coords[a+k] - s.Coords[b+k]
+		sum += d * d
+		if sum > r2 {
+			return false
+		}
+	}
+	return sum <= r2
+}
+
+// Within2Coords reports whether point i lies within r (r2 = r*r) of the
+// bare coordinate row q — the cross-set counterpart of Within2 for probing
+// a set with an external query point. Verdicts match WithinDist on the
+// equivalent row points bit for bit (the sign of each difference is
+// irrelevant to its square, and the early exit preserves the monotone
+// partial-sum argument of Within2).
+func (s *PointSet) Within2Coords(i int, q []float64, r2 float64) bool {
+	if len(q) != s.Dim {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", s.Dim, len(q)))
+	}
+	a := i * s.Dim
+	switch s.Dim {
+	case 2:
+		d0 := s.Coords[a] - q[0]
+		sum := d0 * d0
+		d1 := s.Coords[a+1] - q[1]
+		return sum+d1*d1 <= r2
+	case 3:
+		d0 := s.Coords[a] - q[0]
+		sum := d0 * d0
+		d1 := s.Coords[a+1] - q[1]
+		sum += d1 * d1
+		d2 := s.Coords[a+2] - q[2]
+		return sum+d2*d2 <= r2
+	}
+	var sum float64
+	for k := 0; k < s.Dim; k++ {
+		d := s.Coords[a+k] - q[k]
+		sum += d * d
+		if sum > r2 {
+			return false
+		}
+	}
+	return sum <= r2
+}
+
+// Bounds returns the minimal bounding rectangle of the set, with the same
+// comparison order as Bounds so the rectangles are bit-identical. It panics
+// on an empty set.
+func (s *PointSet) Bounds() Rect {
+	n := s.Len()
+	if n == 0 {
+		panic("geom: Bounds of empty point set")
+	}
+	d := s.Dim
+	min := make([]float64, d)
+	max := make([]float64, d)
+	copy(min, s.Coords[:d])
+	copy(max, s.Coords[:d])
+	for i := 1; i < n; i++ {
+		row := s.Coords[i*d:]
+		for k := 0; k < d; k++ {
+			if row[k] < min[k] {
+				min[k] = row[k]
+			}
+			if row[k] > max[k] {
+				max[k] = row[k]
+			}
+		}
+	}
+	return Rect{Min: min, Max: max}
+}

@@ -78,9 +78,12 @@ type index struct {
 }
 
 func newIndex(points []geom.Point, cellWidth float64) *index {
+	// Size the map for occupied cells, not points: on dense data many
+	// points share a cell, so a len(points) hint overallocates buckets.
+	hint := len(points)/8 + 1
 	ix := &index{
 		grid:   geom.NewGridByWidth(geom.Bounds(points), cellWidth),
-		cells:  make(map[int][]int, len(points)),
+		cells:  make(map[int][]int, hint),
 		points: points,
 	}
 	for i, p := range points {

@@ -291,3 +291,20 @@ func Distort(points []geom.Point, copies int, jitter float64, seed int64) []geom
 	}
 	return out
 }
+
+// GaussianCloud generates an n-point d-dimensional Gaussian cloud scaled so
+// the average density stays in the intermediate regime for the canonical
+// r=5, k=4 parameters. The 2D experiments never need it; the d>2 kernel
+// benchmarks and the dimensionality sweep do.
+func GaussianCloud(n, d int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		coords := make([]float64, d)
+		for j := range coords {
+			coords[j] = rng.NormFloat64() * 20
+		}
+		pts[i] = geom.Point{ID: uint64(i), Coords: coords}
+	}
+	return pts
+}
