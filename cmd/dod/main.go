@@ -9,13 +9,20 @@
 // The input is one point per line: id,x1,x2,...  Output is one outlier ID
 // per line on stdout; -stats adds an execution report and the run's stage
 // trace on stderr.
+//
+// With -engine cluster the process embeds a cluster coordinator: it prints
+// the dodworker join command on stderr, waits for -workers workers, and
+// ships the detection job's tasks to them instead of running in-process.
+// Results are byte-identical across engines for the same seed.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dod"
 	"dod/internal/synth"
@@ -34,26 +41,58 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		stats    = flag.Bool("stats", false, "print an execution report and stage trace to stderr")
 		planOut  = flag.String("plan", "", "write the generated partition plan as JSON to this file")
+
+		engine     = flag.String("engine", "local", "execution engine: local | cluster")
+		listen     = flag.String("listen", "127.0.0.1:0", "cluster engine: coordinator listen address")
+		workers    = flag.Int("workers", 1, "cluster engine: workers to wait for before detecting")
+		workerWait = flag.Duration("worker-wait", 60*time.Second, "cluster engine: how long to wait for workers to join")
 	)
 	flag.Var(&strategy, "strategy", "partitioning strategy: Domain | uniSpace | DDriven | CDriven | DMT")
 	flag.Var(&detector, "detector", "detector for single-tactic strategies: NestedLoop | CellBased | CellBasedL2 | KDTree | BruteForce")
 	flag.Parse()
 
-	if err := run(*r, *k, strategy, detector, *reducers, *sample, *seed, *stats, *planOut, flag.Args()); err != nil {
+	if err := run(runOpts{
+		r: *r, k: *k, strategy: strategy, detector: detector,
+		reducers: *reducers, sample: *sample, seed: *seed,
+		stats: *stats, planOut: *planOut,
+		engine: *engine, listen: *listen, workers: *workers, workerWait: *workerWait,
+		args: flag.Args(),
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(r float64, k int, strategy dod.Strategy, detector dod.Detector, reducers int, sample float64, seed int64, stats bool, planOut string, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("expected exactly one input CSV file, got %d args", len(args))
+// runOpts mirrors the command line; the zero value of the cluster fields
+// means the local engine.
+type runOpts struct {
+	r        float64
+	k        int
+	strategy dod.Strategy
+	detector dod.Detector
+	reducers int
+	sample   float64
+	seed     int64
+	stats    bool
+	planOut  string
+
+	engine     string
+	listen     string
+	workers    int
+	workerWait time.Duration
+
+	args []string
+}
+
+func run(o runOpts) error {
+	if len(o.args) != 1 {
+		return fmt.Errorf("expected exactly one input CSV file, got %d args", len(o.args))
 	}
-	if r <= 0 || k < 1 {
+	if o.r <= 0 || o.k < 1 {
 		return fmt.Errorf("both -r (> 0) and -k (>= 1) are required")
 	}
 
-	f, err := os.Open(args[0])
+	f, err := os.Open(o.args[0])
 	if err != nil {
 		return err
 	}
@@ -63,34 +102,57 @@ func run(r float64, k int, strategy dod.Strategy, detector dod.Detector, reducer
 		return err
 	}
 
-	res, err := dod.Detect(points, dod.Config{
-		R:           r,
-		K:           k,
-		Strategy:    strategy,
-		Detector:    detector,
-		NumReducers: reducers,
-		SampleRate:  sample,
-		Seed:        seed,
-	})
+	cfg := dod.Config{
+		R:           o.r,
+		K:           o.k,
+		Strategy:    o.strategy,
+		Detector:    o.detector,
+		NumReducers: o.reducers,
+		SampleRate:  o.sample,
+		Seed:        o.seed,
+	}
+	switch o.engine {
+	case "", "local":
+	case "cluster":
+		logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+		coord, err := dod.NewCoordinator(dod.CoordinatorConfig{Listen: o.listen, Logf: logf})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		fmt.Fprintf(os.Stderr, "dod: coordinator listening; join workers with: dodworker -join %s\n", coord.URL())
+		ctx, cancel := context.WithTimeout(context.Background(), o.workerWait)
+		err = coord.WaitForWorkers(ctx, o.workers)
+		cancel()
+		if err != nil {
+			return err
+		}
+		cfg.Engine = dod.EngineCluster
+		cfg.Coordinator = coord
+	default:
+		return fmt.Errorf("unknown -engine %q (local | cluster)", o.engine)
+	}
+
+	res, err := dod.Detect(points, cfg)
 	if err != nil {
 		return err
 	}
 	for _, id := range res.OutlierIDs {
 		fmt.Println(id)
 	}
-	if planOut != "" {
+	if o.planOut != "" {
 		data, err := json.MarshalIndent(res.Report.Plan, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(planOut, data, 0o644); err != nil {
+		if err := os.WriteFile(o.planOut, data, 0o644); err != nil {
 			return err
 		}
 	}
-	if stats {
+	if o.stats {
 		rep := res.Report
-		fmt.Fprintf(os.Stderr, "points: %d   outliers: %d   partitions: %d   jobs: %d\n",
-			len(points), len(res.OutlierIDs), len(rep.Plan.Partitions), rep.NumJobs)
+		fmt.Fprintf(os.Stderr, "points: %d   outliers: %d   partitions: %d   jobs: %d   engine: %s\n",
+			len(points), len(res.OutlierIDs), len(rep.Plan.Partitions), rep.NumJobs, rep.Engine)
 		fmt.Fprintf(os.Stderr, "simulated cluster time: preprocess=%v map=%v shuffle=%v reduce=%v total=%v\n",
 			rep.Simulated.Preprocess, rep.Simulated.Map, rep.Simulated.Shuffle, rep.Simulated.Reduce, rep.Simulated.Total())
 		fmt.Fprintf(os.Stderr, "shuffle: %d records (%d bytes); support records: %d; distance computations: %d; reduce imbalance: %.2f\n",

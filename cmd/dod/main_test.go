@@ -76,9 +76,20 @@ func writeTestCSV(t *testing.T) string {
 	return path
 }
 
+// baseOpts builds the options TestRun* start from: a valid local run over
+// the generated CSV.
+func baseOpts(path string) runOpts {
+	return runOpts{
+		r: 5, k: 4, strategy: dod.StrategyDMT, detector: dod.CellBased,
+		reducers: 4, sample: 1.0, seed: 1, args: []string{path},
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	path := writeTestCSV(t)
-	if err := run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1.0, 1, true, "", []string{path}); err != nil {
+	o := baseOpts(path)
+	o.stats = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -86,7 +97,9 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunWritesPlanJSON(t *testing.T) {
 	path := writeTestCSV(t)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
-	if err := run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1.0, 1, false, planPath, []string{path}); err != nil {
+	o := baseOpts(path)
+	o.planOut = planPath
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(planPath)
@@ -107,23 +120,25 @@ func TestRunWritesPlanJSON(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	path := writeTestCSV(t)
+	edit := func(f func(*runOpts)) runOpts {
+		o := baseOpts(path)
+		f(&o)
+		return o
+	}
 	cases := []struct {
 		name string
-		err  func() error
+		opts runOpts
 	}{
-		{"no args", func() error { return run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", nil) }},
-		{"two args", func() error { return run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", []string{"a", "b"}) }},
-		{"bad r", func() error { return run(0, 4, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", []string{path}) }},
-		{"bad k", func() error { return run(5, 0, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", []string{path}) }},
-		{"bad strategy", func() error {
-			return run(5, 4, dod.Strategy("nope"), dod.CellBased, 4, 1, 1, false, "", []string{path})
-		}},
-		{"missing file", func() error {
-			return run(5, 4, dod.StrategyDMT, dod.CellBased, 4, 1, 1, false, "", []string{"/nope.csv"})
-		}},
+		{"no args", edit(func(o *runOpts) { o.args = nil })},
+		{"two args", edit(func(o *runOpts) { o.args = []string{"a", "b"} })},
+		{"bad r", edit(func(o *runOpts) { o.r = 0 })},
+		{"bad k", edit(func(o *runOpts) { o.k = 0 })},
+		{"bad strategy", edit(func(o *runOpts) { o.strategy = dod.Strategy("nope") })},
+		{"bad engine", edit(func(o *runOpts) { o.engine = "fogcomputing" })},
+		{"missing file", edit(func(o *runOpts) { o.args = []string{"/nope.csv"} })},
 	}
 	for _, tc := range cases {
-		if err := tc.err(); err == nil {
+		if err := run(tc.opts); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}

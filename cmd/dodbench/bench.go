@@ -11,6 +11,7 @@ import (
 
 	"dod/internal/core"
 	"dod/internal/detect"
+	"dod/internal/dist"
 	"dod/internal/geom"
 	"dod/internal/obs"
 	"dod/internal/plan"
@@ -35,6 +36,7 @@ type benchFile struct {
 	Params    benchParams    `json:"params"`
 	Kernels   []kernelRecord `json:"kernels"`
 	Pipeline  pipelineRecord `json:"pipeline"`
+	Dist      distRecord     `json:"dist"`
 }
 
 type benchParams struct {
@@ -78,6 +80,24 @@ type spanRecord struct {
 	Name    string  `json:"name"`
 	Count   int     `json:"count"`
 	TotalMs float64 `json:"total_ms"`
+}
+
+// distRecord compares the same detection run on the in-process engine and
+// on a loopback cluster (1 coordinator + workers over real HTTP on this
+// machine). cluster_wall_ms includes serialization and loopback transport,
+// so the gap to local_wall_ms is the runtime's overhead floor;
+// bytes_shipped/bytes_collected are actual wire bytes.
+type distRecord struct {
+	Workers        int     `json:"workers"`
+	Points         int     `json:"points"`
+	Outliers       int     `json:"outliers"`
+	LocalWallMs    float64 `json:"local_wall_ms"`
+	ClusterWallMs  float64 `json:"cluster_wall_ms"`
+	ShuffleBytes   int64   `json:"shuffle_bytes"`
+	BytesShipped   int64   `json:"bytes_shipped"`
+	BytesCollected int64   `json:"bytes_collected"`
+	Dispatches     int64   `json:"dispatches"`
+	Match          bool    `json:"match"` // cluster outliers byte-identical to local
 }
 
 // benchCases mirrors internal/detect/bench_test.go so the committed JSON
@@ -184,6 +204,82 @@ func measurePipeline(cfg benchRunConfig) (pipelineRecord, error) {
 	return rec, nil
 }
 
+// measureDist runs the canonical pipeline twice — in-process and on a
+// loopback cluster with distWorkers workers — and records the comparison.
+func measureDist(cfg benchRunConfig) (distRecord, error) {
+	const distWorkers = 4
+	pts := synth.Segment(synth.Massachusetts, cfg.points, 3)
+	input, err := core.InputFromPoints(pts, 8192)
+	if err != nil {
+		return distRecord{}, err
+	}
+	runCfg := core.Config{
+		Params:  jsonParams,
+		Planner: plan.DMT,
+		PlanOpts: plan.Options{
+			NumReducers: cfg.reducers,
+			Detector:    detect.CellBased,
+		},
+		SampleRate:  1,
+		Seed:        cfg.seed,
+		Parallelism: cfg.parallelism,
+	}
+
+	start := time.Now()
+	localRep, err := core.Run(context.Background(), input, runCfg)
+	if err != nil {
+		return distRecord{}, err
+	}
+	localWall := time.Since(start)
+
+	coord, err := dist.NewCoordinator(dist.Config{})
+	if err != nil {
+		return distRecord{}, err
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < distWorkers; i++ {
+		w, err := dist.NewWorker(dist.WorkerConfig{
+			Coordinator: coord.URL(),
+			Name:        fmt.Sprintf("bench-%d", i),
+		})
+		if err != nil {
+			return distRecord{}, err
+		}
+		go w.Run(ctx) //nolint:errcheck
+	}
+	if err := coord.WaitForWorkers(ctx, distWorkers); err != nil {
+		return distRecord{}, err
+	}
+
+	runCfg.ExecutorFor = core.ClusterExecutorFor(coord)
+	start = time.Now()
+	clusterRep, err := core.Run(context.Background(), input, runCfg)
+	if err != nil {
+		return distRecord{}, err
+	}
+	clusterWall := time.Since(start)
+
+	match := len(localRep.Outliers) == len(clusterRep.Outliers)
+	for i := 0; match && i < len(localRep.Outliers); i++ {
+		match = localRep.Outliers[i] == clusterRep.Outliers[i]
+	}
+	st := coord.Stats()
+	return distRecord{
+		Workers:        distWorkers,
+		Points:         len(pts),
+		Outliers:       len(clusterRep.Outliers),
+		LocalWallMs:    float64(localWall) / float64(time.Millisecond),
+		ClusterWallMs:  float64(clusterWall) / float64(time.Millisecond),
+		ShuffleBytes:   clusterRep.ShuffleBytes,
+		BytesShipped:   st.BytesShipped,
+		BytesCollected: st.BytesCollected,
+		Dispatches:     st.Dispatches,
+		Match:          match,
+	}, nil
+}
+
 // aggregateSpans sums span durations by name, in first-appearance order.
 func aggregateSpans(tr *obs.Trace) []spanRecord {
 	var out []spanRecord
@@ -230,6 +326,12 @@ func runJSONBench(cfg benchRunConfig, path string) error {
 		return err
 	}
 	doc.Pipeline = pipe
+	fmt.Fprintf(os.Stderr, "dodbench: measuring loopback cluster (%d points)\n", cfg.points)
+	distRec, err := measureDist(cfg)
+	if err != nil {
+		return err
+	}
+	doc.Dist = distRec
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

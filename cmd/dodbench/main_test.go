@@ -33,6 +33,27 @@ func TestRunnerTableCoversOrder(t *testing.T) {
 	}
 }
 
+// TestMeasureDist runs the loopback-cluster comparison at test scale; the
+// record must report byte-identical results and non-trivial wire traffic.
+func TestMeasureDist(t *testing.T) {
+	rec, err := measureDist(benchRunConfig{points: 2000, reducers: 4, seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Match {
+		t.Error("cluster run diverged from local run")
+	}
+	if rec.Workers != 4 || rec.Points != 2000 {
+		t.Errorf("record shape: %+v", rec)
+	}
+	if rec.BytesShipped == 0 || rec.BytesCollected == 0 || rec.Dispatches == 0 {
+		t.Errorf("wire counters empty: %+v", rec)
+	}
+	if rec.LocalWallMs <= 0 || rec.ClusterWallMs <= 0 {
+		t.Errorf("wall times not recorded: %+v", rec)
+	}
+}
+
 func TestFigListFlag(t *testing.T) {
 	var f figList
 	if err := f.Set("4"); err != nil {

@@ -1,0 +1,69 @@
+// Command dodworker is a DOD cluster worker: it joins a coordinator (a
+// dod.Coordinator embedded in another process, e.g. dod -engine cluster),
+// long-polls it for map and reduce task payloads, executes them with the
+// same columnar detection path the in-process engine uses, and streams
+// results back. Start any number of them, on any machines that can reach
+// the coordinator:
+//
+//	dodworker -join http://coordinator-host:7120 [-name worker-a] [-parallelism 4]
+//
+// Workers may start before their coordinator (the join retries), survive
+// coordinator-visible failures of their peers (the coordinator re-executes
+// lost tasks), and exit cleanly when the coordinator shuts down or on
+// SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+
+	"dod/internal/dist"
+
+	// Register the detection job so this binary can build and execute its
+	// tasks from the coordinator's wire spec.
+	_ "dod/internal/core"
+)
+
+func main() {
+	var (
+		join        = flag.String("join", "", "coordinator base URL, e.g. http://host:7120 (required)")
+		name        = flag.String("name", "", "cluster-unique worker name (default hostname-pid)")
+		parallelism = flag.Int("parallelism", runtime.GOMAXPROCS(0), "concurrent task slots")
+		quiet       = flag.Bool("quiet", false, "suppress lifecycle logging")
+	)
+	flag.Parse()
+
+	if err := run(*join, *name, *parallelism, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "dodworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(join, name string, parallelism int, quiet bool) error {
+	if join == "" {
+		return fmt.Errorf("-join is required (kinds this worker can execute: %s)", strings.Join(dist.RegisteredKinds(), ", "))
+	}
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if quiet {
+		logf = nil
+	}
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Coordinator: join,
+		Name:        name,
+		Parallelism: parallelism,
+		Logf:        logf,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return w.Run(ctx)
+}

@@ -35,6 +35,7 @@ import (
 	"dod/internal/dshc"
 	"dod/internal/errs"
 	"dod/internal/geom"
+	"dod/internal/mapreduce"
 	"dod/internal/plan"
 )
 
@@ -142,6 +143,16 @@ type Config struct {
 	// attempts are retried, exercising fault tolerance without changing
 	// results.
 	FailureRate float64
+
+	// Engine selects where detection tasks execute: EngineLocal (the
+	// default, in-process goroutines) or EngineCluster (shipped to the
+	// Coordinator's workers over the network). Results are byte-identical
+	// across engines on the same seed. EngineCluster requires a
+	// single-pass strategy; StrategyDomain stays local-only.
+	Engine Engine
+	// Coordinator is the cluster control plane EngineCluster ships tasks
+	// to; required for (and only used by) that engine.
+	Coordinator *Coordinator
 }
 
 // ParseDetector resolves a detector name ("NestedLoop", "cell-based",
@@ -333,6 +344,29 @@ func (cfg Config) toCore() (core.Config, error) {
 	}
 	candidates := make([]detect.Kind, len(cfg.Candidates))
 	copy(candidates, cfg.Candidates)
+	parallelism := cfg.Parallelism
+	var executorFor func(*plan.Plan, detect.Params, int64) (mapreduce.Executor, error)
+	var retryBackoff time.Duration
+	switch cfg.Engine {
+	case "", EngineLocal:
+		if cfg.Coordinator != nil {
+			return core.Config{}, errs.BadParams("Config.Coordinator is set but Engine is %q; set Engine: EngineCluster", EngineLocal)
+		}
+	case EngineCluster:
+		if cfg.Coordinator == nil {
+			return core.Config{}, errs.BadParams("EngineCluster requires a Coordinator")
+		}
+		executorFor = core.ClusterExecutorFor(cfg.Coordinator.c)
+		retryBackoff = 50 * time.Millisecond
+		if parallelism <= 0 {
+			// The driver's parallelism bounds in-flight dispatches; with
+			// remote workers doing the actual computing, hold many more
+			// tasks in flight than this machine has cores.
+			parallelism = 64
+		}
+	default:
+		return core.Config{}, errs.BadParams("unknown engine %q", cfg.Engine)
+	}
 	return core.Config{
 		Params:  params,
 		Planner: planner,
@@ -347,8 +381,10 @@ func (cfg Config) toCore() (core.Config, error) {
 		SampleRate:    cfg.SampleRate,
 		BucketsPerDim: cfg.BucketsPerDim,
 		Seed:          cfg.Seed,
-		Parallelism:   cfg.Parallelism,
+		Parallelism:   parallelism,
 		FailureRate:   cfg.FailureRate,
+		RetryBackoff:  retryBackoff,
+		ExecutorFor:   executorFor,
 		Cluster:       cluster.PaperCluster,
 	}, nil
 }

@@ -1,0 +1,119 @@
+package dod
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dod/internal/dist"
+)
+
+// startTestCluster boots a coordinator plus n in-process workers — the
+// same code path cmd/dodworker runs, minus the process boundary.
+func startTestCluster(t *testing.T, n int) *Coordinator {
+	t.Helper()
+	coord, err := NewCoordinator(CoordinatorConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	for i := 0; i < n; i++ {
+		w, err := dist.NewWorker(dist.WorkerConfig{
+			Coordinator: coord.URL(),
+			Name:        string(rune('a' + i)),
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			w.Run(ctx) //nolint:errcheck
+		}()
+		t.Cleanup(func() {
+			cancel()
+			<-done
+		})
+	}
+	if err := coord.WaitForWorkers(context.Background(), n); err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+func TestDetectEngineCluster(t *testing.T) {
+	pts := testDataset(1500, 5)
+	base := Config{R: 5, K: 4, SampleRate: 1, Seed: 6}
+
+	local, err := Detect(pts, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := startTestCluster(t, 3)
+	clustered := base
+	clustered.Engine = EngineCluster
+	clustered.Coordinator = coord
+	res, err := Detect(pts, clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(local.OutlierIDs, res.OutlierIDs) {
+		t.Errorf("cluster engine diverged: %d vs %d outliers", len(res.OutlierIDs), len(local.OutlierIDs))
+	}
+	if res.Report.Engine != "cluster" || local.Report.Engine != "local" {
+		t.Errorf("report engines: %q / %q", res.Report.Engine, local.Report.Engine)
+	}
+	if st := coord.Stats(); st.TasksOK == 0 || st.BytesShipped == 0 {
+		t.Errorf("coordinator saw no work: %+v", st)
+	}
+	// The coordinator outlives the run and can serve another.
+	if _, err := Detect(pts, clustered); err != nil {
+		t.Fatalf("second run on the same coordinator: %v", err)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	pts := testDataset(100, 1)
+	coord := startTestCluster(t, 1)
+
+	badParams := map[string]Config{
+		"cluster without coordinator": {R: 5, K: 4, Engine: EngineCluster},
+		"coordinator without cluster": {R: 5, K: 4, Coordinator: coord},
+		"unknown engine":              {R: 5, K: 4, Engine: Engine("fog")},
+	}
+	for name, cfg := range badParams {
+		if _, err := Detect(pts, cfg); !errors.Is(err, ErrBadParams) {
+			t.Errorf("%s: err = %v, want ErrBadParams", name, err)
+		}
+	}
+
+	// The Domain baseline needs a second job workers can't build; it must
+	// be rejected up front, not fail mid-run.
+	_, err := Detect(pts, Config{
+		R: 5, K: 4, Strategy: StrategyDomain, SampleRate: 1,
+		Engine: EngineCluster, Coordinator: coord,
+	})
+	if err == nil {
+		t.Error("StrategyDomain accepted on the cluster engine")
+	}
+}
+
+func TestEngineClusterClosedCoordinator(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Close()
+	_, err = Detect(testDataset(200, 1), Config{
+		R: 5, K: 4, SampleRate: 1,
+		Engine: EngineCluster, Coordinator: coord,
+	})
+	if !errors.Is(err, ErrJobAborted) {
+		t.Errorf("Detect on closed coordinator = %v, want ErrJobAborted", err)
+	}
+}

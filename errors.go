@@ -23,6 +23,13 @@ var (
 	ErrBadParams = errs.ErrBadParams
 	// ErrClosed is returned when a StreamDetector is used after Close.
 	ErrClosed = errs.ErrClosed
+	// ErrWorkerLost is returned by a cluster run when a task's worker was
+	// lost and the re-execution budget was exhausted before any replacement
+	// finished it.
+	ErrWorkerLost = errs.ErrWorkerLost
+	// ErrJobAborted is returned by a cluster run whose Coordinator was
+	// closed while tasks were still outstanding.
+	ErrJobAborted = errs.ErrJobAborted
 )
 
 // DuplicateIDError is the concrete error behind ErrDuplicateID; it carries

@@ -2,6 +2,7 @@ package dod
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -46,6 +47,22 @@ func TestErrBadParams(t *testing.T) {
 		if !errors.Is(err, ErrBadParams) {
 			t.Errorf("%s: err = %v, want ErrBadParams", name, err)
 		}
+	}
+}
+
+// TestClusterSentinelsExported pins the distributed-runtime sentinels to
+// the public API: wrapped internal errors must satisfy errors.Is against
+// the dod.Err* re-exports.
+func TestClusterSentinelsExported(t *testing.T) {
+	if ErrWorkerLost == nil || ErrJobAborted == nil {
+		t.Fatal("cluster sentinels are nil")
+	}
+	if errors.Is(ErrWorkerLost, ErrJobAborted) {
+		t.Error("ErrWorkerLost and ErrJobAborted must be distinct")
+	}
+	wrapped := fmt.Errorf("dist: map task 3: %w after 8 dispatches", ErrWorkerLost)
+	if !errors.Is(wrapped, ErrWorkerLost) {
+		t.Errorf("wrapped worker-lost error not matched: %v", wrapped)
 	}
 }
 

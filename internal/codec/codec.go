@@ -15,10 +15,10 @@ package codec
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 
+	"dod/internal/errs"
 	"dod/internal/geom"
 )
 
@@ -29,8 +29,16 @@ const (
 	TagSupport byte = 1 // the point is a support point of the keyed partition
 )
 
-// ErrTruncated is returned when a buffer ends before a full record.
-var ErrTruncated = errors.New("codec: truncated record")
+// ErrTruncated is returned when a buffer ends before a full record. It
+// wraps errs.ErrWireFormat, as does every other decode failure in this
+// package: malformed input yields a typed error, never a panic or an
+// unbounded allocation.
+var ErrTruncated = fmt.Errorf("%w: truncated record", errs.ErrWireFormat)
+
+// corrupt builds an errs.ErrWireFormat-wrapping error with details.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errs.ErrWireFormat, fmt.Sprintf(format, args...))
+}
 
 // AppendPoint appends the encoding of p to dst and returns the extended
 // slice.
@@ -57,7 +65,7 @@ func DecodePoint(buf []byte) (geom.Point, int, error) {
 	}
 	off += n
 	if dim > 1<<16 {
-		return geom.Point{}, 0, fmt.Errorf("codec: implausible dimension %d", dim)
+		return geom.Point{}, 0, corrupt("codec: implausible dimension %d", dim)
 	}
 	need := int(dim) * 8
 	if len(buf[off:]) < need {
@@ -107,6 +115,12 @@ func DecodePoints(buf []byte) ([]geom.Point, error) {
 		return nil, ErrTruncated
 	}
 	off := n
+	// A well-formed record is at least 2 bytes (one-byte ID + zero
+	// dimensions), so a count beyond len(buf)/2 cannot be satisfied —
+	// reject it up front instead of pre-allocating for a forged header.
+	if count > uint64(len(buf[off:])/2) {
+		return nil, corrupt("codec: count %d exceeds buffer capacity", count)
+	}
 	points := make([]geom.Point, 0, count)
 	for i := uint64(0); i < count; i++ {
 		p, m, err := DecodePoint(buf[off:])
@@ -136,13 +150,13 @@ func DecodePointInto(buf []byte, set *geom.PointSet) (int, error) {
 	}
 	off += n
 	if dim > 1<<16 {
-		return 0, fmt.Errorf("codec: implausible dimension %d", dim)
+		return 0, corrupt("codec: implausible dimension %d", dim)
 	}
 	if set.Dim == 0 && set.Len() == 0 {
 		set.Dim = int(dim)
 	}
 	if int(dim) != set.Dim {
-		return 0, fmt.Errorf("codec: dimension mismatch %d vs %d", dim, set.Dim)
+		return 0, corrupt("codec: dimension mismatch %d vs %d", dim, set.Dim)
 	}
 	need := int(dim) * 8
 	if len(buf[off:]) < need {

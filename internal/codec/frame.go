@@ -1,0 +1,141 @@
+package codec
+
+import (
+	"encoding/binary"
+)
+
+// Frames are the envelope of the distributed runtime's task and result
+// messages (internal/dist): a message body is a sequence of frames, each a
+// kind byte, a uvarint length, and the payload. Control metadata (a JSON
+// header) and bulk data (splits, key groups, output pairs) travel as
+// separate frames of one body, so the data plane stays in this package's
+// binary format end to end.
+
+// WireErrorf builds a malformed-wire-data error wrapping errs.ErrWireFormat,
+// for callers (internal/dist) that layer messages on this wire format and
+// want their parse failures in the same error family.
+func WireErrorf(format string, args ...any) error {
+	return corrupt(format, args...)
+}
+
+// MaxFramePayload bounds a single frame. Reduce groups carry whole
+// partitions, so the bound is generous; it exists to turn a forged length
+// into a typed error rather than an attempted huge allocation.
+const MaxFramePayload = 1 << 31
+
+// AppendFrame appends a (kind, length, payload) frame to dst.
+func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes one frame from the front of buf, returning the kind,
+// the payload (aliasing buf), and the bytes consumed. An empty buf returns
+// ErrTruncated — iterate frames until the buffer is exhausted.
+func DecodeFrame(buf []byte) (kind byte, payload []byte, n int, err error) {
+	if len(buf) < 1 {
+		return 0, nil, 0, ErrTruncated
+	}
+	kind = buf[0]
+	size, m := binary.Uvarint(buf[1:])
+	if m <= 0 {
+		return 0, nil, 0, ErrTruncated
+	}
+	off := 1 + m
+	if size > MaxFramePayload {
+		return 0, nil, 0, corrupt("codec: frame payload %d exceeds limit", size)
+	}
+	if uint64(len(buf[off:])) < size {
+		return 0, nil, 0, ErrTruncated
+	}
+	return kind, buf[off : off+int(size)], off + int(size), nil
+}
+
+// KV is one key/value record — the codec-level mirror of a MapReduce
+// intermediate pair.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// AppendKVs appends a count-prefixed list of key/value records to dst.
+func AppendKVs(dst []byte, kvs []KV) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(kvs)))
+	for _, kv := range kvs {
+		dst = binary.AppendUvarint(dst, kv.Key)
+		dst = binary.AppendUvarint(dst, uint64(len(kv.Value)))
+		dst = append(dst, kv.Value...)
+	}
+	return dst
+}
+
+// DecodeKVs decodes a list produced by AppendKVs. Values alias buf.
+func DecodeKVs(buf []byte) ([]KV, int, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	off := n
+	// A record is at least 2 bytes (key byte + zero-length value).
+	if count > uint64(len(buf[off:])/2) {
+		return nil, 0, corrupt("codec: count %d exceeds buffer capacity", count)
+	}
+	kvs := make([]KV, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, m := binary.Uvarint(buf[off:])
+		if m <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		off += m
+		size, m := binary.Uvarint(buf[off:])
+		if m <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		off += m
+		if size > MaxFramePayload || uint64(len(buf[off:])) < size {
+			return nil, 0, ErrTruncated
+		}
+		kvs = append(kvs, KV{Key: key, Value: buf[off : off+int(size)]})
+		off += int(size)
+	}
+	return kvs, off, nil
+}
+
+// AppendBytesList appends a count-prefixed list of byte strings to dst —
+// the wire shape of one reduce group's value list.
+func AppendBytesList(dst []byte, values [][]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(values)))
+	for _, v := range values {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// DecodeBytesList decodes a list produced by AppendBytesList. Elements
+// alias buf.
+func DecodeBytesList(buf []byte) ([][]byte, int, error) {
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	off := n
+	if count > uint64(len(buf[off:])) {
+		return nil, 0, corrupt("codec: count %d exceeds buffer capacity", count)
+	}
+	values := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		size, m := binary.Uvarint(buf[off:])
+		if m <= 0 {
+			return nil, 0, ErrTruncated
+		}
+		off += m
+		if size > MaxFramePayload || uint64(len(buf[off:])) < size {
+			return nil, 0, ErrTruncated
+		}
+		values = append(values, buf[off:off+int(size)])
+		off += int(size)
+	}
+	return values, off, nil
+}

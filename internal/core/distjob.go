@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dod/internal/detect"
+	"dod/internal/dist"
+	"dod/internal/mapreduce"
+	"dod/internal/plan"
+)
+
+// DetectJobKind is the wire identity of the single-pass detection job in
+// the distributed runtime's job registry. Bump the version suffix on any
+// incompatible change to detectJobConfig or the task record formats.
+const DetectJobKind = "dod.detect/v1"
+
+// detectJobConfig is everything a worker needs to rebuild the detection
+// job's mapper, reducer, and partitioner: the partition plan (carrying the
+// per-partition detector assignments and reducer allocation), the
+// detection parameters, and the base seed. Detector seeds derive as
+// seed+partitionID, so remote execution is byte-identical to in-process.
+type detectJobConfig struct {
+	Plan   *plan.Plan    `json:"plan"`
+	Params detect.Params `json:"params"`
+	Seed   int64         `json:"seed"`
+}
+
+func init() {
+	dist.RegisterJob(DetectJobKind, buildDetectJob)
+}
+
+// buildDetectJob is the worker-side registry builder: config in, runnable
+// job out.
+func buildDetectJob(raw []byte) (*dist.Job, error) {
+	var cfg detectJobConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("core: detect job config: %w", err)
+	}
+	if cfg.Plan == nil || len(cfg.Plan.Partitions) == 0 {
+		return nil, fmt.Errorf("core: detect job config has no plan")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	pl := cfg.Plan
+	return &dist.Job{
+		Mapper:      detectionMapper(pl),
+		Reducer:     detectionReducer(pl, cfg.Params, cfg.Seed),
+		Partitioner: func(key uint64, n int) int { return pl.ReducerFor(key) },
+	}, nil
+}
+
+// DetectJobSpec packages a computed plan as the detection job's wire spec —
+// the coordinator ships it with every task dispatch.
+func DetectJobSpec(pl *plan.Plan, params detect.Params, seed int64) (dist.JobSpec, error) {
+	raw, err := json.Marshal(detectJobConfig{Plan: pl, Params: params, Seed: seed})
+	if err != nil {
+		return dist.JobSpec{}, fmt.Errorf("core: encoding detect job spec: %w", err)
+	}
+	return dist.JobSpec{Kind: DetectJobKind, Config: raw}, nil
+}
+
+// ClusterExecutorFor adapts a dist.Coordinator into Config.ExecutorFor: the
+// detection job's tasks ship to the coordinator's workers, everything else
+// stays in-process.
+func ClusterExecutorFor(coord *dist.Coordinator) func(pl *plan.Plan, params detect.Params, seed int64) (mapreduce.Executor, error) {
+	return func(pl *plan.Plan, params detect.Params, seed int64) (mapreduce.Executor, error) {
+		spec, err := DetectJobSpec(pl, params, seed)
+		if err != nil {
+			return nil, err
+		}
+		return coord.Executor(spec), nil
+	}
+}

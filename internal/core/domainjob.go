@@ -79,7 +79,7 @@ func nearBoundary(rect geom.Rect, p geom.Point, r float64) bool {
 // classifies each local outlier as final (interior) or candidate (border).
 // Candidates get an exact local neighbor count via a direct scan — an extra
 // cost the baseline realistically pays for lacking supporting areas.
-func domainJob1Reducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.Trace) mapreduce.ReducerFunc {
+func domainJob1Reducer(pl *plan.Plan, params detect.Params, seed int64) mapreduce.ReducerFunc {
 	return func(ctx *mapreduce.TaskContext, key uint64, values [][]byte, emit mapreduce.Emit) error {
 		sc := scratchPool.Get().(*taskScratch)
 		defer scratchPool.Put(sc)
@@ -93,7 +93,7 @@ func domainJob1Reducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.
 		detector := detect.New(part.Algo, seed+int64(key))
 		start := time.Now()
 		res := detect.DetectSet(detector, &sc.core, nCore, params)
-		tr.Add("partition.detect", start, time.Since(start),
+		ctx.Trace.Add("partition.detect", start, time.Since(start),
 			obs.Int("partition", int64(key)),
 			obs.Str("algo", part.Algo.String()),
 			obs.Int("core", int64(nCore)),

@@ -69,8 +69,10 @@ func detectionMapper(pl *plan.Plan) mapreduce.MapperFunc {
 // detectionReducer implements the reduce function of Fig. 3: split the
 // group into core and support lists, run the partition's assigned detector,
 // and report outliers among the core points. Each partition's detector
-// choice and runtime is recorded as a "partition.detect" span on tr.
-func detectionReducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.Trace) mapreduce.ReducerFunc {
+// choice and runtime is recorded as a "partition.detect" span on the task's
+// trace — the job trace in-process, a shipped-back per-task trace on a
+// remote worker.
+func detectionReducer(pl *plan.Plan, params detect.Params, seed int64) mapreduce.ReducerFunc {
 	return func(ctx *mapreduce.TaskContext, key uint64, values [][]byte, emit mapreduce.Emit) error {
 		if key >= uint64(len(pl.Partitions)) {
 			return fmt.Errorf("core: reduce key %d out of range (%d partitions)", key, len(pl.Partitions))
@@ -91,7 +93,7 @@ func detectionReducer(pl *plan.Plan, params detect.Params, seed int64, tr *obs.T
 		detector := detect.New(part.Algo, seed+int64(key))
 		start := time.Now()
 		res := detect.DetectSet(detector, &sc.core, nCore, params)
-		tr.Add("partition.detect", start, time.Since(start),
+		ctx.Trace.Add("partition.detect", start, time.Since(start),
 			obs.Int("partition", int64(key)),
 			obs.Str("algo", part.Algo.String()),
 			obs.Int("core", int64(nCore)),

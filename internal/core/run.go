@@ -48,6 +48,21 @@ type Config struct {
 	Parallelism int     // local goroutines for the in-process engine
 	FailureRate float64 // injected task failure rate (with retries)
 
+	// RetryBackoff is the base delay between attempts of a failed task,
+	// doubling per attempt. Zero retries immediately (the in-process
+	// default); the cluster engine sets a real backoff.
+	RetryBackoff time.Duration
+
+	// ExecutorFor, when set, supplies the task executor for the detection
+	// job once the plan is known — the hook the cluster engine uses to
+	// ship map and reduce tasks to remote workers. The preprocessing job
+	// (tiny: it reads the Υ-sample) always runs in-process on the
+	// coordinator. Nil runs everything in-process. Only single-pass
+	// strategies (SupportR > 0) are supported remotely: the Domain
+	// baseline's second job has its own mapper/reducer pair that workers
+	// do not know how to build.
+	ExecutorFor func(pl *plan.Plan, params detect.Params, seed int64) (mapreduce.Executor, error)
+
 	Cluster cluster.Config // simulated cluster; default the paper's 40×8
 }
 
@@ -69,6 +84,14 @@ func (c Config) withDefaults() Config {
 type Report struct {
 	Plan     *plan.Plan
 	Outliers []uint64 // sorted IDs
+
+	// Engine names what executed the detection tasks: "local" (in-process
+	// goroutines) or "cluster" (remote workers over the network). Under
+	// "cluster", the Wall breakdown below is a real distributed makespan —
+	// network shipping included — while Simulated remains the paper's
+	// modeled 40-node replay; comparing the two is exactly the real-vs-
+	// simulated check the simulator could never provide by itself.
+	Engine string
 
 	// Trace is the structured execution record: one span per pipeline
 	// stage ("preprocess", "plan", "map", "shuffle", "reduce") plus one
@@ -115,7 +138,10 @@ func Run(ctx context.Context, input *Input, cfg Config) (*Report, error) {
 	}
 
 	tr := obs.NewTrace("dod.run")
-	rep := &Report{Trace: tr}
+	rep := &Report{Trace: tr, Engine: "local"}
+	if cfg.ExecutorFor != nil {
+		rep.Engine = "cluster"
+	}
 
 	// ---- Preprocessing: sampling + plan generation ----
 	var hist *sample.Histogram
@@ -169,15 +195,27 @@ func Run(ctx context.Context, input *Input, cfg Config) (*Report, error) {
 
 	// ---- Detection job (single pass, Fig. 2/3) ----
 	mrCfg := mapreduce.Config{
-		NumReducers: pl.NumReducers,
-		Parallelism: cfg.Parallelism,
-		Partitioner: func(key uint64, n int) int { return pl.ReducerFor(key) },
-		FailureRate: cfg.FailureRate,
-		Seed:        cfg.Seed + 2,
+		NumReducers:  pl.NumReducers,
+		Parallelism:  cfg.Parallelism,
+		Partitioner:  func(key uint64, n int) int { return pl.ReducerFor(key) },
+		FailureRate:  cfg.FailureRate,
+		RetryBackoff: cfg.RetryBackoff,
+		Trace:        tr,
+		Seed:         cfg.Seed + 2,
+	}
+	if cfg.ExecutorFor != nil {
+		if pl.SupportR <= 0 {
+			return nil, fmt.Errorf("core: the cluster engine requires a single-pass strategy (supporting areas); the Domain baseline is local-only")
+		}
+		exec, err := cfg.ExecutorFor(pl, cfg.Params, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: cluster executor: %w", err)
+		}
+		mrCfg.Executor = exec
 	}
 
 	if pl.SupportR > 0 {
-		res, err := mapreduce.RunContext(ctx, mrCfg, input.Splits, detectionMapper(pl), detectionReducer(pl, cfg.Params, cfg.Seed, tr))
+		res, err := mapreduce.RunContext(ctx, mrCfg, input.Splits, detectionMapper(pl), detectionReducer(pl, cfg.Params, cfg.Seed))
 		if err != nil {
 			return nil, fmt.Errorf("core: detection: %w", err)
 		}
@@ -189,7 +227,7 @@ func Run(ctx context.Context, input *Input, cfg Config) (*Report, error) {
 		accumulateJob(rep, cfg.Cluster, res, input.Splits, tr)
 	} else {
 		// ---- Domain baseline: two jobs ----
-		res1, err := mapreduce.RunContext(ctx, mrCfg, input.Splits, detectionMapper(pl), domainJob1Reducer(pl, cfg.Params, cfg.Seed, tr))
+		res1, err := mapreduce.RunContext(ctx, mrCfg, input.Splits, detectionMapper(pl), domainJob1Reducer(pl, cfg.Params, cfg.Seed))
 		if err != nil {
 			return nil, fmt.Errorf("core: domain job 1: %w", err)
 		}

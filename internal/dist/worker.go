@@ -1,0 +1,279 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"dod/internal/mapreduce"
+	"dod/internal/obs"
+)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL ("http://host:port" or
+	// just "host:port"). Required.
+	Coordinator string
+
+	// Name identifies the worker to the coordinator; it must be unique in
+	// the cluster. Default "<hostname>-<pid>".
+	Name string
+
+	// Parallelism is how many tasks the worker executes concurrently
+	// (each slot is an independent poll loop). Default GOMAXPROCS.
+	Parallelism int
+
+	// Client issues the worker's HTTP requests. Default: a client with no
+	// global timeout (polls are long; each request carries the run ctx).
+	Client *http.Client
+
+	// Logf, when set, receives worker lifecycle and task events.
+	Logf func(format string, args ...any)
+
+	// OnTask, when set, is called as each task payload arrives, before
+	// execution — a test seam: chaos tests use it to kill the worker (via
+	// context cancellation) at the worst possible moment.
+	OnTask func(phase string, taskID int)
+}
+
+// Worker executes task attempts for a coordinator: it long-polls for task
+// payloads, runs them through the same in-process executor the local
+// engine uses (so results are byte-identical), and streams results back.
+// Task spans are recorded on a fresh per-task trace and shipped home in
+// the result header.
+type Worker struct {
+	cfg  WorkerConfig
+	base string
+
+	mu   sync.Mutex
+	jobs map[string]builtJob // spec kind+config -> built job (or its build error)
+}
+
+type builtJob struct {
+	job *Job
+	err error
+}
+
+// NewWorker builds a Worker; call Run to start serving.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("dist: worker needs a coordinator address")
+	}
+	base := cfg.Coordinator
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	return &Worker{cfg: cfg, base: base, jobs: make(map[string]builtJob)}, nil
+}
+
+// Name returns the worker's cluster-unique name.
+func (w *Worker) Name() string { return w.cfg.Name }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run joins the coordinator and serves tasks until ctx is cancelled or the
+// coordinator shuts down (both are graceful exits returning nil). The
+// initial join retries until the coordinator is reachable, so workers may
+// start before their coordinator.
+func (w *Worker) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if err := w.join(ctx); err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	w.logf("dist: worker %s joined %s (%d slots)", w.cfg.Name, w.base, w.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.Parallelism; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.pollLoop(ctx, cancel)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// join performs the handshake, retrying transport errors until ctx ends.
+func (w *Worker) join(ctx context.Context) error {
+	req, err := json.Marshal(joinRequest{Worker: w.cfg.Name, Capacity: w.cfg.Parallelism, Kinds: RegisteredKinds()})
+	if err != nil {
+		return err
+	}
+	for {
+		body, status, err := w.post(ctx, pathJoin, req, "application/json")
+		switch {
+		case err == nil && status == http.StatusOK:
+			var resp joinResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				return fmt.Errorf("dist: join response: %w", err)
+			}
+			return nil
+		case err == nil && status == http.StatusGone:
+			return fmt.Errorf("dist: coordinator %s is closed", w.base)
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		if err != nil {
+			w.logf("dist: worker %s: join %s: %v (retrying)", w.cfg.Name, w.base, err)
+		} else {
+			w.logf("dist: worker %s: join %s: HTTP %d (retrying)", w.cfg.Name, w.base, status)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// pollLoop is one task slot: poll, execute, report, repeat.
+func (w *Worker) pollLoop(ctx context.Context, cancel context.CancelFunc) {
+	poll, err := json.Marshal(pollRequest{Worker: w.cfg.Name})
+	if err != nil {
+		cancel()
+		return
+	}
+	for ctx.Err() == nil {
+		body, status, err := w.post(ctx, pathPoll, poll, "application/json")
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err != nil:
+			w.logf("dist: worker %s: poll: %v", w.cfg.Name, err)
+			select {
+			case <-ctx.Done():
+			case <-time.After(200 * time.Millisecond):
+			}
+		case status == http.StatusNoContent:
+			// Idle poll; go straight back — the poll is the heartbeat.
+		case status == http.StatusGone:
+			w.logf("dist: worker %s: coordinator closed, exiting", w.cfg.Name)
+			cancel()
+			return
+		case status == http.StatusOK:
+			w.runTask(ctx, body)
+		default:
+			w.logf("dist: worker %s: poll: HTTP %d", w.cfg.Name, status)
+			select {
+			case <-ctx.Done():
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// runTask executes one dispatched task and reports its result. A task
+// interrupted by worker shutdown is silently dropped — the coordinator's
+// lease machinery re-dispatches it elsewhere.
+func (w *Worker) runTask(ctx context.Context, body []byte) {
+	h, mt, rt, err := decodeTaskBody(body)
+	if err != nil {
+		w.logf("dist: worker %s: dropping undecodable task: %v", w.cfg.Name, err)
+		return
+	}
+	if w.cfg.OnTask != nil {
+		w.cfg.OnTask(h.Phase, h.Task)
+	}
+	if ctx.Err() != nil {
+		return
+	}
+
+	rh := resultHeader{Job: h.Job, Phase: h.Phase, Task: h.Task, Dispatch: h.Dispatch, Worker: w.cfg.Name}
+	var resp []byte
+	job, err := w.jobFor(h.Spec)
+	if err == nil {
+		tr := obs.NewTrace(fmt.Sprintf("dist-task-%d", h.Dispatch))
+		exec := mapreduce.NewLocalExecutor(job.Mapper, job.Reducer, job.Combiner, job.Partitioner, tr)
+		switch {
+		case mt != nil:
+			var res *mapreduce.MapResult
+			if res, err = exec.ExecMap(ctx, *mt); err == nil {
+				rh.Metric, rh.Spans = metricToWire(res.Metric), spansToWire(tr.Spans())
+				resp, err = encodeMapResultBody(rh, res)
+			}
+		default:
+			var res *mapreduce.ReduceResult
+			if res, err = exec.ExecReduce(ctx, *rt); err == nil {
+				rh.Metric, rh.Spans = metricToWire(res.Metric), spansToWire(tr.Spans())
+				resp, err = encodeReduceResultBody(rh, res)
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return // killed mid-task; never report partial work
+	}
+	if err != nil {
+		rh.Err = err.Error()
+		if resp, err = encodeErrorResultBody(rh); err != nil {
+			w.logf("dist: worker %s: encoding error result: %v", w.cfg.Name, err)
+			return
+		}
+	}
+	if _, status, err := w.post(ctx, pathResult, resp, "application/octet-stream"); err != nil {
+		w.logf("dist: worker %s: reporting %s task %d: %v", w.cfg.Name, h.Phase, h.Task, err)
+	} else if status != http.StatusOK {
+		w.logf("dist: worker %s: reporting %s task %d: HTTP %d", w.cfg.Name, h.Phase, h.Task, status)
+	}
+}
+
+// jobFor builds (or returns the cached) job logic for a spec. Negative
+// results are cached too: an unbuildable spec stays unbuildable.
+func (w *Worker) jobFor(spec JobSpec) (*Job, error) {
+	key := spec.Kind + "\x00" + string(spec.Config)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if b, ok := w.jobs[key]; ok {
+		return b.job, b.err
+	}
+	job, err := BuildJob(spec)
+	w.jobs[key] = builtJob{job: job, err: err}
+	return job, err
+}
+
+// post issues one POST and returns the response body and status.
+func (w *Worker) post(ctx context.Context, path string, body []byte, contentType string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return data, resp.StatusCode, nil
+}

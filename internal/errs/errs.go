@@ -34,6 +34,19 @@ var (
 	ErrBadParams = errors.New("dod: invalid parameters")
 	// ErrClosed rejects use of a detector after Close.
 	ErrClosed = errors.New("dod: detector is closed")
+	// ErrWireFormat rejects malformed wire bytes: truncated or corrupt
+	// frames, implausible dimensions or counts. Every decode failure in
+	// internal/codec wraps it, so a single errors.Is check classifies
+	// bad-input errors no matter which decoder produced them.
+	ErrWireFormat = errors.New("dod: malformed wire data")
+	// ErrWorkerLost reports that a cluster worker stopped heartbeating and
+	// its lease expired. Tasks from a lost worker are re-executed; the
+	// sentinel surfaces only when re-execution is exhausted.
+	ErrWorkerLost = errors.New("dod: worker lost")
+	// ErrJobAborted reports a distributed job that cannot complete: the
+	// coordinator was closed, no workers remain, or a task exhausted its
+	// re-execution budget.
+	ErrJobAborted = errors.New("dod: job aborted")
 )
 
 // BadParams builds an ErrBadParams-wrapping error with details.

@@ -1,7 +1,7 @@
-// Package mapreduce is a hand-rolled, in-process MapReduce engine with the
-// semantics DOD relies on: independent map tasks over input splits, a
-// byte-level shuffle that partitions and groups intermediate records by key,
-// and independent reduce tasks. There is no synchronization between tasks of
+// Package mapreduce is a hand-rolled MapReduce engine with the semantics
+// DOD relies on: independent map tasks over input splits, a byte-level
+// shuffle that partitions and groups intermediate records by key, and
+// independent reduce tasks. There is no synchronization between tasks of
 // the same phase, matching the shared-nothing execution model of Sec. I.
 //
 // The engine is deliberately faithful where it matters for the paper:
@@ -12,8 +12,15 @@
 //   - Per-task wall times and per-task counters are recorded, so experiments
 //     can replay them through internal/cluster to obtain the makespan of a
 //     simulated 40-node cluster.
-//   - Task attempts can fail (injected, seeded) and are retried, exercising
-//     the fault-tolerant execution MapReduce platforms provide.
+//   - Task attempts can fail (injected, seeded) and are retried with
+//     exponential backoff, exercising the fault-tolerant execution
+//     MapReduce platforms provide.
+//
+// Task execution is pluggable: Config.Executor runs individual task
+// attempts, defaulting to the in-process executor. The distributed runtime
+// (internal/dist) substitutes an executor that ships tasks to remote
+// workers over the network; the driver keeps owning scheduling, retries,
+// the shuffle, and result assembly either way.
 //
 // Keys are uint64 (DOD keys records by grid-cell / partition ID, Fig. 2);
 // values are opaque byte slices.
@@ -28,6 +35,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dod/internal/obs"
 )
 
 // Pair is one intermediate or output record.
@@ -43,6 +52,12 @@ type Split struct {
 	Name     string
 	Data     []byte
 	Replicas []int
+}
+
+// Group is one reduce key group: a key and every value shuffled to it.
+type Group struct {
+	Key    uint64
+	Values [][]byte
 }
 
 // Emit is the record-output callback handed to map and reduce functions.
@@ -85,11 +100,65 @@ func DefaultPartitioner(key uint64, numReducers int) int {
 	return int(key % uint64(numReducers))
 }
 
+// MapTask is one map task attempt handed to an Executor.
+type MapTask struct {
+	TaskID      int
+	Attempt     int
+	Split       Split
+	NumReducers int
+}
+
+// MapResult is a successful map attempt: the task's output partitioned
+// into per-reducer buckets (post-combiner), plus its execution metric.
+type MapResult struct {
+	Buckets [][]Pair
+	Metric  TaskMetric
+	// Spans are trace spans recorded while the task ran. The in-process
+	// executor records directly onto the job trace and leaves this nil;
+	// remote executors ship spans back here and the driver folds them in.
+	Spans []obs.Span
+}
+
+// ReduceTask is one reduce task attempt handed to an Executor.
+type ReduceTask struct {
+	TaskID  int
+	Attempt int
+	Groups  []Group
+}
+
+// ReduceResult is a successful reduce attempt.
+type ReduceResult struct {
+	Output []Pair
+	Metric TaskMetric
+	Spans  []obs.Span
+}
+
+// Executor runs individual task attempts. The default executor runs them
+// in-process on the calling goroutine; the distributed runtime substitutes
+// one that ships tasks to remote workers. An executor must be safe for
+// concurrent use: the driver invokes it from its worker pool.
+//
+// An executor owns the infrastructure of one attempt — where it runs and
+// how its output gets back. Retry policy stays with the driver: a failed
+// attempt is surfaced as an error, and the driver re-invokes the executor
+// (with backoff) when the error is retryable.
+type Executor interface {
+	ExecMap(ctx context.Context, task MapTask) (*MapResult, error)
+	ExecReduce(ctx context.Context, task ReduceTask) (*ReduceResult, error)
+}
+
 // Config controls one job execution.
 type Config struct {
 	NumReducers int         // reduce task count; must be >= 1
 	Parallelism int         // concurrent task goroutines; default GOMAXPROCS
 	Partitioner Partitioner // default DefaultPartitioner
+
+	// Executor runs task attempts; default the in-process executor.
+	Executor Executor
+
+	// Trace, when set, receives spans recorded by task user code (via
+	// TaskContext.Trace) and spans shipped back by remote executors.
+	Trace *obs.Trace
 
 	// Combiner, when set, runs map-side over each map task's output before
 	// the shuffle, exactly like Hadoop's combiner: values of equal keys
@@ -102,7 +171,12 @@ type Config struct {
 	// (before its outputs are committed, as in Hadoop's task model).
 	FailureRate float64
 	MaxAttempts int // attempts per task before the job fails; default 4
-	Seed        int64
+	// RetryBackoff is the base delay before re-running a failed attempt,
+	// doubling per attempt (capped at 100x). Zero retries immediately —
+	// the default, keeping injected-failure tests fast; the distributed
+	// engine sets a real backoff.
+	RetryBackoff time.Duration
+	Seed         int64
 }
 
 func (c Config) withDefaults() Config {
@@ -121,11 +195,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// TaskContext carries per-task identity and counters into user code.
+// TaskContext carries per-task identity, counters, and the span sink into
+// user code.
 type TaskContext struct {
 	Phase   string // "map" or "reduce"
 	TaskID  int
 	Attempt int
+
+	// Trace receives spans recorded by user code ("partition.detect", ...).
+	// It may be the job's trace (in-process execution) or a per-task trace
+	// whose spans are shipped back over the wire (remote execution). A nil
+	// Trace is a valid no-op sink.
+	Trace *obs.Trace
 
 	mu       sync.Mutex
 	counters map[string]int64
@@ -163,7 +244,7 @@ type Metrics struct {
 	ShuffleRecords int64
 	Counters       map[string]int64 // merged task counters
 
-	MapWall     time.Duration // wall-clock of the in-process map phase
+	MapWall     time.Duration // wall-clock of the map phase
 	ShuffleWall time.Duration
 	ReduceWall  time.Duration
 }
@@ -180,11 +261,125 @@ type Result struct {
 // ErrTooManyFailures reports a task that exhausted its attempts.
 var ErrTooManyFailures = errors.New("mapreduce: task exceeded max attempts")
 
+// retryable is the marker interface of errors that are safe to re-run on a
+// fresh attempt (injected failures, transient infrastructure errors).
+type retryable interface{ Retryable() bool }
+
+// Retryable marks err as safe to retry on another attempt. Executors wrap
+// transient infrastructure failures with it so the driver's retry loop can
+// distinguish them from deterministic user errors, which fail the job.
+func Retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return retryableError{err}
+}
+
+type retryableError struct{ err error }
+
+func (e retryableError) Error() string   { return e.err.Error() }
+func (e retryableError) Unwrap() error   { return e.err }
+func (e retryableError) Retryable() bool { return true }
+
+// IsRetryable reports whether err (or anything it wraps) is marked
+// retryable.
+func IsRetryable(err error) bool {
+	var r retryable
+	return errors.As(err, &r) && r.Retryable()
+}
+
 // injectedFailure distinguishes injected failures (retryable) from user
 // errors (fatal).
 type injectedFailure struct{ phase string }
 
-func (e injectedFailure) Error() string { return "mapreduce: injected " + e.phase + " task failure" }
+func (e injectedFailure) Error() string   { return "mapreduce: injected " + e.phase + " task failure" }
+func (e injectedFailure) Retryable() bool { return true }
+
+// localExecutor runs task attempts in-process on the calling goroutine —
+// the engine's historical behavior, now behind the Executor seam.
+type localExecutor struct {
+	mapper      Mapper
+	reducer     Reducer
+	combiner    Reducer
+	partitioner Partitioner
+	trace       *obs.Trace
+}
+
+// NewLocalExecutor returns the in-process executor RunContext installs by
+// default, built from a job's functions. The worker side of a distributed
+// engine reuses it to execute shipped tasks with identical semantics:
+// trace receives the spans user code records via TaskContext.Trace.
+func NewLocalExecutor(mapper Mapper, reducer Reducer, combiner Reducer, partitioner Partitioner, trace *obs.Trace) Executor {
+	if partitioner == nil {
+		partitioner = DefaultPartitioner
+	}
+	return &localExecutor{mapper: mapper, reducer: reducer, combiner: combiner, partitioner: partitioner, trace: trace}
+}
+
+func (e *localExecutor) ExecMap(ctx context.Context, task MapTask) (*MapResult, error) {
+	tc := &TaskContext{Phase: "map", TaskID: task.TaskID, Attempt: task.Attempt, Trace: e.trace}
+	buckets := make([][]Pair, task.NumReducers)
+	var out, bytesOut int64
+	start := time.Now()
+	emit := func(key uint64, value []byte) {
+		r := e.partitioner(key, task.NumReducers)
+		buckets[r] = append(buckets[r], Pair{Key: key, Value: value})
+		out++
+		bytesOut += int64(8 + len(value))
+	}
+	err := e.mapper.Map(tc, task.Split, emit)
+	if err == nil && e.combiner != nil {
+		buckets, out, bytesOut, err = combine(e.combiner, tc, buckets)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &MapResult{
+		Buckets: buckets,
+		Metric: TaskMetric{
+			TaskID: task.TaskID, Attempts: task.Attempt, Duration: time.Since(start),
+			RecordsIn: 1, RecordsOut: out,
+			BytesIn: int64(len(task.Split.Data)), BytesOut: bytesOut,
+			Counters: tc.counters,
+		},
+	}, nil
+}
+
+func (e *localExecutor) ExecReduce(ctx context.Context, task ReduceTask) (*ReduceResult, error) {
+	tc := &TaskContext{Phase: "reduce", TaskID: task.TaskID, Attempt: task.Attempt, Trace: e.trace}
+	var output []Pair
+	var in, out, bytesIn, bytesOut int64
+	start := time.Now()
+	emit := func(key uint64, value []byte) {
+		output = append(output, Pair{Key: key, Value: value})
+		out++
+		bytesOut += int64(8 + len(value))
+	}
+	for _, g := range task.Groups {
+		// Cancellation is checked between key groups, so a long reduce
+		// task stops at the next partition boundary instead of running to
+		// completion.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		in += int64(len(g.Values))
+		for _, v := range g.Values {
+			bytesIn += int64(8 + len(v))
+		}
+		if err := e.reducer.Reduce(tc, g.Key, g.Values, emit); err != nil {
+			return nil, err
+		}
+	}
+	return &ReduceResult{
+		Output: output,
+		Metric: TaskMetric{
+			TaskID: task.TaskID, Attempts: task.Attempt, Duration: time.Since(start),
+			RecordsIn: in, RecordsOut: out,
+			BytesIn: bytesIn, BytesOut: bytesOut,
+			Counters: tc.counters,
+		},
+	}, nil
+}
 
 // Run executes one MapReduce job over the given splits without a
 // cancellation context; see RunContext.
@@ -200,9 +395,15 @@ func Run(cfg Config, splits []Split, mapper Mapper, reducer Reducer) (*Result, e
 // which for the detection job means per partition.
 func RunContext(jobCtx context.Context, cfg Config, splits []Split, mapper Mapper, reducer Reducer) (*Result, error) {
 	cfg = cfg.withDefaults()
+	exec := cfg.Executor
+	if exec == nil {
+		exec = NewLocalExecutor(mapper, reducer, cfg.Combiner, cfg.Partitioner, cfg.Trace)
+	}
 
 	// Per-task seeded RNGs make failure injection deterministic regardless
-	// of scheduling order.
+	// of scheduling order. The roll happens driver-side after the attempt
+	// ran, before its outputs commit — mirroring Hadoop's task model and
+	// applying uniformly to local and remote executors.
 	failRoll := func(phase string, task, attempt int) bool {
 		if cfg.FailureRate <= 0 {
 			return false
@@ -214,48 +415,53 @@ func RunContext(jobCtx context.Context, cfg Config, splits []Split, mapper Mappe
 		return rand.New(rand.NewSource(h)).Float64() < cfg.FailureRate
 	}
 
+	// backoff sleeps before retrying a failed attempt: RetryBackoff doubled
+	// per prior attempt, capped, and interruptible by job cancellation.
+	backoff := func(attempt int) error {
+		if cfg.RetryBackoff <= 0 {
+			return nil
+		}
+		d := cfg.RetryBackoff << (attempt - 1)
+		if limit := 100 * cfg.RetryBackoff; d > limit || d <= 0 {
+			d = limit
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-jobCtx.Done():
+			return jobCtx.Err()
+		}
+	}
+
 	// ---- Map phase ----
 	mapStart := time.Now()
-	type mapOut struct {
-		metric  TaskMetric
-		buckets [][]Pair // per-reducer
-	}
-	mapOuts := make([]mapOut, len(splits))
+	mapOuts := make([]*MapResult, len(splits))
 	if err := runTasks(jobCtx, cfg.Parallelism, len(splits), func(i int) error {
 		var lastErr error
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
-			ctx := &TaskContext{Phase: "map", TaskID: i, Attempt: attempt}
-			buckets := make([][]Pair, cfg.NumReducers)
-			var out, bytesOut int64
-			start := time.Now()
-			emit := func(key uint64, value []byte) {
-				r := cfg.Partitioner(key, cfg.NumReducers)
-				buckets[r] = append(buckets[r], Pair{Key: key, Value: value})
-				out++
-				bytesOut += int64(8 + len(value))
-			}
-			err := mapper.Map(ctx, splits[i], emit)
-			if err == nil && cfg.Combiner != nil {
-				buckets, out, bytesOut, err = combine(cfg.Combiner, ctx, buckets)
-			}
+			res, err := exec.ExecMap(jobCtx, MapTask{
+				TaskID: i, Attempt: attempt, Split: splits[i], NumReducers: cfg.NumReducers,
+			})
 			if err == nil && failRoll("map", i, attempt) {
 				err = injectedFailure{phase: "map"}
 			}
 			if err == nil {
-				mapOuts[i] = mapOut{
-					metric: TaskMetric{
-						TaskID: i, Attempts: attempt, Duration: time.Since(start),
-						RecordsIn: 1, RecordsOut: out,
-						BytesIn: int64(len(splits[i].Data)), BytesOut: bytesOut,
-						Counters: ctx.counters,
-					},
-					buckets: buckets,
-				}
+				res.Metric.TaskID = i
+				res.Metric.Attempts = attempt
+				mapOuts[i] = res
+				addSpans(cfg.Trace, res.Spans)
 				return nil
 			}
 			lastErr = err
-			if _, ok := err.(injectedFailure); !ok {
+			if !IsRetryable(err) {
 				return fmt.Errorf("map task %d: %w", i, err)
+			}
+			if attempt < cfg.MaxAttempts {
+				if err := backoff(attempt); err != nil {
+					return err
+				}
 			}
 		}
 		return fmt.Errorf("map task %d: %w: %v", i, ErrTooManyFailures, lastErr)
@@ -269,7 +475,7 @@ func RunContext(jobCtx context.Context, cfg Config, splits []Split, mapper Mappe
 	perReducer := make([][]Pair, cfg.NumReducers)
 	var shuffleBytes, shuffleRecords int64
 	for _, mo := range mapOuts {
-		for r, bucket := range mo.buckets {
+		for r, bucket := range mo.Buckets {
 			perReducer[r] = append(perReducer[r], bucket...)
 			for _, p := range bucket {
 				shuffleBytes += int64(8 + len(p.Value))
@@ -277,15 +483,11 @@ func RunContext(jobCtx context.Context, cfg Config, splits []Split, mapper Mappe
 			shuffleRecords += int64(len(bucket))
 		}
 	}
-	type group struct {
-		key    uint64
-		values [][]byte
-	}
-	grouped := make([][]group, cfg.NumReducers)
+	grouped := make([][]Group, cfg.NumReducers)
 	if err := runTasks(jobCtx, cfg.Parallelism, cfg.NumReducers, func(r int) error {
 		pairs := perReducer[r]
 		sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
-		var gs []group
+		var gs []Group
 		for i := 0; i < len(pairs); {
 			j := i
 			for j < len(pairs) && pairs[j].Key == pairs[i].Key {
@@ -295,7 +497,7 @@ func RunContext(jobCtx context.Context, cfg Config, splits []Split, mapper Mappe
 			for _, p := range pairs[i:j] {
 				values = append(values, p.Value)
 			}
-			gs = append(gs, group{key: pairs[i].Key, values: values})
+			gs = append(gs, Group{Key: pairs[i].Key, Values: values})
 			i = j
 		}
 		grouped[r] = gs
@@ -307,57 +509,31 @@ func RunContext(jobCtx context.Context, cfg Config, splits []Split, mapper Mappe
 
 	// ---- Reduce phase ----
 	reduceStart := time.Now()
-	type reduceOut struct {
-		metric TaskMetric
-		output []Pair
-	}
-	reduceOuts := make([]reduceOut, cfg.NumReducers)
+	reduceOuts := make([]*ReduceResult, cfg.NumReducers)
 	if err := runTasks(jobCtx, cfg.Parallelism, cfg.NumReducers, func(r int) error {
 		var lastErr error
 		for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
-			ctx := &TaskContext{Phase: "reduce", TaskID: r, Attempt: attempt}
-			var output []Pair
-			var in, out, bytesIn, bytesOut int64
-			start := time.Now()
-			emit := func(key uint64, value []byte) {
-				output = append(output, Pair{Key: key, Value: value})
-				out++
-				bytesOut += int64(8 + len(value))
-			}
-			var err error
-			for _, g := range grouped[r] {
-				// Cancellation is checked between key groups, so a
-				// long reduce task stops at the next partition
-				// boundary instead of running to completion.
-				if err = jobCtx.Err(); err != nil {
-					return err
-				}
-				in += int64(len(g.values))
-				for _, v := range g.values {
-					bytesIn += int64(8 + len(v))
-				}
-				if err = reducer.Reduce(ctx, g.key, g.values, emit); err != nil {
-					break
-				}
-			}
+			res, err := exec.ExecReduce(jobCtx, ReduceTask{
+				TaskID: r, Attempt: attempt, Groups: grouped[r],
+			})
 			if err == nil && failRoll("reduce", r, attempt) {
 				err = injectedFailure{phase: "reduce"}
 			}
 			if err == nil {
-				reduceOuts[r] = reduceOut{
-					metric: TaskMetric{
-						TaskID: r, Attempts: attempt, Duration: time.Since(start),
-						RecordsIn: in, RecordsOut: out,
-						BytesIn: bytesIn, BytesOut: bytesOut,
-						Counters: ctx.counters,
-					},
-					output: output,
-				}
+				res.Metric.TaskID = r
+				res.Metric.Attempts = attempt
+				reduceOuts[r] = res
+				addSpans(cfg.Trace, res.Spans)
 				return nil
 			}
 			lastErr = err
-			if _, ok := err.(injectedFailure); !ok {
+			if !IsRetryable(err) {
 				return fmt.Errorf("reduce task %d: %w", r, err)
+			}
+			if attempt < cfg.MaxAttempts {
+				if err := backoff(attempt); err != nil {
+					return err
+				}
 			}
 		}
 		return fmt.Errorf("reduce task %d: %w: %v", r, ErrTooManyFailures, lastErr)
@@ -378,19 +554,29 @@ func RunContext(jobCtx context.Context, cfg Config, splits []Split, mapper Mappe
 		},
 	}
 	for _, mo := range mapOuts {
-		res.Metrics.MapTasks = append(res.Metrics.MapTasks, mo.metric)
-		for k, v := range mo.metric.Counters {
+		res.Metrics.MapTasks = append(res.Metrics.MapTasks, mo.Metric)
+		for k, v := range mo.Metric.Counters {
 			res.Metrics.Counters[k] += v
 		}
 	}
 	for _, ro := range reduceOuts {
-		res.Metrics.ReduceTasks = append(res.Metrics.ReduceTasks, ro.metric)
-		for k, v := range ro.metric.Counters {
+		res.Metrics.ReduceTasks = append(res.Metrics.ReduceTasks, ro.Metric)
+		for k, v := range ro.Metric.Counters {
 			res.Metrics.Counters[k] += v
 		}
-		res.Output = append(res.Output, ro.output...)
+		res.Output = append(res.Output, ro.Output...)
 	}
 	return res, nil
+}
+
+// addSpans folds remotely recorded spans into the job trace.
+func addSpans(tr *obs.Trace, spans []obs.Span) {
+	if tr == nil {
+		return
+	}
+	for _, s := range spans {
+		tr.Add(s.Name, s.Start, s.Duration, s.Attrs...)
+	}
 }
 
 // combine applies the map-side combiner to each per-reducer bucket,
