@@ -14,6 +14,12 @@
 // the dodworker join command on stderr, waits for -workers workers, and
 // ships the detection job's tasks to them instead of running in-process.
 // Results are byte-identical across engines for the same seed.
+//
+// -journal PATH additionally checkpoints every settled task result to an
+// append-only log: if the run is killed, re-running the same command with
+// the same -journal resumes from the checkpoint — already-settled tasks
+// are answered from disk and the output is byte-identical to an
+// uninterrupted run.
 package main
 
 import (
@@ -46,6 +52,7 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:0", "cluster engine: coordinator listen address")
 		workers    = flag.Int("workers", 1, "cluster engine: workers to wait for before detecting")
 		workerWait = flag.Duration("worker-wait", 60*time.Second, "cluster engine: how long to wait for workers to join")
+		journal    = flag.String("journal", "", "cluster engine: checkpoint journal path; a restarted run replays settled tasks from it")
 	)
 	flag.Var(&strategy, "strategy", "partitioning strategy: Domain | uniSpace | DDriven | CDriven | DMT")
 	flag.Var(&detector, "detector", "detector for single-tactic strategies: NestedLoop | CellBased | CellBasedL2 | KDTree | BruteForce")
@@ -56,7 +63,8 @@ func main() {
 		reducers: *reducers, sample: *sample, seed: *seed,
 		stats: *stats, planOut: *planOut,
 		engine: *engine, listen: *listen, workers: *workers, workerWait: *workerWait,
-		args: flag.Args(),
+		journal: *journal,
+		args:    flag.Args(),
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dod:", err)
 		os.Exit(1)
@@ -80,6 +88,7 @@ type runOpts struct {
 	listen     string
 	workers    int
 	workerWait time.Duration
+	journal    string
 
 	args []string
 }
@@ -115,7 +124,7 @@ func run(o runOpts) error {
 	case "", "local":
 	case "cluster":
 		logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
-		coord, err := dod.NewCoordinator(dod.CoordinatorConfig{Listen: o.listen, Logf: logf})
+		coord, err := dod.NewCoordinator(dod.CoordinatorConfig{Listen: o.listen, JournalPath: o.journal, Logf: logf})
 		if err != nil {
 			return err
 		}

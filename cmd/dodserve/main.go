@@ -16,6 +16,7 @@
 //	POST /v1/score    same body; points are scored against the current
 //	                  window without being ingested.
 //	GET  /healthz     liveness.
+//	GET  /readyz      readiness; 503 while draining before shutdown.
 //	GET  /statsz      counters and p50/p99 latency histograms (JSON).
 //	GET  /metrics     Prometheus text exposition of every instrument:
 //	                  request/line counters, latency histograms, window
@@ -51,6 +52,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "index shard count (0 = default)")
 		workers  = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 0, "max NDJSON lines per request (0 = default)")
+		inflight = flag.Int("max-inflight", 0, "max concurrently admitted batch requests before 429 shedding (0 = 2x workers)")
+		maxBody  = flag.Int64("max-body-bytes", 0, "max request body bytes before 413 (0 = default 64 MiB)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
@@ -64,9 +67,11 @@ func main() {
 			TTL:      *ttl,
 			Shards:   *shards,
 		},
-		Workers:     *workers,
-		MaxBatch:    *maxBatch,
-		EnablePprof: *pprofOn,
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		MaxInflight:  *inflight,
+		MaxBodyBytes: *maxBody,
+		EnablePprof:  *pprofOn,
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dodserve:", err)
@@ -81,7 +86,14 @@ func run(addr string, cfg serve.Config) error {
 	}
 	defer srv.Close()
 
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	hs := &http.Server{
+		Addr:    addr,
+		Handler: srv.Handler(),
+		// Bound slow-loris headers and dead keepalives; no global write
+		// timeout (large score batches stream for a while).
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -97,7 +109,8 @@ func run(addr string, cfg serve.Config) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "dodserve: shutting down")
+	fmt.Fprintln(os.Stderr, "dodserve: draining (readyz now 503)")
+	srv.SetDraining(true) // flip /readyz first so balancers stop routing here
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -31,6 +31,16 @@ type CoordinatorConfig struct {
 	// MaxTaskDispatches bounds re-execution plus speculation per task
 	// before the job fails with ErrWorkerLost; default 8.
 	MaxTaskDispatches int
+	// TaskTimeout, when positive, withdraws and re-queues any single
+	// dispatch that has run longer than this, even if its worker is still
+	// heartbeating — the backstop for results repeatedly lost in transit.
+	TaskTimeout time.Duration
+	// JournalPath, when set, enables checkpoint/resume: accepted task
+	// results are fsynced to this append-only log before delivery, and a
+	// restarted coordinator pointed at the same path answers already-
+	// settled tasks from disk instead of re-running them. The journal is
+	// keyed by job spec content, so it survives process restarts.
+	JournalPath string
 	// Logf, when set, receives scheduling events (worker joins and losses,
 	// re-dispatches, speculative duplicates).
 	Logf func(format string, args ...any)
@@ -52,6 +62,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		Listen:            cfg.Listen,
 		LeaseTTL:          cfg.LeaseTTL,
 		MaxTaskDispatches: cfg.MaxTaskDispatches,
+		TaskTimeout:       cfg.TaskTimeout,
+		JournalPath:       cfg.JournalPath,
 		Logf:              cfg.Logf,
 	})
 	if err != nil {
@@ -94,6 +106,11 @@ type ClusterStats struct {
 	// WorkersLost counts lease expiries; Redispatches the task
 	// re-executions they caused; Speculative the straggler duplicates.
 	WorkersLost, Redispatches, Speculative int64
+	// Nacks counts dispatches whose payload arrived at a worker corrupted
+	// and was reported back; TaskTimeouts counts dispatches withdrawn by
+	// the per-task timeout backstop; JournalReplays counts tasks settled
+	// from the checkpoint journal instead of a worker.
+	Nacks, TaskTimeouts, JournalReplays int64
 }
 
 // Stats snapshots the coordinator's scheduling counters — the same values
@@ -111,5 +128,8 @@ func (c *Coordinator) Stats() ClusterStats {
 		WorkersLost:    s.WorkersLost,
 		Redispatches:   s.Redispatches,
 		Speculative:    s.Speculative,
+		Nacks:          s.Nacks,
+		TaskTimeouts:   s.TaskTimeouts,
+		JournalReplays: s.JournalReplays,
 	}
 }

@@ -30,6 +30,10 @@ var (
 	// ErrJobAborted is returned by a cluster run whose Coordinator was
 	// closed while tasks were still outstanding.
 	ErrJobAborted = errs.ErrJobAborted
+	// ErrOverloaded is returned (and served as HTTP 429) when the serving
+	// layer sheds load: its admission queue is full, and rejecting fast
+	// beats queueing into a timeout. Back off and retry.
+	ErrOverloaded = errs.ErrOverloaded
 )
 
 // DuplicateIDError is the concrete error behind ErrDuplicateID; it carries

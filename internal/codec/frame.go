@@ -23,6 +23,64 @@ func WireErrorf(format string, args ...any) error {
 // into a typed error rather than an attempted huge allocation.
 const MaxFramePayload = 1 << 31
 
+// FrameSum is the reserved kind of the trailing integrity frame: its
+// 8-byte payload is the FNV-64a checksum of every body byte before it.
+// Transport-level corruption (a flipped bit in an HTTP body) would
+// otherwise have a small but real chance of decoding into a *valid*
+// message with wrong data — a silently wrong detection result. With the
+// sum frame, corruption anywhere in the body is always a typed
+// ErrWireFormat failure the runtime can retry, never an accepted lie.
+const FrameSum byte = 0x7f
+
+// Checksum is the integrity hash of the frame layer (FNV-64a: fast,
+// dependency-free; this is corruption detection, not authentication).
+func Checksum(data []byte) uint64 {
+	// Inlined FNV-64a; hash/fnv would allocate a hasher per message.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// AppendSumFrame seals buf with a FrameSum frame covering everything
+// currently in it. Call last, after every data frame.
+func AppendSumFrame(buf []byte) []byte {
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], Checksum(buf))
+	return AppendFrame(buf, FrameSum, sum[:])
+}
+
+// StripSumFrame scans body's frame sequence, requires the final frame to
+// be a FrameSum whose checksum covers everything before it, and returns
+// the body with the sum frame removed. Any mismatch, a missing sum, or
+// trailing bytes after it fail with an ErrWireFormat-family error.
+func StripSumFrame(body []byte) ([]byte, error) {
+	off := 0
+	for off < len(body) {
+		kind, payload, n, err := DecodeFrame(body[off:])
+		if err != nil {
+			return nil, err
+		}
+		if kind == FrameSum {
+			if off+n != len(body) {
+				return nil, corrupt("codec: %d bytes after integrity frame", len(body)-off-n)
+			}
+			if len(payload) != 8 {
+				return nil, corrupt("codec: integrity frame payload is %d bytes, want 8", len(payload))
+			}
+			if got, want := Checksum(body[:off]), binary.LittleEndian.Uint64(payload); got != want {
+				return nil, corrupt("codec: integrity checksum mismatch (corrupted in transit?)")
+			}
+			return body[:off], nil
+		}
+		off += n
+	}
+	return nil, corrupt("codec: message lacks integrity frame")
+}
+
 // AppendFrame appends a (kind, length, payload) frame to dst.
 func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
 	dst = append(dst, kind)

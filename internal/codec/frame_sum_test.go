@@ -1,0 +1,71 @@
+package codec
+
+import (
+	"errors"
+	"testing"
+
+	"dod/internal/errs"
+)
+
+// TestSumFrameRoundTrip seals and re-opens a multi-frame body.
+func TestSumFrameRoundTrip(t *testing.T) {
+	body := AppendFrame(nil, 1, []byte(`{"h":1}`))
+	body = AppendFrame(body, 2, []byte{9, 8, 7})
+	body = AppendFrame(body, 2, nil) // empty payload frame must survive
+	sealed := AppendSumFrame(body)
+
+	got, err := StripSumFrame(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("stripped body differs: %x vs %x", got, body)
+	}
+}
+
+// TestSumFrameDetectsEveryBitFlip flips every bit of a sealed body; every
+// single flip must be rejected — this is the guarantee that lets the chaos
+// harness corrupt transport bytes without ever producing a silently wrong
+// result.
+func TestSumFrameDetectsEveryBitFlip(t *testing.T) {
+	body := AppendSumFrame(AppendFrame(AppendFrame(nil, 1, []byte("header")), 4, []byte{1, 2, 3, 4}))
+	for i := range body {
+		for bit := 0; bit < 8; bit++ {
+			dup := append([]byte(nil), body...)
+			dup[i] ^= 1 << bit
+			if _, err := StripSumFrame(dup); err == nil {
+				t.Fatalf("flip byte %d bit %d went undetected", i, bit)
+			} else if !errors.Is(err, errs.ErrWireFormat) {
+				t.Fatalf("flip byte %d bit %d: non-wire error %v", i, bit, err)
+			}
+		}
+	}
+}
+
+func TestSumFrameRejections(t *testing.T) {
+	sealed := AppendSumFrame(AppendFrame(nil, 1, []byte("x")))
+	cases := map[string][]byte{
+		"empty":             {},
+		"no sum frame":      AppendFrame(nil, 1, []byte("x")),
+		"trailing bytes":    append(append([]byte(nil), sealed...), 0),
+		"short sum payload": AppendFrame(AppendFrame(nil, 1, []byte("x")), FrameSum, []byte{1, 2, 3}),
+		"truncated":         sealed[:len(sealed)-1],
+		"sum over wrong data": AppendFrame(AppendFrame(nil, 2, []byte("y")),
+			FrameSum, AppendSumFrame(nil)[2:]), // sum of the empty body
+	}
+	for name, body := range cases {
+		if _, err := StripSumFrame(body); !errors.Is(err, errs.ErrWireFormat) {
+			t.Errorf("%s: err = %v, want ErrWireFormat", name, err)
+		}
+	}
+}
+
+func TestChecksumStability(t *testing.T) {
+	// FNV-64a known-answer: hash of "" and "a".
+	if Checksum(nil) != 14695981039346656037 {
+		t.Errorf("Checksum(nil) = %d", Checksum(nil))
+	}
+	if Checksum([]byte("a")) != 0xaf63dc4c8601ec8c {
+		t.Errorf("Checksum(a) = %#x", Checksum([]byte("a")))
+	}
+}

@@ -3,8 +3,10 @@ package dist
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
@@ -14,6 +16,7 @@ import (
 	"dod/internal/errs"
 	"dod/internal/mapreduce"
 	"dod/internal/obs"
+	"dod/internal/retry"
 )
 
 // Config tunes a Coordinator. The zero value is usable: it listens on a
@@ -55,6 +58,31 @@ type Config struct {
 	// medians don't trigger duplicates of healthy tasks. Default 200ms.
 	SpeculativeMinAge time.Duration
 
+	// TaskTimeout bounds how long one dispatch may run before the
+	// coordinator gives up on it and re-queues the task, even while its
+	// worker keeps heartbeating. It is the backstop for dispatches whose
+	// results are repeatedly lost in transit (the worker looks healthy,
+	// the task never settles). 0 disables the timeout.
+	TaskTimeout time.Duration
+
+	// Seed feeds the coordinator's re-dispatch jitter source, so a chaos
+	// run's backoff schedule is reproducible. Default 1.
+	Seed int64
+
+	// JournalPath, when set, enables checkpoint/resume: every accepted
+	// task result is fsynced to this append-only log before delivery, and
+	// a restarted coordinator replays journaled results at enqueue time
+	// instead of re-running their tasks. See journal.go.
+	JournalPath string
+
+	// MinReadyWorkers is how many live worker leases GET /readyz requires
+	// before reporting ready. Default 1.
+	MinReadyWorkers int
+
+	// MaxResultBytes caps one result POST body; larger uploads fail with
+	// a structured 413. Default 2 GiB.
+	MaxResultBytes int64
+
 	// Obs receives the coordinator's dod_dist_* instruments, also served
 	// on GET /metrics. Default: a private registry.
 	Obs *obs.Registry
@@ -91,6 +119,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SpeculativeMinAge <= 0 {
 		c.SpeculativeMinAge = 200 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MinReadyWorkers <= 0 {
+		c.MinReadyWorkers = 1
+	}
+	if c.MaxResultBytes <= 0 {
+		c.MaxResultBytes = 2 << 30
 	}
 	if c.Obs == nil {
 		c.Obs = obs.NewRegistry()
@@ -145,6 +182,7 @@ type task struct {
 type jobRun struct {
 	id        uint64
 	spec      JobSpec
+	specKey   uint64 // journal identity: stable across coordinator restarts
 	tasks     map[taskKey]*task
 	durations map[string][]time.Duration // completed-task durations per phase, for speculation
 }
@@ -160,19 +198,23 @@ type workerState struct {
 // worker leases, re-execution, and speculation, and serves the worker
 // protocol plus /metrics and /healthz over HTTP.
 type Coordinator struct {
-	cfg Config
-	met *coordMetrics
-	ln  net.Listener
-	srv *http.Server
+	cfg      Config
+	met      *coordMetrics
+	ln       net.Listener
+	srv      *http.Server
+	journal  *journal     // nil unless Config.JournalPath is set
+	retryPol retry.Policy // re-dispatch backoff (jittered, capped)
 
 	mu          sync.Mutex
 	closed      bool
+	draining    bool // /readyz reports not-ready; work in flight still settles
 	workers     map[string]*workerState
 	jobs        map[uint64]*jobRun
 	queue       []*task
 	notify      chan struct{} // closed and replaced whenever the queue changes
 	jobSeq      uint64
 	dispatchSeq uint64
+	rng         *rand.Rand // jitter source; guarded by mu
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}
@@ -186,26 +228,52 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("dist: listen %s: %w", cfg.Listen, err)
 	}
 	c := &Coordinator{
-		cfg:       cfg,
-		ln:        ln,
+		cfg: cfg,
+		ln:  ln,
+		retryPol: retry.Policy{
+			Base:   cfg.RedispatchBackoff,
+			Max:    16 * cfg.RedispatchBackoff,
+			Jitter: true,
+		},
 		workers:   make(map[string]*workerState),
 		jobs:      make(map[uint64]*jobRun),
 		notify:    make(chan struct{}),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
+	}
+	if cfg.JournalPath != "" {
+		j, recovered, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		c.journal = j
+		if recovered > 0 {
+			c.logf("dist: journal %s: recovered %d settled results", cfg.JournalPath, recovered)
+		}
 	}
 	c.met = newCoordMetrics(cfg.Obs, func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		return float64(len(c.workers))
 	})
+	retry.Instrument(cfg.Obs)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+pathJoin, c.handleJoin)
 	mux.HandleFunc("POST "+pathPoll, c.handlePoll)
 	mux.HandleFunc("POST "+pathResult, c.handleResult)
+	mux.HandleFunc("POST "+pathNack, c.handleNack)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
-	c.srv = &http.Server{Handler: mux}
+	mux.HandleFunc("GET "+pathReady, c.handleReady)
+	c.srv = &http.Server{
+		Handler: mux,
+		// Header-read and idle timeouts bound slow-loris and dead-keepalive
+		// connections; no global write timeout (long polls are held open).
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go c.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
 	go c.sweeper()
 	return c, nil
@@ -272,6 +340,9 @@ func (c *Coordinator) Stats() Stats {
 		WorkersLost:    m.workersLost.Value(),
 		Redispatches:   m.redispatch.Value(),
 		Speculative:    m.speculative.Value(),
+		Nacks:          m.nacks.Value(),
+		TaskTimeouts:   m.taskTimeouts.Value(),
+		JournalReplays: m.journalReplays.Value(),
 	}
 }
 
@@ -298,7 +369,19 @@ func (c *Coordinator) Close() error {
 	close(c.sweepStop)
 	err := c.srv.Close()
 	<-c.sweepDone
+	if jerr := c.journal.Close(); err == nil {
+		err = jerr
+	}
 	return err
+}
+
+// SetDraining flips the coordinator's readiness: while draining, GET
+// /readyz answers 503 so load balancers stop routing new work here, but
+// in-flight polls, results, and queued tasks keep settling normally.
+func (c *Coordinator) SetDraining(draining bool) {
+	c.mu.Lock()
+	c.draining = draining
+	c.mu.Unlock()
 }
 
 // Executor returns a mapreduce.Executor that ships this job's task attempts
@@ -312,6 +395,7 @@ func (c *Coordinator) Executor(spec JobSpec) mapreduce.Executor {
 	return &remoteExecutor{c: c, job: &jobRun{
 		id:        id,
 		spec:      spec,
+		specKey:   specKey(spec),
 		tasks:     make(map[taskKey]*task),
 		durations: make(map[string][]time.Duration),
 	}}
@@ -365,8 +449,25 @@ func awaitTask[R any](ctx context.Context, c *Coordinator, tk *task, pick func(t
 	}
 }
 
-// enqueue registers tk with its job and makes it dispatchable.
+// enqueue registers tk with its job and makes it dispatchable — unless the
+// journal already holds this task's settled result from a previous run of
+// the same spec, in which case the outcome is replayed from disk and no
+// worker ever sees the task.
 func (c *Coordinator) enqueue(tk *task) error {
+	if body, ok := c.journal.lookup(journalKey{spec: tk.job.specKey, phase: tk.phase, task: tk.id}); ok {
+		if h, buckets, output, err := decodeResultBody(body); err == nil && h.Err == "" {
+			if out := buildOutcome(tk, h, buckets, output); out.err == nil {
+				c.met.journalReplays.Inc()
+				tk.done = true
+				tk.outcome <- out
+				return nil
+			}
+		}
+		// A journal entry that fails to decode or validate (e.g. the spec
+		// hash collided across incompatible shapes) is ignored; the task
+		// runs normally and the fresh result overwrites nothing.
+		c.logf("dist: journal entry for %s task %d unusable, re-running", tk.phase, tk.id)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -380,6 +481,27 @@ func (c *Coordinator) enqueue(tk *task) error {
 	c.queue = append(c.queue, tk)
 	c.kickLocked()
 	return nil
+}
+
+// buildOutcome validates a decoded result body against tk's expected shape
+// and assembles the executor-facing outcome. Shared by the live result
+// path and journal replay, so a replayed task is byte-identical to a
+// freshly computed one.
+func buildOutcome(tk *task, h resultHeader, buckets [][]mapreduce.Pair, output []mapreduce.Pair) taskOutcome {
+	metric := metricFromWire(h.Metric)
+	spans := spansFromWire(h.Spans)
+	var out taskOutcome
+	switch {
+	case tk.mapTask != nil:
+		if len(buckets) != tk.mapTask.NumReducers {
+			out.err = fmt.Errorf("dist: map task %d result has %d buckets, want %d: %w", h.Task, len(buckets), tk.mapTask.NumReducers, errs.ErrWireFormat)
+		} else {
+			out.mapRes = &mapreduce.MapResult{Buckets: buckets, Metric: metric, Spans: spans}
+		}
+	default:
+		out.reduceRes = &mapreduce.ReduceResult{Output: output, Metric: metric, Spans: spans}
+	}
+	return out
 }
 
 // abandon withdraws a task whose executor call was cancelled. In-flight
@@ -437,13 +559,12 @@ func (c *Coordinator) requeueLocked(tk *task, delay time.Duration) {
 	}
 }
 
-// redispatchDelay implements per-task exponential backoff on re-dispatch.
+// redispatchDelay is the per-task backoff before re-dispatch: capped
+// exponential growth with full jitter (retry.Policy), so a burst of tasks
+// orphaned by one lost worker doesn't re-dispatch in lockstep. Callers
+// hold c.mu (the jitter rng is guarded by it).
 func (c *Coordinator) redispatchDelay(dispatches int) time.Duration {
-	d := c.cfg.RedispatchBackoff << uint(dispatches-1)
-	if limit := 16 * c.cfg.RedispatchBackoff; d > limit || d <= 0 {
-		d = limit
-	}
-	return d
+	return c.retryPol.Delay(dispatches, c.rng)
 }
 
 // ensureWorkerLocked registers a worker on first contact (join is an
@@ -507,7 +628,24 @@ func encodeTask(tk *task, h taskHeader) ([]byte, error) {
 
 // ---- HTTP handlers ----
 
+// maxControlBody caps the small JSON control messages (join, poll, nack);
+// anything larger is garbage or abuse.
+const maxControlBody = 1 << 16
+
+// writeStructuredError answers with a machine-readable error body, so
+// clients distinguish "you sent too much" (413) from "I couldn't read in
+// time" (408) from plain bad requests without parsing prose.
+func writeStructuredError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck
+		Error   string `json:"error"`
+		Message string `json:"message"`
+	}{Error: code, Message: msg})
+}
+
 func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxControlBody)
 	var req joinRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
 		http.Error(w, "dist: bad join request", http.StatusBadRequest)
@@ -532,6 +670,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxControlBody)
 	var req pollRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
 		http.Error(w, "dist: bad poll request", http.StatusBadRequest)
@@ -567,6 +706,9 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 			c.met.phaseCounterDispatch(tk.phase).Inc()
 			c.met.bytesShipped.Add(int64(len(body)))
 			w.Header().Set("Content-Type", "application/octet-stream")
+			// The dispatch ID rides in a header so a worker that cannot
+			// decode the (possibly corrupted) body can still nack it.
+			w.Header().Set(headerDispatch, fmt.Sprintf("%d", h.Dispatch))
 			w.Write(body) //nolint:errcheck // worker re-polls; lease recovers the task
 			return
 		}
@@ -588,14 +730,24 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxResultBytes)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		http.Error(w, "dist: reading result: "+err.Error(), http.StatusBadRequest)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeStructuredError(w, http.StatusRequestEntityTooLarge, "result_too_large",
+				fmt.Sprintf("dist: result body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeStructuredError(w, http.StatusBadRequest, "read_failed", "dist: reading result: "+err.Error())
 		return
 	}
 	h, buckets, output, err := decodeResultBody(body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		// Corrupted in transit (the integrity frame makes this certain,
+		// never a silent wrong result). 400 is retryable on the worker
+		// side: a re-send of the intact body will decode.
+		writeStructuredError(w, http.StatusBadRequest, "undecodable_result", err.Error())
 		return
 	}
 	c.met.bytesBack.Add(int64(len(body)))
@@ -632,20 +784,17 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 
 	metric := metricFromWire(h.Metric)
-	spans := spansFromWire(h.Spans)
-	var out taskOutcome
-	switch {
-	case tk.mapTask != nil:
-		if len(buckets) != tk.mapTask.NumReducers {
-			out.err = fmt.Errorf("dist: map task %d result has %d buckets, want %d: %w", h.Task, len(buckets), tk.mapTask.NumReducers, errs.ErrWireFormat)
-		} else {
-			out.mapRes = &mapreduce.MapResult{Buckets: buckets, Metric: metric, Spans: spans}
-		}
-	default:
-		out.reduceRes = &mapreduce.ReduceResult{Output: output, Metric: metric, Spans: spans}
-	}
+	out := buildOutcome(tk, h, buckets, output)
 	if out.err == nil {
 		tk.job.durations[tk.phase] = append(tk.job.durations[tk.phase], metric.Duration)
+		// Write-ahead: the journal must hold the result before the driver
+		// can observe it, or a crash between delivery and append would
+		// re-run a task the driver already consumed.
+		if err := c.journal.append(journalKey{spec: tk.job.specKey, phase: tk.phase, task: tk.id}, body); err != nil {
+			c.logf("dist: journal append for %s task %d failed: %v", tk.phase, tk.id, err)
+		} else if c.journal != nil {
+			c.met.journalRecords.Inc()
+		}
 	}
 	c.finishLocked(tk, out, true)
 	c.mu.Unlock()
@@ -657,6 +806,70 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		phaseCounter(c.met.tasksErr, h.Phase).Inc()
 	}
 	w.WriteHeader(http.StatusOK)
+}
+
+// handleNack processes a worker's report that a dispatched task payload
+// arrived undecodable (corrupted in transit). The dispatch is withdrawn
+// and the task re-queued immediately — without the nack, the worker would
+// keep heartbeating and the dispatch would sit until TaskTimeout or
+// speculation noticed it.
+func (c *Coordinator) handleNack(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxControlBody)
+	var req nackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" || req.Dispatch == 0 {
+		writeStructuredError(w, http.StatusBadRequest, "bad_nack", "dist: bad nack request")
+		return
+	}
+	c.met.nacks.Inc()
+	c.mu.Lock()
+	var tk *task
+	if ws := c.workers[req.Worker]; ws != nil {
+		ws.lastSeen = time.Now()
+		tk = ws.running[req.Dispatch]
+		delete(ws.running, req.Dispatch)
+	}
+	if tk != nil {
+		delete(tk.running, req.Dispatch)
+		if !tk.done && !tk.queued && len(tk.running) == 0 {
+			if tk.dispatches >= c.cfg.MaxTaskDispatches {
+				c.finishLocked(tk, taskOutcome{err: fmt.Errorf("dist: %s task %d: %w after %d dispatches", tk.phase, tk.id, errs.ErrWorkerLost, tk.dispatches)}, true)
+			} else {
+				c.logf("dist: dispatch %d (%s task %d) nacked by %s: %s", req.Dispatch, tk.phase, tk.id, req.Worker, req.Reason)
+				c.met.redispatch.Inc()
+				c.requeueLocked(tk, c.redispatchDelay(tk.dispatches))
+			}
+		}
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleReady serves GET /readyz: distinct from /healthz (liveness — the
+// process is up), readiness means the coordinator can actually take work:
+// not closed, not draining, and enough workers hold live leases.
+func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	workers := len(c.workers)
+	ready := !c.closed && !c.draining && workers >= c.cfg.MinReadyWorkers
+	var reason string
+	switch {
+	case c.closed:
+		reason = "closed"
+	case c.draining:
+		reason = "draining"
+	case workers < c.cfg.MinReadyWorkers:
+		reason = fmt.Sprintf("%d/%d workers", workers, c.cfg.MinReadyWorkers)
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck
+		Ready   bool   `json:"ready"`
+		Workers int    `json:"workers"`
+		Reason  string `json:"reason,omitempty"`
+	}{Ready: ready, Workers: workers, Reason: reason})
 }
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -724,6 +937,35 @@ func (c *Coordinator) sweep(now time.Time) {
 			}
 			c.met.redispatch.Inc()
 			c.requeueLocked(tk, c.redispatchDelay(tk.dispatches))
+		}
+	}
+
+	// TaskTimeout backstop: a dispatch whose worker keeps heartbeating but
+	// whose result never arrives (lost in transit, worker wedged on one
+	// task) would otherwise hang until speculation noticed it — and
+	// speculation only ever adds one duplicate. Past the timeout the
+	// dispatch is withdrawn and the task re-queued like a lease expiry.
+	if c.cfg.TaskTimeout > 0 {
+		for _, ws := range c.workers {
+			for did, tk := range ws.running {
+				di, ok := tk.running[did]
+				if !ok || now.Sub(di.start) <= c.cfg.TaskTimeout {
+					continue
+				}
+				delete(ws.running, did)
+				delete(tk.running, did)
+				c.met.taskTimeouts.Inc()
+				c.logf("dist: dispatch %d (%s task %d on %s) exceeded task timeout %v, withdrawing", did, tk.phase, tk.id, ws.name, c.cfg.TaskTimeout)
+				if tk.done || tk.queued || len(tk.running) > 0 {
+					continue
+				}
+				if tk.dispatches >= c.cfg.MaxTaskDispatches {
+					c.finishLocked(tk, taskOutcome{err: fmt.Errorf("dist: %s task %d: %w after %d dispatches", tk.phase, tk.id, errs.ErrWorkerLost, tk.dispatches)}, true)
+					continue
+				}
+				c.met.redispatch.Inc()
+				c.requeueLocked(tk, c.redispatchDelay(tk.dispatches))
+			}
 		}
 	}
 

@@ -1,0 +1,154 @@
+// Checkpoint/resume tests: a coordinator pointed at a journal fsyncs every
+// settled task result before delivering it, and a NEW coordinator process
+// pointed at the same journal answers those tasks from disk. The journal is
+// keyed by job-spec content, not by in-memory job IDs, so replay survives a
+// full process restart.
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"dod/internal/core"
+	"dod/internal/dist"
+)
+
+// journaledRun executes the full detection pipeline on a fresh coordinator
+// backed by the given journal path, with nWorkers in-process workers, and
+// returns the report plus the coordinator's final stats.
+func journaledRun(t *testing.T, input *core.Input, path string, nWorkers int) (*core.Report, dist.Stats) {
+	t.Helper()
+	coord := newCoordinator(t, dist.Config{JournalPath: path})
+	for i := 0; i < nWorkers; i++ {
+		startWorker(t, coord, fmt.Sprintf("jw%d", i), 2, nil)
+	}
+	if nWorkers > 0 {
+		if err := coord.WaitForWorkers(context.Background(), nWorkers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := coreConfig()
+	cfg.ExecutorFor = core.ClusterExecutorFor(coord)
+	rep, err := core.Run(context.Background(), input, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := coord.Stats()
+	coord.Close() // the "kill": release the journal before the next incarnation
+	return rep, st
+}
+
+// TestJournalResume is the headline checkpoint guarantee: after a completed
+// (or killed-and-complete-enough) run, a brand-new coordinator process with
+// the same journal and ZERO workers reproduces the run byte-identically —
+// every task is settled from disk, none is dispatched.
+func TestJournalResume(t *testing.T) {
+	input := testInput(t, 2000)
+	local := runDetection(t, input, coreConfig())
+	jp := filepath.Join(t.TempDir(), "checkpoint.log")
+
+	first, firstStats := journaledRun(t, input, jp, 2)
+	if !reflect.DeepEqual(local.Outliers, first.Outliers) {
+		t.Fatal("journaled cluster run diverged from local engine")
+	}
+	if firstStats.JournalReplays != 0 {
+		t.Fatalf("fresh journal replayed %d tasks", firstStats.JournalReplays)
+	}
+
+	resumed, resumedStats := journaledRun(t, input, jp, 0)
+	if !reflect.DeepEqual(local.Outliers, resumed.Outliers) {
+		t.Fatal("resumed run diverged from local engine")
+	}
+	if resumedStats.Dispatches != 0 {
+		t.Errorf("resumed run dispatched %d tasks; want 0 (no workers exist)", resumedStats.Dispatches)
+	}
+	if resumedStats.JournalReplays != firstStats.TasksOK {
+		t.Errorf("resumed run replayed %d tasks, want all %d settled by the first run",
+			resumedStats.JournalReplays, firstStats.TasksOK)
+	}
+}
+
+// TestJournalTornTailResume kills the coordinator "mid-append": the journal
+// loses the tail of its final record (a crash during write). The next
+// incarnation must truncate the torn record, replay every intact one, and
+// re-run only the lost task on a live worker — still byte-identical.
+func TestJournalTornTailResume(t *testing.T) {
+	input := testInput(t, 2000)
+	local := runDetection(t, input, coreConfig())
+	jp := filepath.Join(t.TempDir(), "checkpoint.log")
+
+	_, firstStats := journaledRun(t, input, jp, 2)
+	fi, err := os.Stat(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(jp, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, resumedStats := journaledRun(t, input, jp, 1)
+	if !reflect.DeepEqual(local.Outliers, resumed.Outliers) {
+		t.Fatal("torn-tail resume diverged from local engine")
+	}
+	if want := firstStats.TasksOK - 1; resumedStats.JournalReplays != want {
+		t.Errorf("replayed %d tasks after torn tail, want %d", resumedStats.JournalReplays, want)
+	}
+	if resumedStats.Dispatches == 0 {
+		t.Error("torn-tail resume dispatched nothing; the truncated task was not re-run")
+	}
+}
+
+// TestJournalGarbageTailIgnored appends trailing garbage (torn write of a
+// record that never completed) and verifies the next incarnation both
+// replays cleanly and appends after the truncation point without error.
+func TestJournalGarbageTailIgnored(t *testing.T) {
+	input := testInput(t, 2000)
+	jp := filepath.Join(t.TempDir(), "checkpoint.log")
+
+	_, firstStats := journaledRun(t, input, jp, 2)
+	f, err := os.OpenFile(jp, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x7f, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	resumed, resumedStats := journaledRun(t, input, jp, 0)
+	if len(resumed.Outliers) == 0 {
+		t.Fatal("garbage-tail resume found no outliers")
+	}
+	if resumedStats.JournalReplays != firstStats.TasksOK {
+		t.Errorf("replayed %d tasks, want %d", resumedStats.JournalReplays, firstStats.TasksOK)
+	}
+}
+
+// TestJournalReplayDoesNotMutate is a regression guard: opening an
+// existing non-empty journal and settling a whole run from it must not
+// rewrite, re-order, or re-append records — byte-compare the file before
+// and after a replay-only run.
+func TestJournalReplayDoesNotMutate(t *testing.T) {
+	input := testInput(t, 2000)
+	jp := filepath.Join(t.TempDir(), "checkpoint.log")
+	journaledRun(t, input, jp, 2)
+	before, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journaledRun(t, input, jp, 0)
+	// Allow the replay run a moment to have closed the file cleanly.
+	time.Sleep(10 * time.Millisecond)
+	after, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("replay-only run mutated the journal: %d -> %d bytes", len(before), len(after))
+	}
+}

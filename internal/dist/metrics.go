@@ -22,6 +22,11 @@ type coordMetrics struct {
 	workersLost *obs.Counter
 	redispatch  *obs.Counter // re-dispatches after a lost worker or exhausted lease
 	speculative *obs.Counter // duplicate dispatches of suspected stragglers
+
+	nacks          *obs.Counter // corrupted-payload nacks from workers
+	taskTimeouts   *obs.Counter // dispatches withdrawn by the TaskTimeout backstop
+	journalReplays *obs.Counter // tasks answered from the journal instead of a worker
+	journalRecords *obs.Counter // results appended to the journal
 }
 
 func newCoordMetrics(reg *obs.Registry, workers func() float64) *coordMetrics {
@@ -64,6 +69,14 @@ func newCoordMetrics(reg *obs.Registry, workers func() float64) *coordMetrics {
 		workersLost:  reg.Counter("dod_dist_workers_lost_total", lostHelp),
 		redispatch:   reg.Counter("dod_dist_redispatches_total", redisHelp),
 		speculative:  reg.Counter("dod_dist_speculative_total", specHelp),
+		nacks: reg.Counter("dod_dist_nacks_total",
+			"Dispatches nacked by workers after the payload arrived corrupted."),
+		taskTimeouts: reg.Counter("dod_dist_task_timeouts_total",
+			"Dispatches withdrawn by the per-task timeout backstop."),
+		journalReplays: reg.Counter("dod_dist_journal_replays_total",
+			"Tasks settled from the checkpoint journal instead of a worker."),
+		journalRecords: reg.Counter("dod_dist_journal_records_total",
+			"Task results durably appended to the checkpoint journal."),
 	}
 	reg.GaugeFunc("dod_dist_workers", "Workers currently holding a live lease.", workers)
 	return m
@@ -91,4 +104,7 @@ type Stats struct {
 	WorkersLost    int64
 	Redispatches   int64
 	Speculative    int64
+	Nacks          int64
+	TaskTimeouts   int64
+	JournalReplays int64
 }

@@ -15,12 +15,16 @@ import (
 // internal/codec frames: one JSON header frame (control plane — small,
 // debuggable) followed by bulk-data frames in codec binary format (data
 // plane — the same serialized bytes the in-process engine shuffles, so the
-// coordinator's byte counters measure real network shuffle volume).
+// coordinator's byte counters measure real network shuffle volume), sealed
+// by a codec.FrameSum integrity frame so transport corruption anywhere in
+// a body is a typed decode failure, never a silently wrong task or result.
 //
 // Task body:    header, then frameSplit (map) or frameGroup* (reduce).
 // Result body:  header, then frameBucket* (map: one per reducer, KV list)
 //
 //	or frameOutput (reduce: KV list).
+//
+// Both end with the integrity frame.
 const (
 	frameHeader byte = 1
 	frameSplit  byte = 2
@@ -34,7 +38,16 @@ const (
 	pathJoin   = "/dist/v1/join"
 	pathPoll   = "/dist/v1/poll"
 	pathResult = "/dist/v1/result"
+	pathNack   = "/dist/v1/nack"
+	pathReady  = "/readyz"
 )
+
+// headerDispatch duplicates the dispatch ID of a task response in an HTTP
+// header. If the body arrives corrupted the worker cannot read the ID out
+// of it, but it can still nack the dispatch by this header so the
+// coordinator re-queues immediately instead of waiting for speculation or
+// a lease timeout.
+const headerDispatch = "X-Dod-Dispatch"
 
 // taskHeader is the control-plane header of a dispatched task.
 type taskHeader struct {
@@ -164,7 +177,7 @@ func encodeMapTaskBody(h taskHeader, split mapreduce.Split) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return codec.AppendFrame(buf, frameSplit, split.Data), nil
+	return codec.AppendSumFrame(codec.AppendFrame(buf, frameSplit, split.Data)), nil
 }
 
 // encodeReduceTaskBody builds the wire body of a reduce task dispatch: one
@@ -180,12 +193,16 @@ func encodeReduceTaskBody(h taskHeader, groups []mapreduce.Group) ([]byte, error
 		scratch = codec.AppendBytesList(scratch, g.Values)
 		buf = codec.AppendFrame(buf, frameGroup, scratch)
 	}
-	return buf, nil
+	return codec.AppendSumFrame(buf), nil
 }
 
 // decodeTaskBody parses a dispatched task. Exactly one of mt/rt is non-nil,
 // chosen by the header phase. Payload slices alias body.
 func decodeTaskBody(body []byte) (h taskHeader, mt *mapreduce.MapTask, rt *mapreduce.ReduceTask, err error) {
+	body, err = codec.StripSumFrame(body)
+	if err != nil {
+		return taskHeader{}, nil, nil, err
+	}
 	rest, err := decodeHeader(body, &h)
 	if err != nil {
 		return taskHeader{}, nil, nil, err
@@ -263,7 +280,7 @@ func encodeMapResultBody(h resultHeader, res *mapreduce.MapResult) ([]byte, erro
 	for _, bucket := range res.Buckets {
 		buf = codec.AppendFrame(buf, frameBucket, codec.AppendKVs(nil, toKVs(bucket)))
 	}
-	return buf, nil
+	return codec.AppendSumFrame(buf), nil
 }
 
 // encodeReduceResultBody builds the wire body of a successful reduce attempt.
@@ -272,19 +289,27 @@ func encodeReduceResultBody(h resultHeader, res *mapreduce.ReduceResult) ([]byte
 	if err != nil {
 		return nil, err
 	}
-	return codec.AppendFrame(buf, frameOutput, codec.AppendKVs(nil, toKVs(res.Output))), nil
+	return codec.AppendSumFrame(codec.AppendFrame(buf, frameOutput, codec.AppendKVs(nil, toKVs(res.Output)))), nil
 }
 
 // encodeErrorResultBody builds the wire body of a failed attempt (header
 // only, Err set).
 func encodeErrorResultBody(h resultHeader) ([]byte, error) {
-	return appendHeader(nil, h)
+	buf, err := appendHeader(nil, h)
+	if err != nil {
+		return nil, err
+	}
+	return codec.AppendSumFrame(buf), nil
 }
 
 // decodeResultBody parses a result message. For a successful map result,
 // buckets has one entry per reducer; for reduce, output holds the task's
 // emissions. Both are nil when h.Err is set.
 func decodeResultBody(body []byte) (h resultHeader, buckets [][]mapreduce.Pair, output []mapreduce.Pair, err error) {
+	body, err = codec.StripSumFrame(body)
+	if err != nil {
+		return resultHeader{}, nil, nil, err
+	}
 	rest, err := decodeHeader(body, &h)
 	if err != nil {
 		return resultHeader{}, nil, nil, err
@@ -341,4 +366,12 @@ type joinResponse struct {
 
 type pollRequest struct {
 	Worker string `json:"worker"`
+}
+
+// nackRequest reports a dispatch whose payload the worker could not decode
+// (corrupted in transit); the coordinator re-queues it immediately.
+type nackRequest struct {
+	Worker   string `json:"worker"`
+	Dispatch uint64 `json:"dispatch"`
+	Reason   string `json:"reason,omitempty"`
 }

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -14,6 +16,7 @@ import (
 
 	"dod/internal/mapreduce"
 	"dod/internal/obs"
+	"dod/internal/retry"
 )
 
 // WorkerConfig tunes a Worker.
@@ -32,7 +35,18 @@ type WorkerConfig struct {
 
 	// Client issues the worker's HTTP requests. Default: a client with no
 	// global timeout (polls are long; each request carries the run ctx).
+	// The chaos harness swaps in a client whose transport injects faults.
 	Client *http.Client
+
+	// Retry is the backoff policy for join retries, poll transport
+	// errors, and result re-sends. The zero value uses the package
+	// default: 100ms base, 2s cap, full jitter.
+	Retry retry.Policy
+
+	// ResultAttempts bounds how many times one task result is (re)sent
+	// before the worker gives up and lets the coordinator's lease or
+	// speculation machinery recover the task. Default 6.
+	ResultAttempts int
 
 	// Logf, when set, receives worker lifecycle and task events.
 	Logf func(format string, args ...any)
@@ -48,6 +62,12 @@ type WorkerConfig struct {
 // engine uses (so results are byte-identical), and streams results back.
 // Task spans are recorded on a fresh per-task trace and shipped home in
 // the result header.
+//
+// Transport robustness: every post retries on the shared retry.Policy
+// (capped exponential backoff, full jitter); an undecodable task payload
+// (corrupted in transit) is nacked back to the coordinator by dispatch ID
+// so it re-queues immediately; result sends are retried — safe because the
+// coordinator treats results as idempotent and discards duplicates.
 type Worker struct {
 	cfg  WorkerConfig
 	base string
@@ -84,6 +104,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
+	if cfg.Retry == (retry.Policy{}) {
+		cfg.Retry = retry.Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Jitter: true}
+	}
+	if cfg.ResultAttempts <= 0 {
+		cfg.ResultAttempts = 6
+	}
 	return &Worker{cfg: cfg, base: base, jobs: make(map[string]builtJob)}, nil
 }
 
@@ -94,6 +120,15 @@ func (w *Worker) logf(format string, args ...any) {
 	if w.cfg.Logf != nil {
 		w.cfg.Logf(format, args...)
 	}
+}
+
+// rngFor derives a seeded jitter source per retry loop, so a worker's
+// backoff schedule is reproducible under a fixed name (the chaos harness
+// names workers deterministically).
+func (w *Worker) rngFor(scope string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s", w.cfg.Name, scope)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
 // Run joins the coordinator and serves tasks until ctx is cancelled or the
@@ -113,9 +148,10 @@ func (w *Worker) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
 	for i := 0; i < w.cfg.Parallelism; i++ {
 		wg.Add(1)
+		slot := i
 		go func() {
 			defer wg.Done()
-			w.pollLoop(ctx, cancel)
+			w.pollLoop(ctx, cancel, slot)
 		}()
 	}
 	wg.Wait()
@@ -128,13 +164,17 @@ func (w *Worker) join(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	for {
-		body, status, err := w.post(ctx, pathJoin, req, "application/json")
+	rng := w.rngFor("join")
+	for attempt := 1; ; attempt++ {
+		body, status, _, err := w.post(ctx, pathJoin, req, "application/json")
 		switch {
 		case err == nil && status == http.StatusOK:
 			var resp joinResponse
-			if err := json.Unmarshal(body, &resp); err != nil {
-				return fmt.Errorf("dist: join response: %w", err)
+			if uerr := json.Unmarshal(body, &resp); uerr != nil {
+				// A 200 whose body doesn't parse was corrupted in transit;
+				// treat like any transport failure and retry.
+				err = fmt.Errorf("dist: join response: %w", uerr)
+				break
 			}
 			return nil
 		case err == nil && status == http.StatusGone:
@@ -147,57 +187,61 @@ func (w *Worker) join(ctx context.Context) error {
 		} else {
 			w.logf("dist: worker %s: join %s: HTTP %d (retrying)", w.cfg.Name, w.base, status)
 		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(200 * time.Millisecond):
+		if err := retry.Sleep(ctx, w.cfg.Retry.Delay(attempt, rng)); err != nil {
+			return err
 		}
 	}
 }
 
-// pollLoop is one task slot: poll, execute, report, repeat.
-func (w *Worker) pollLoop(ctx context.Context, cancel context.CancelFunc) {
+// pollLoop is one task slot: poll, execute, report, repeat. Transport
+// errors back off on the shared policy; the attempt counter resets on any
+// successful round-trip so a healthy loop never sleeps.
+func (w *Worker) pollLoop(ctx context.Context, cancel context.CancelFunc, slot int) {
 	poll, err := json.Marshal(pollRequest{Worker: w.cfg.Name})
 	if err != nil {
 		cancel()
 		return
 	}
+	rng := w.rngFor(fmt.Sprintf("poll-%d", slot))
+	failures := 0
 	for ctx.Err() == nil {
-		body, status, err := w.post(ctx, pathPoll, poll, "application/json")
+		body, status, hdr, err := w.post(ctx, pathPoll, poll, "application/json")
 		switch {
 		case ctx.Err() != nil:
 			return
 		case err != nil:
+			failures++
 			w.logf("dist: worker %s: poll: %v", w.cfg.Name, err)
-			select {
-			case <-ctx.Done():
-			case <-time.After(200 * time.Millisecond):
-			}
+			retry.Sleep(ctx, w.cfg.Retry.Delay(failures, rng)) //nolint:errcheck // loop re-checks ctx
 		case status == http.StatusNoContent:
 			// Idle poll; go straight back — the poll is the heartbeat.
+			failures = 0
 		case status == http.StatusGone:
 			w.logf("dist: worker %s: coordinator closed, exiting", w.cfg.Name)
 			cancel()
 			return
 		case status == http.StatusOK:
-			w.runTask(ctx, body)
+			failures = 0
+			w.runTask(ctx, body, hdr.Get(headerDispatch), rng)
 		default:
+			failures++
 			w.logf("dist: worker %s: poll: HTTP %d", w.cfg.Name, status)
-			select {
-			case <-ctx.Done():
-			case <-time.After(200 * time.Millisecond):
-			}
+			retry.Sleep(ctx, w.cfg.Retry.Delay(failures, rng)) //nolint:errcheck // loop re-checks ctx
 		}
 	}
 }
 
 // runTask executes one dispatched task and reports its result. A task
 // interrupted by worker shutdown is silently dropped — the coordinator's
-// lease machinery re-dispatches it elsewhere.
-func (w *Worker) runTask(ctx context.Context, body []byte) {
+// lease machinery re-dispatches it elsewhere. A payload that fails to
+// decode (corrupted in transit: the integrity frame catches every flipped
+// bit) is nacked by the dispatch ID riding in the response header, so the
+// coordinator re-queues it immediately.
+func (w *Worker) runTask(ctx context.Context, body []byte, dispatchHdr string, rng *rand.Rand) {
 	h, mt, rt, err := decodeTaskBody(body)
 	if err != nil {
-		w.logf("dist: worker %s: dropping undecodable task: %v", w.cfg.Name, err)
+		w.logf("dist: worker %s: undecodable task payload: %v (nacking dispatch %q)", w.cfg.Name, err, dispatchHdr)
+		w.nack(ctx, dispatchHdr, err)
 		return
 	}
 	if w.cfg.OnTask != nil {
@@ -238,10 +282,59 @@ func (w *Worker) runTask(ctx context.Context, body []byte) {
 			return
 		}
 	}
-	if _, status, err := w.post(ctx, pathResult, resp, "application/octet-stream"); err != nil {
-		w.logf("dist: worker %s: reporting %s task %d: %v", w.cfg.Name, h.Phase, h.Task, err)
+	w.sendResult(ctx, h, resp, rng)
+}
+
+// sendResult posts one result, retrying transport failures and non-OK
+// statuses on the shared policy. Re-sends are safe: the coordinator
+// settles each task once and discards duplicates as late results. If the
+// attempts run out, the dispatch is abandoned to lease/speculation
+// recovery — at-least-once delivery, never silent at-most-once.
+func (w *Worker) sendResult(ctx context.Context, h taskHeader, resp []byte, rng *rand.Rand) {
+	for attempt := 1; ; attempt++ {
+		_, status, _, err := w.post(ctx, pathResult, resp, "application/octet-stream")
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err == nil && status == http.StatusOK:
+			return
+		case err == nil && status == http.StatusGone:
+			return // coordinator closed; the poll loop will observe it too
+		}
+		if err != nil {
+			w.logf("dist: worker %s: reporting %s task %d (attempt %d): %v", w.cfg.Name, h.Phase, h.Task, attempt, err)
+		} else {
+			w.logf("dist: worker %s: reporting %s task %d (attempt %d): HTTP %d", w.cfg.Name, h.Phase, h.Task, attempt, status)
+		}
+		if attempt >= w.cfg.ResultAttempts {
+			w.logf("dist: worker %s: giving up on %s task %d result after %d attempts; lease recovery will re-run it",
+				w.cfg.Name, h.Phase, h.Task, attempt)
+			return
+		}
+		if retry.Sleep(ctx, w.cfg.Retry.Delay(attempt, rng)) != nil {
+			return
+		}
+	}
+}
+
+// nack tells the coordinator a dispatch arrived undecodable. Best effort:
+// if the nack itself is lost, lease expiry or speculation still recover.
+func (w *Worker) nack(ctx context.Context, dispatchHdr string, cause error) {
+	if dispatchHdr == "" {
+		return
+	}
+	var dispatch uint64
+	if _, err := fmt.Sscanf(dispatchHdr, "%d", &dispatch); err != nil {
+		return
+	}
+	req, err := json.Marshal(nackRequest{Worker: w.cfg.Name, Dispatch: dispatch, Reason: cause.Error()})
+	if err != nil {
+		return
+	}
+	if _, status, _, err := w.post(ctx, pathNack, req, "application/json"); err != nil {
+		w.logf("dist: worker %s: nack dispatch %d: %v", w.cfg.Name, dispatch, err)
 	} else if status != http.StatusOK {
-		w.logf("dist: worker %s: reporting %s task %d: HTTP %d", w.cfg.Name, h.Phase, h.Task, status)
+		w.logf("dist: worker %s: nack dispatch %d: HTTP %d", w.cfg.Name, dispatch, status)
 	}
 }
 
@@ -259,21 +352,21 @@ func (w *Worker) jobFor(spec JobSpec) (*Job, error) {
 	return job, err
 }
 
-// post issues one POST and returns the response body and status.
-func (w *Worker) post(ctx context.Context, path string, body []byte, contentType string) ([]byte, int, error) {
+// post issues one POST and returns the response body, status, and headers.
+func (w *Worker) post(ctx context.Context, path string, body []byte, contentType string) ([]byte, int, http.Header, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, resp.StatusCode, err
+		return nil, resp.StatusCode, resp.Header, err
 	}
-	return data, resp.StatusCode, nil
+	return data, resp.StatusCode, resp.Header, nil
 }

@@ -47,6 +47,11 @@ var (
 	// coordinator was closed, no workers remain, or a task exhausted its
 	// re-execution budget.
 	ErrJobAborted = errors.New("dod: job aborted")
+	// ErrOverloaded reports load shedding: the serving layer's admission
+	// queue is full and the request was rejected rather than queued
+	// unboundedly. Callers should back off and retry (HTTP callers see
+	// 429 with Retry-After).
+	ErrOverloaded = errors.New("dod: overloaded")
 )
 
 // BadParams builds an ErrBadParams-wrapping error with details.

@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dod/internal/obs"
+)
+
+func chaosRules() []Rule {
+	return []Rule{
+		{Site: "a.*", PError: 0.2, PDrop: 0.1, PCorrupt: 0.1, PPartition: 0.05, PartitionLen: 3,
+			PLatency: 0.3, MaxLatency: 5 * time.Millisecond},
+		{Site: "quiet"}, // exact-match rule, no faults
+
+	}
+}
+
+// TestDeterministicPerSiteStreams is the load-bearing property: a site's
+// decision sequence is a pure function of (seed, site name).
+func TestDeterministicPerSiteStreams(t *testing.T) {
+	roll := func(seed int64, site string, n int) []Decision {
+		in := New(Config{Seed: seed, Rules: chaosRules()})
+		s := in.Site(site)
+		out := make([]Decision, n)
+		for i := range out {
+			out[i] = s.Roll()
+		}
+		return out
+	}
+	if !reflect.DeepEqual(roll(7, "a.x", 200), roll(7, "a.x", 200)) {
+		t.Fatal("same seed+site produced different decision streams")
+	}
+	if reflect.DeepEqual(roll(7, "a.x", 200), roll(8, "a.x", 200)) {
+		t.Fatal("different seeds produced identical streams (suspicious)")
+	}
+	if reflect.DeepEqual(roll(7, "a.x", 200), roll(7, "a.y", 200)) {
+		t.Fatal("different sites share one stream")
+	}
+
+	// Interleaving independence: rolling a.x and a.y alternately must give
+	// a.x the same stream as rolling it alone.
+	in := New(Config{Seed: 7, Rules: chaosRules()})
+	x, y := in.Site("a.x"), in.Site("a.y")
+	var mixed []Decision
+	for i := 0; i < 200; i++ {
+		mixed = append(mixed, x.Roll())
+		y.Roll()
+	}
+	if !reflect.DeepEqual(mixed, roll(7, "a.x", 200)) {
+		t.Fatal("interleaved rolls changed a site's stream")
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	in := New(Config{Seed: 1, Rules: []Rule{{Site: "p", PPartition: 1, PartitionLen: 4}}})
+	s := in.Site("p")
+	for i := 0; i < 12; i++ {
+		if d := s.Roll(); d.Kind != Partition {
+			t.Fatalf("call %d: kind %v, want continuous partition at PPartition=1", i, d.Kind)
+		}
+	}
+}
+
+func TestNilInjectorAndUnmatchedSitesAreInert(t *testing.T) {
+	var in *Injector
+	if d := in.Site("x").Roll(); d.Kind != None {
+		t.Fatal("nil injector rolled a fault")
+	}
+	if in.Schedule() != nil || in.SiteNames() != nil {
+		t.Fatal("nil injector has state")
+	}
+	live := New(Config{Seed: 1, Rules: chaosRules()})
+	s := live.Site("unmatched")
+	for i := 0; i < 100; i++ {
+		if d := s.Roll(); d.Kind != None {
+			t.Fatal("ruleless site rolled a fault")
+		}
+	}
+}
+
+func TestScheduleRecordsAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Config{Seed: 3, Rules: []Rule{{Site: "s", PError: 1}}, Obs: reg})
+	s := in.Site("s")
+	for i := 0; i < 5; i++ {
+		d := s.Roll()
+		if d.Kind != Error || d.Err() == nil {
+			t.Fatalf("roll %d: %+v", i, d)
+		}
+	}
+	sched := in.Schedule()
+	if len(sched) != 5 {
+		t.Fatalf("schedule has %d entries, want 5", len(sched))
+	}
+	for i, d := range sched {
+		if d.Site != "s" || d.Call != i+1 || d.Fault != "error" {
+			t.Errorf("schedule[%d] = %+v", i, d)
+		}
+	}
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `dod_fault_injected_total{kind="error"} 5`) {
+		t.Errorf("metrics missing fault counter:\n%s", buf.String())
+	}
+}
+
+func TestCorruptBytes(t *testing.T) {
+	d := Decision{Kind: Corrupt, Aux: 0x0300000001}
+	data := []byte{0, 0, 0, 0}
+	orig := append([]byte(nil), data...)
+	if !CorruptBytes(d, data) {
+		t.Fatal("CorruptBytes reported no change")
+	}
+	if bytes.Equal(data, orig) {
+		t.Fatal("payload unchanged after corruption")
+	}
+	diff := 0
+	for i := range data {
+		if data[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption changed %d bytes, want exactly 1", diff)
+	}
+	if CorruptBytes(d, nil) {
+		t.Fatal("corrupted an empty payload")
+	}
+	if CorruptBytes(Decision{Kind: Error}, data) {
+		t.Fatal("non-corrupt decision corrupted data")
+	}
+}
+
+// TestTransport drives every decision kind through a real HTTP round-trip.
+func TestTransport(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.Write([]byte("payload-bytes"))
+	}))
+	defer ts.Close()
+
+	check := func(rule Rule, wantErr bool, wantBody string) (int, error) {
+		served = 0
+		in := New(Config{Seed: 11, Rules: []Rule{rule}})
+		client := &http.Client{Transport: Transport(nil, in, "t.")}
+		resp, err := client.Get(ts.URL + "/x")
+		if err != nil {
+			if !wantErr {
+				t.Fatalf("rule %+v: unexpected error %v", rule, err)
+			}
+			return served, err
+		}
+		defer resp.Body.Close()
+		if wantErr {
+			t.Fatalf("rule %+v: expected error", rule)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if wantBody != "" && string(body) != wantBody {
+			t.Fatalf("rule %+v: body %q, want %q", rule, body, wantBody)
+		}
+		return served, nil
+	}
+
+	// Clean pass.
+	if n, _ := check(Rule{Site: "none"}, false, "payload-bytes"); n != 1 {
+		t.Fatalf("clean pass served %d requests", n)
+	}
+	// Error: request never sent.
+	if n, err := check(Rule{Site: "t.*", PError: 1}, true, ""); n != 0 {
+		t.Fatalf("error fault still sent the request (%d served)", n)
+	} else {
+		var ie *InjectedError
+		if !errors.As(err, &ie) || ie.AfterEffect {
+			t.Fatalf("error fault error = %v", err)
+		}
+	}
+	// Drop: request sent, response lost.
+	if n, err := check(Rule{Site: "t.*", PDrop: 1}, true, ""); n != 1 {
+		t.Fatalf("drop fault served %d requests, want 1", n)
+	} else {
+		var ie *InjectedError
+		if !errors.As(err, &ie) || !ie.AfterEffect {
+			t.Fatalf("drop fault error = %v", err)
+		}
+	}
+	// Corrupt: body differs in exactly one byte.
+	in := New(Config{Seed: 5, Rules: []Rule{{Site: "t.*", PCorrupt: 1}}})
+	client := &http.Client{Transport: Transport(nil, in, "t.")}
+	resp, err := client.Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) == "payload-bytes" || len(body) != len("payload-bytes") {
+		t.Fatalf("corrupt fault: body %q", body)
+	}
+	// Latency: still succeeds.
+	if _, err := check(Rule{Site: "t.*", PLatency: 1, MaxLatency: 2 * time.Millisecond}, false, "payload-bytes"); err != nil {
+		t.Fatal(err)
+	}
+}

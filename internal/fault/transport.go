@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with fault injection. Each request
+// rolls at the site "<prefix><url-path>", so one wrapped client exposes a
+// distinct decision stream per endpoint ("worker.w1/dist/v1/poll",
+// "worker.w1/dist/v1/result", ...).
+//
+// Decision semantics on an HTTP round-trip:
+//
+//   - Latency: sleep, then send — a slow link.
+//   - Error/Partition: fail without sending — the request never left.
+//   - Drop: send and discard the response — the far side acted, the
+//     caller never learns; exercises at-least-once delivery and lease
+//     recovery.
+//   - Corrupt: send, then flip one byte of the response body — exercises
+//     the codec integrity check at the frame boundary.
+//
+// inner nil uses http.DefaultTransport; in nil injects nothing.
+func Transport(inner http.RoundTripper, in *Injector, prefix string) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &faultTransport{inner: inner, in: in, prefix: prefix}
+}
+
+type faultTransport struct {
+	inner  http.RoundTripper
+	in     *Injector
+	prefix string
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.in.Site(t.prefix + req.URL.Path).Roll()
+	switch d.Kind {
+	case Error, Partition:
+		return nil, d.Err()
+	case Latency:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.Delay):
+		}
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch d.Kind {
+	case Drop:
+		resp.Body.Close()
+		return nil, d.Err()
+	case Corrupt:
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		CorruptBytes(d, body)
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+	}
+	return resp, nil
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"dod/internal/obs"
+	"dod/internal/retry"
 )
 
 // Pair is one intermediate or output record.
@@ -172,9 +173,10 @@ type Config struct {
 	FailureRate float64
 	MaxAttempts int // attempts per task before the job fails; default 4
 	// RetryBackoff is the base delay before re-running a failed attempt,
-	// doubling per attempt (capped at 100x). Zero retries immediately —
-	// the default, keeping injected-failure tests fast; the distributed
-	// engine sets a real backoff.
+	// growing exponentially per attempt with full jitter (capped at
+	// 100x; see internal/retry). Zero retries immediately — the default,
+	// keeping injected-failure tests fast; the distributed engine sets a
+	// real backoff.
 	RetryBackoff time.Duration
 	Seed         int64
 }
@@ -415,24 +417,23 @@ func RunContext(jobCtx context.Context, cfg Config, splits []Split, mapper Mappe
 		return rand.New(rand.NewSource(h)).Float64() < cfg.FailureRate
 	}
 
-	// backoff sleeps before retrying a failed attempt: RetryBackoff doubled
-	// per prior attempt, capped, and interruptible by job cancellation.
+	// backoff sleeps before retrying a failed attempt on the shared retry
+	// policy (capped exponential, full jitter), interruptible by job
+	// cancellation. Jitter is seeded per job so failure-injection tests
+	// stay reproducible.
+	retryPol := retry.Policy{Base: cfg.RetryBackoff, Max: 100 * cfg.RetryBackoff, Jitter: true}
+	var (
+		retryMu  sync.Mutex
+		retryRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
+	)
 	backoff := func(attempt int) error {
 		if cfg.RetryBackoff <= 0 {
 			return nil
 		}
-		d := cfg.RetryBackoff << (attempt - 1)
-		if limit := 100 * cfg.RetryBackoff; d > limit || d <= 0 {
-			d = limit
-		}
-		t := time.NewTimer(d)
-		defer t.Stop()
-		select {
-		case <-t.C:
-			return nil
-		case <-jobCtx.Done():
-			return jobCtx.Err()
-		}
+		retryMu.Lock()
+		d := retryPol.Delay(attempt, retryRng)
+		retryMu.Unlock()
+		return retry.Sleep(jobCtx, d)
 	}
 
 	// ---- Map phase ----

@@ -1,0 +1,331 @@
+// Graceful-degradation tests: admission control (429 shedding), the
+// remote-scorer circuit breaker, structured 413s, and /readyz draining.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"dod/internal/geom"
+	"dod/internal/retry"
+	"dod/internal/stream"
+)
+
+func degradeConfig() stream.Config {
+	return stream.Config{R: 1.2, K: 3, Dim: 2, Capacity: 1000}
+}
+
+type errorBody struct {
+	Error   string `json:"error"`
+	Message string `json:"message"`
+}
+
+func decodeErrorBody(t *testing.T, resp *http.Response) errorBody {
+	t.Helper()
+	defer resp.Body.Close()
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("error response is not the structured shape: %v", err)
+	}
+	return eb
+}
+
+// TestOverloadSheds429 pins the overload contract: when every admission
+// slot is held, a new batch request is rejected immediately with 429 +
+// Retry-After and the ErrOverloaded code — a fast explicit shed, never a
+// queued request that times out. Releasing one slot restores service.
+func TestOverloadSheds429(t *testing.T) {
+	s, err := New(Config{Stream: degradeConfig(), Workers: 2, MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy both slots the way concurrent requests would.
+	release1, ok1 := s.admit(context.Background())
+	release2, ok2 := s.admit(context.Background())
+	if !ok1 || !ok2 {
+		t.Fatal("could not claim the admission slots")
+	}
+	defer release2()
+
+	for _, ep := range []string{"/v1/ingest", "/v1/score"} {
+		start := time.Now()
+		resp, err := http.Post(ts.URL+ep, "application/x-ndjson",
+			bytes.NewBufferString(`{"id":1,"coords":[0,0]}`+"\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s under full admission: HTTP %d, want 429", ep, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Errorf("%s: 429 without Retry-After", ep)
+		} else if _, err := strconv.Atoi(ra); err != nil {
+			t.Errorf("%s: Retry-After %q not numeric", ep, ra)
+		}
+		if eb := decodeErrorBody(t, resp); eb.Error != "overloaded" {
+			t.Errorf("%s: error code %q, want overloaded", ep, eb.Error)
+		}
+		if took := time.Since(start); took > 2*time.Second {
+			t.Errorf("%s: shed took %v; rejection must be fast, not a timeout", ep, took)
+		}
+	}
+
+	// Capacity frees up: the very next request is served.
+	release1()
+	resp, err := http.Post(ts.URL+"/v1/score", "application/x-ndjson",
+		bytes.NewBufferString(`{"id":1,"coords":[0,0]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: HTTP %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestOverloadConcurrentBlast drives 2x capacity of real concurrent
+// requests (the acceptance scenario): every response is either a served 200
+// or an explicit 429 — nothing hangs, nothing times out.
+func TestOverloadConcurrentBlast(t *testing.T) {
+	s, err := New(Config{Stream: degradeConfig(), Workers: 2, MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const requests = 16
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		byStatus   = map[int]int{}
+		slowestOne time.Duration
+	)
+	body := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		for i := 0; i < 2000; i++ {
+			buf.WriteString(`{"id":` + strconv.Itoa(i) + `,"coords":[0.5,0.5]}` + "\n")
+		}
+		return &buf
+	}
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", body())
+			if err != nil {
+				t.Errorf("blast request failed outright: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			mu.Lock()
+			byStatus[resp.StatusCode]++
+			if d := time.Since(start); d > slowestOne {
+				slowestOne = d
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if byStatus[http.StatusOK]+byStatus[http.StatusTooManyRequests] != requests {
+		t.Fatalf("unexpected statuses under overload: %v", byStatus)
+	}
+	if byStatus[http.StatusOK] == 0 {
+		t.Error("overload shed everything; admitted requests should still be served")
+	}
+	t.Logf("blast: %v (slowest %v)", byStatus, slowestOne)
+}
+
+// flakyScorer is a RemoteScorer whose behavior the test scripts: it fails
+// while broken is true and otherwise returns a sentinel score no local
+// window would produce.
+type flakyScorer struct {
+	mu     sync.Mutex
+	broken bool
+	calls  int
+}
+
+func (f *flakyScorer) ScorePoint(ctx context.Context, pt geom.Point) (stream.Score, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.broken {
+		return stream.Score{}, errors.New("rpc: worker lost")
+	}
+	return stream.Score{ID: pt.ID, Neighbors: 99, Outlier: false}, nil
+}
+
+func (f *flakyScorer) set(broken bool) { f.mu.Lock(); f.broken = broken; f.mu.Unlock() }
+
+// TestBreakerFallsBackToLocal scripts a cluster outage: the remote scorer
+// answers, then fails repeatedly (tripping the breaker), and /v1/score must
+// keep answering from the local window the whole time — degraded results,
+// never an error response.
+func TestBreakerFallsBackToLocal(t *testing.T) {
+	remote := &flakyScorer{}
+	s, err := New(Config{
+		Stream:  degradeConfig(),
+		Workers: 2,
+		Remote:  remote,
+		Breaker: retry.BreakerConfig{Threshold: 3, Cooldown: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// An empty local window scores every point as a 0-neighbor outlier, so
+	// remote (99 neighbors) and local verdicts are unmistakable.
+	score := func() scoreLine {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/score", "application/x-ndjson",
+			bytes.NewBufferString(`{"id":7,"coords":[0,0]}`+"\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/v1/score: HTTP %d", resp.StatusCode)
+		}
+		var line scoreLine
+		if err := json.NewDecoder(resp.Body).Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Error != "" {
+			t.Fatalf("score line carries error %q; degradation must not surface errors", line.Error)
+		}
+		return line
+	}
+
+	if got := score(); got.Neighbors != 99 {
+		t.Fatalf("healthy remote not preferred: %+v", got)
+	}
+
+	remote.set(true)
+	for i := 0; i < 3; i++ { // each one fails remotely, answers locally
+		if got := score(); got.Neighbors != 0 || !got.Outlier {
+			t.Fatalf("fallback verdict %+v, want local 0-neighbor outlier", got)
+		}
+	}
+	if st := s.breaker.State(); st != retry.BreakerOpen {
+		t.Fatalf("breaker state %v after %d consecutive failures, want open", st, 3)
+	}
+
+	// Breaker open: remote is not even attempted, local keeps serving.
+	before := func() int { remote.mu.Lock(); defer remote.mu.Unlock(); return remote.calls }()
+	if got := score(); got.Neighbors != 0 || !got.Outlier {
+		t.Fatalf("open-breaker verdict %+v, want local", got)
+	}
+	if after := func() int { remote.mu.Lock(); defer remote.mu.Unlock(); return remote.calls }(); after != before {
+		t.Errorf("open breaker still called the remote scorer (%d -> %d)", before, after)
+	}
+}
+
+// TestOversizeBodyStructured413 sends a body past MaxBodyBytes and requires
+// the structured 413 shape rather than a connection reset or a 500.
+func TestOversizeBodyStructured413(t *testing.T) {
+	s, err := New(Config{Stream: degradeConfig(), Workers: 2, MaxBodyBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	for i := 0; i < 64; i++ {
+		buf.WriteString(`{"id":1,"coords":[0.123456789,0.987654321]}` + "\n")
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: HTTP %d, want 413", resp.StatusCode)
+	}
+	if eb := decodeErrorBody(t, resp); eb.Error != "body_too_large" {
+		t.Errorf("413 error code %q, want body_too_large", eb.Error)
+	}
+}
+
+// TestReadyzDrain pins the /healthz-vs-/readyz split: draining flips
+// readiness to 503 (so balancers stop routing) while liveness and the data
+// endpoints keep working until shutdown completes.
+func TestReadyzDrain(t *testing.T) {
+	s, err := New(Config{Stream: degradeConfig(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	if status, _ := get("/readyz"); status != http.StatusOK {
+		t.Fatalf("fresh server /readyz: HTTP %d", status)
+	}
+
+	s.SetDraining(true)
+	status, body := get("/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz: HTTP %d, want 503", status)
+	}
+	var rb struct {
+		Ready    bool `json:"ready"`
+		Draining bool `json:"draining"`
+	}
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatalf("draining /readyz body %q: %v", body, err)
+	}
+	if rb.Ready || !rb.Draining {
+		t.Errorf("draining /readyz body = %+v", rb)
+	}
+	if status, _ := get("/healthz"); status != http.StatusOK {
+		t.Errorf("draining must not fail liveness: /healthz HTTP %d", status)
+	}
+	resp, err := http.Post(ts.URL+"/v1/score", "application/x-ndjson",
+		bytes.NewBufferString(`{"id":1,"coords":[0,0]}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("in-flight traffic during drain: HTTP %d, want 200", resp.StatusCode)
+	}
+
+	s.SetDraining(false)
+	if status, _ := get("/readyz"); status != http.StatusOK {
+		t.Errorf("undrained /readyz: HTTP %d, want 200", status)
+	}
+}

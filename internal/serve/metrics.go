@@ -21,6 +21,15 @@ type serverMetrics struct {
 	scoreLines  *obs.Counter
 	lineErrors  *obs.Counter
 
+	readyReqs *obs.Counter
+
+	shedIngest *obs.Counter // ingest requests rejected 429 by admission control
+	shedScore  *obs.Counter
+
+	remoteOK       *obs.Counter // remote-scorer lines answered remotely
+	remoteErr      *obs.Counter // remote-scorer failures (feed the breaker)
+	remoteFallback *obs.Counter // lines served by the local window instead
+
 	ingestLatency *obs.Histogram
 	scoreLatency  *obs.Histogram
 
@@ -37,11 +46,13 @@ const (
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	const (
-		reqHelp   = "HTTP requests received, by endpoint."
-		lineHelp  = "NDJSON point lines processed, by endpoint."
-		errHelp   = "NDJSON lines rejected with a per-line error."
-		latHelp   = "Per-line window operation latency in seconds."
-		stageHelp = "Per-request batch stage duration in seconds."
+		reqHelp    = "HTTP requests received, by endpoint."
+		lineHelp   = "NDJSON point lines processed, by endpoint."
+		errHelp    = "NDJSON lines rejected with a per-line error."
+		latHelp    = "Per-line window operation latency in seconds."
+		stageHelp  = "Per-request batch stage duration in seconds."
+		shedHelp   = "Requests rejected 429 by admission control, by endpoint."
+		remoteHelp = "Remote-scorer line outcomes (ok, error, local fallback)."
 	)
 	stages := func(endpoint string) [3]*obs.Histogram {
 		var out [3]*obs.Histogram
@@ -61,6 +72,15 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		ingestLines: reg.Counter("dod_serve_lines_total", lineHelp, obs.L("endpoint", "ingest")),
 		scoreLines:  reg.Counter("dod_serve_lines_total", lineHelp, obs.L("endpoint", "score")),
 		lineErrors:  reg.Counter("dod_serve_line_errors_total", errHelp),
+
+		readyReqs: reg.Counter("dod_serve_requests_total", reqHelp, obs.L("endpoint", "readyz")),
+
+		shedIngest: reg.Counter("dod_shed_total", shedHelp, obs.L("endpoint", "ingest")),
+		shedScore:  reg.Counter("dod_shed_total", shedHelp, obs.L("endpoint", "score")),
+
+		remoteOK:       reg.Counter("dod_serve_remote_total", remoteHelp, obs.L("outcome", "ok")),
+		remoteErr:      reg.Counter("dod_serve_remote_total", remoteHelp, obs.L("outcome", "error")),
+		remoteFallback: reg.Counter("dod_serve_remote_total", remoteHelp, obs.L("outcome", "fallback")),
 
 		ingestLatency: reg.Histogram("dod_serve_latency_seconds", latHelp, nil, obs.L("op", "ingest")),
 		scoreLatency:  reg.Histogram("dod_serve_latency_seconds", latHelp, nil, obs.L("op", "score")),
@@ -91,6 +111,14 @@ func summarize(h *obs.Histogram) LatencySummary {
 		s.MeanUs = h.Sum() / float64(count) * 1e6
 	}
 	return s
+}
+
+// shedCounter picks the shed counter for an endpoint.
+func shedCounter(m *serverMetrics, endpoint string) *obs.Counter {
+	if endpoint == "score" {
+		return m.shedScore
+	}
+	return m.shedIngest
 }
 
 // observeSince records seconds-elapsed on h using the server's clock.

@@ -29,16 +29,21 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"dod/internal/errs"
 	"dod/internal/geom"
 	"dod/internal/obs"
+	"dod/internal/retry"
 	"dod/internal/stream"
 )
 
@@ -47,6 +52,20 @@ const DefaultMaxBatch = 100_000
 
 // maxLineBytes bounds one NDJSON line (high-dimensional points are long).
 const maxLineBytes = 1 << 20
+
+// DefaultMaxBodyBytes bounds one request body (64 MiB); larger uploads are
+// rejected with a structured 413 instead of being buffered.
+const DefaultMaxBodyBytes = 64 << 20
+
+// RemoteScorer scores points against a remote engine (e.g. a cluster run
+// behind a coordinator). The server prefers it for /v1/score when set,
+// guarded by a circuit breaker: repeated failures (lost workers, a downed
+// coordinator) trip the breaker and the server falls back to its
+// in-process window, so /v1/score keeps answering through a cluster
+// outage — degraded freshness, not downtime.
+type RemoteScorer interface {
+	ScorePoint(ctx context.Context, pt geom.Point) (stream.Score, error)
+}
 
 // Config parameterizes a Server.
 type Config struct {
@@ -57,6 +76,26 @@ type Config struct {
 	Workers int
 	// MaxBatch caps NDJSON lines per request; default DefaultMaxBatch.
 	MaxBatch int
+	// MaxInflight bounds concurrently admitted batch requests (ingest +
+	// score). Requests beyond the bound wait up to QueueWait for a slot,
+	// then are shed with 429 + Retry-After — a fast, explicit rejection
+	// instead of an unbounded queue that turns overload into timeouts.
+	// Default 2x Workers.
+	MaxInflight int
+	// QueueWait is how long an over-limit request may wait for admission
+	// before being shed. Default 0: shed immediately, keeping rejection
+	// latency near zero under overload.
+	QueueWait time.Duration
+	// MaxBodyBytes caps one request body; default DefaultMaxBodyBytes.
+	// Oversize uploads get a structured 413.
+	MaxBodyBytes int64
+	// Remote, when set, is preferred for /v1/score, behind a circuit
+	// breaker that falls back to the in-process window on repeated
+	// failures. See RemoteScorer.
+	Remote RemoteScorer
+	// Breaker tunes the remote scorer's circuit breaker (zero value:
+	// trip after 3 consecutive failures, probe again after 5s).
+	Breaker retry.BreakerConfig
 	// Obs is the metrics registry backing /metrics and /statsz; default a
 	// fresh registry. Pass one to aggregate several servers, or to scrape
 	// the server's instruments without HTTP.
@@ -82,6 +121,10 @@ type Server struct {
 	now      func() time.Time
 	stopEvic chan struct{}
 	evicWG   sync.WaitGroup
+
+	admitSem chan struct{}  // admission slots: buffered to MaxInflight
+	breaker  *retry.Breaker // guards the remote scorer
+	draining atomic.Bool    // /readyz answers 503 while set
 }
 
 // New builds a Server with an empty window. If the window has a TTL, a
@@ -103,6 +146,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * cfg.Workers
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
@@ -116,13 +165,26 @@ func New(cfg Config) (*Server, error) {
 		now:      cfg.now,
 		started:  cfg.now(),
 		stopEvic: make(chan struct{}),
+		admitSem: make(chan struct{}, cfg.MaxInflight),
+		breaker:  retry.NewBreaker(cfg.Breaker),
 	}
 	s.reg.GaugeFunc("dod_serve_uptime_seconds", "Seconds since the server started.", func() float64 {
 		return s.now().Sub(s.started).Seconds()
 	})
+	s.reg.GaugeFunc("dod_shed_inflight", "Batch requests currently admitted.", func() float64 {
+		return float64(len(s.admitSem))
+	})
+	s.reg.GaugeFunc("dod_serve_breaker_open", "1 while the remote-scorer circuit breaker is open.", func() float64 {
+		if s.cfg.Remote != nil && s.breaker.State() == retry.BreakerOpen {
+			return 1
+		}
+		return 0
+	})
+	retry.Instrument(s.reg)
 	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/v1/score", s.handleScore)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -158,6 +220,89 @@ func (s *Server) Close() {
 	close(s.stopEvic)
 	s.evicWG.Wait()
 	s.pool.close()
+}
+
+// SetDraining flips readiness: while draining, GET /readyz answers 503 so
+// load balancers route new traffic elsewhere, while in-flight requests
+// keep completing. Call before http.Server.Shutdown for a graceful drain.
+func (s *Server) SetDraining(draining bool) { s.draining.Store(draining) }
+
+// admit claims an admission slot, waiting up to QueueWait. It returns a
+// release func and whether the request was admitted; a false return means
+// the caller must shed the request.
+func (s *Server) admit(ctx context.Context) (func(), bool) {
+	select {
+	case s.admitSem <- struct{}{}:
+		return func() { <-s.admitSem }, true
+	default:
+	}
+	if s.cfg.QueueWait <= 0 {
+		return nil, false
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case s.admitSem <- struct{}{}:
+		return func() { <-s.admitSem }, true
+	case <-t.C:
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// shed rejects an over-capacity request: 429, a Retry-After hint, and a
+// structured body carrying the ErrOverloaded identity.
+func (s *Server) shed(w http.ResponseWriter, endpoint string) {
+	shedCounter(s.met, endpoint).Inc()
+	w.Header().Set("Retry-After", "1")
+	writeErrorBody(w, http.StatusTooManyRequests, "overloaded", errs.ErrOverloaded.Error())
+}
+
+// writeBatchError classifies a readBatch failure into a structured HTTP
+// error: 413 for an oversize body, 408 when the client's send stalled out
+// the request, 400 otherwise.
+func (s *Server) writeBatchError(w http.ResponseWriter, r *http.Request, err error) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		writeErrorBody(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+	case r.Context().Err() != nil:
+		writeErrorBody(w, http.StatusRequestTimeout, "read_timeout", "request body read timed out")
+	default:
+		writeErrorBody(w, http.StatusBadRequest, "bad_request", err.Error())
+	}
+}
+
+// writeErrorBody emits the serving layer's machine-readable error shape.
+func writeErrorBody(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck
+		Error   string `json:"error"`
+		Message string `json:"message"`
+	}{Error: code, Message: msg})
+}
+
+// scorePoint scores one point, preferring the remote scorer while its
+// breaker allows; any remote failure or an open breaker serves the local
+// window instead, so scoring degrades rather than erroring.
+func (s *Server) scorePoint(ctx context.Context, pt geom.Point) (stream.Score, error) {
+	if s.cfg.Remote != nil {
+		if s.breaker.Allow() {
+			sc, err := s.cfg.Remote.ScorePoint(ctx, pt)
+			if err == nil {
+				s.breaker.Success()
+				s.met.remoteOK.Inc()
+				return sc, nil
+			}
+			s.breaker.Failure()
+			s.met.remoteErr.Inc()
+		}
+		s.met.remoteFallback.Inc()
+	}
+	return s.win.ScorePoint(pt)
 }
 
 func (s *Server) evictLoop(interval time.Duration) {
@@ -226,7 +371,9 @@ func (s *Server) readBatch(r *http.Request) ([]batchItem, error) {
 		items = append(items, batchItem{pt: geom.Point{ID: pl.ID, Coords: pl.Coords}})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("reading body: %v", err)
+		// %w: writeBatchError classifies by unwrapping (*http.MaxBytesError
+		// means 413, a context error means 408).
+		return nil, fmt.Errorf("reading body: %w", err)
 	}
 	return items, nil
 }
@@ -237,11 +384,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.ingestReqs.Inc()
+	release, ok := s.admit(r.Context())
+	if !ok {
+		s.shed(w, "ingest")
+		return
+	}
+	defer release()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	readStart := s.now()
 	items, err := s.readBatch(r)
 	s.observeSince(s.met.ingestStage[stageRead], readStart)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeBatchError(w, r, err)
 		return
 	}
 	out := make([]verdictLine, len(items))
@@ -280,11 +434,18 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.scoreReqs.Inc()
+	release, ok := s.admit(r.Context())
+	if !ok {
+		s.shed(w, "score")
+		return
+	}
+	defer release()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	readStart := s.now()
 	items, err := s.readBatch(r)
 	s.observeSince(s.met.scoreStage[stageRead], readStart)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeBatchError(w, r, err)
 		return
 	}
 	out := make([]scoreLine, len(items))
@@ -309,7 +470,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 				start := s.now()
-				sc, err := s.win.ScorePoint(it.pt)
+				sc, err := s.scorePoint(r.Context(), it.pt)
 				s.observeSince(s.met.scoreLatency, start)
 				s.met.scoreLines.Inc()
 				if err != nil {
@@ -348,6 +509,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         "ok",
 		"uptime_seconds": s.now().Sub(s.started).Seconds(),
 		"window":         st.Len,
+	})
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: the process
+// may be alive (healthz 200) yet not ready — draining before shutdown.
+// Load balancers should route on /readyz and page on /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.met.readyReqs.Inc()
+	draining := s.draining.Load()
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+		"ready":    !draining,
+		"draining": draining,
+		"inflight": len(s.admitSem),
 	})
 }
 
