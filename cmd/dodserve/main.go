@@ -24,6 +24,16 @@
 //
 // -pprof additionally mounts the net/http/pprof profiling handlers under
 // /debug/pprof/. SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// With -shard, the process instead runs as one cell-partitioned shard of a
+// sharded serving tier behind a dodroute router: it serves the shard wire
+// protocol (/v1/shard/*, /v1/support) and holds only the window slice whose
+// grid cells it owns under the router-pushed topology. -shard-name sets its
+// cluster-unique name; -window and -ttl are ignored (the router owns the
+// global eviction discipline).
+//
+// With -addr :0 the actual bound address is printed on stdout as
+// "dodserve: listening on HOST:PORT", so harnesses can discover the port.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,7 +54,9 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8334", "listen address")
+		addr     = flag.String("addr", ":8334", "listen address (use :0 for an ephemeral port; the bound address is printed on stdout)")
+		shard    = flag.Bool("shard", false, "run as a cell-partitioned shard behind a dodroute router")
+		name     = flag.String("shard-name", "", "cluster-unique shard name (required with -shard)")
 		r        = flag.Float64("r", 0, "distance threshold (required)")
 		k        = flag.Int("k", 0, "neighbor-count threshold (required)")
 		dim      = flag.Int("dim", 2, "point dimensionality")
@@ -58,6 +71,22 @@ func main() {
 	)
 	flag.Parse()
 
+	if *shard {
+		if *name == "" {
+			fmt.Fprintln(os.Stderr, "dodserve: -shard requires -shard-name")
+			os.Exit(2)
+		}
+		scfg := serve.ShardServerConfig{
+			Name: *name, R: *r, K: *k, Dim: *dim,
+			IndexShards:  *shards,
+			MaxBodyBytes: *maxBody,
+		}
+		if err := runShard(*addr, scfg); err != nil {
+			fmt.Fprintln(os.Stderr, "dodserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg := serve.Config{
 		Stream: stream.Config{
 			R:        *r,
@@ -79,16 +108,20 @@ func main() {
 	}
 }
 
-func run(addr string, cfg serve.Config) error {
-	srv, err := serve.New(cfg)
+// serveListener binds addr, announces the actual bound address on stdout
+// (the harness contract for -addr :0), and serves handler until SIGINT or
+// SIGTERM, then drains gracefully. setDraining flips /readyz first so load
+// balancers stop routing here before the listener closes.
+func serveListener(addr string, handler http.Handler, setDraining func(bool)) error {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
+	fmt.Printf("dodserve: listening on %s\n", ln.Addr())
+	os.Stdout.Sync() //nolint:errcheck
 
 	hs := &http.Server{
-		Addr:    addr,
-		Handler: srv.Handler(),
+		Handler: handler,
 		// Bound slow-loris headers and dead keepalives; no global write
 		// timeout (large score batches stream for a while).
 		ReadHeaderTimeout: 5 * time.Second,
@@ -98,11 +131,7 @@ func run(addr string, cfg serve.Config) error {
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() {
-		fmt.Fprintf(os.Stderr, "dodserve: listening on %s (r=%g k=%d dim=%d window=%d ttl=%s)\n",
-			addr, cfg.Stream.R, cfg.Stream.K, cfg.Stream.Dim, cfg.Stream.Capacity, cfg.Stream.TTL)
-		errc <- hs.ListenAndServe()
-	}()
+	go func() { errc <- hs.Serve(ln) }()
 
 	select {
 	case err := <-errc:
@@ -110,7 +139,7 @@ func run(addr string, cfg serve.Config) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "dodserve: draining (readyz now 503)")
-	srv.SetDraining(true) // flip /readyz first so balancers stop routing here
+	setDraining(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
@@ -120,4 +149,25 @@ func run(addr string, cfg serve.Config) error {
 		return err
 	}
 	return nil
+}
+
+func run(addr string, cfg serve.Config) error {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "dodserve: starting (r=%g k=%d dim=%d window=%d ttl=%s)\n",
+		cfg.Stream.R, cfg.Stream.K, cfg.Stream.Dim, cfg.Stream.Capacity, cfg.Stream.TTL)
+	return serveListener(addr, srv.Handler(), srv.SetDraining)
+}
+
+func runShard(addr string, cfg serve.ShardServerConfig) error {
+	srv, err := serve.NewShard(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dodserve: starting shard %q (r=%g k=%d dim=%d)\n",
+		cfg.Name, cfg.R, cfg.K, cfg.Dim)
+	return serveListener(addr, srv.Handler(), srv.SetDraining)
 }

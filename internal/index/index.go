@@ -282,8 +282,21 @@ func (ix *Index) readCell(k cellKey, fn func(pts []geom.Point)) {
 // ringCells calls fn with the key of every cell whose Chebyshev distance
 // from center is exactly radius (or, for radius 0, the center itself).
 func ringCells(center []int64, radius int, fn func(k cellKey)) {
+	RingCells(center, radius, func(c []int64) { fn(key(c)) })
+}
+
+// RingCells calls fn with the integer coordinates of every cell whose
+// Chebyshev distance from center is exactly radius (or, for radius 0, the
+// center itself). The coordinate slice is reused between calls; callers
+// that retain it must copy.
+//
+// Cell coordinates near the int64 extremes are handled without overflow:
+// an offset that would land beyond MinInt64/MaxInt64 names a cell that
+// cannot exist in the coordinate space and is skipped rather than wrapped
+// (wrapping would alias a far-away cell and corrupt neighbor counts).
+func RingCells(center []int64, radius int, fn func(cell []int64)) {
 	if radius == 0 {
-		fn(key(center))
+		fn(center)
 		return
 	}
 	cur := make([]int64, len(center))
@@ -291,12 +304,19 @@ func ringCells(center []int64, radius int, fn func(k cellKey)) {
 	rec = func(dim int, onSurface bool) {
 		if dim == len(center) {
 			if onSurface {
-				fn(key(cur))
+				fn(cur)
 			}
 			return
 		}
+		v := center[dim]
 		for off := -radius; off <= radius; off++ {
-			cur[dim] = center[dim] + int64(off)
+			if off < 0 && v < math.MinInt64+int64(-off) {
+				continue // below the representable cell space
+			}
+			if off > 0 && v > math.MaxInt64-int64(off) {
+				continue // above the representable cell space
+			}
+			cur[dim] = v + int64(off)
 			rec(dim+1, onSurface || off == -radius || off == radius)
 		}
 	}
@@ -361,6 +381,95 @@ func (ix *Index) NeighborCount(p geom.Point, limit int) (int, error) {
 		ix.met.ringDepth.Observe(float64(depth))
 	}
 	if count > limit {
+		count = limit
+	}
+	return count, nil
+}
+
+// L2 returns the Chebyshev cell radius beyond which no point can be a
+// neighbor (⌈2√d⌉ — the ring-expansion cutoff of Lemma 3.1).
+func (ix *Index) L2() int { return ix.l2 }
+
+// CellCoords returns p's integer grid cell coordinate vector — the unit of
+// ownership in the sharded serving tier: a cell's points always live
+// together on one shard, and a point's verdict depends only on cells
+// within Chebyshev distance L2() of its own (Lemma 3.1).
+func (ix *Index) CellCoords(p geom.Point) []int64 { return ix.coords(p) }
+
+// NeighborhoodCells calls fn with every cell coordinate whose Chebyshev
+// distance from p's cell is at most the L2 cutoff — the complete set of
+// cells that can contain neighbors of p. The slice passed to fn is reused;
+// copy it to retain. Enumeration order is deterministic (ring by ring,
+// lexicographic within a ring).
+func (ix *Index) NeighborhoodCells(p geom.Point, fn func(cell []int64)) {
+	center := ix.coords(p)
+	for radius := 0; radius <= ix.l2; radius++ {
+		RingCells(center, radius, fn)
+	}
+}
+
+// chebDist returns the Chebyshev (L∞) distance between two cell coordinate
+// vectors, saturating at math.MaxUint64 rather than overflowing for cells
+// at opposite int64 extremes.
+func chebDist(a, b []int64) uint64 {
+	var max uint64
+	for i := range a {
+		var d uint64
+		if a[i] >= b[i] {
+			d = uint64(a[i]) - uint64(b[i]) // two's complement difference magnitude
+		} else {
+			d = uint64(b[i]) - uint64(a[i])
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NeighborsInCells visits the indexed neighbors of p that reside in the
+// given cells, returning how many were found. It applies exactly the same
+// acceptance rule as Neighbors/NeighborCount — points in cells within
+// Chebyshev distance 1 of p's own cell are neighbors by construction (the
+// L1 auto-accept of Lemma 4.2) and points in farther cells get an exact
+// distance check — so splitting one neighborhood enumeration across several
+// NeighborsInCells calls over a partition of the cells yields bit-identical
+// counts to a single Neighbors scan.
+//
+// fn may be nil (pure counting). When limit > 0 and fn is nil the count
+// early-terminates at limit, mirroring NeighborCount; with fn non-nil the
+// scan is always exhaustive so callers maintaining per-point deltas see
+// every neighbor.
+func (ix *Index) NeighborsInCells(p geom.Point, cells [][]int64, limit int, fn func(q geom.Point)) (int, error) {
+	if err := ix.checkDim(p); err != nil {
+		return 0, err
+	}
+	center := ix.coords(p)
+	count := 0
+	for _, c := range cells {
+		if fn == nil && limit > 0 && count >= limit {
+			break
+		}
+		exact := chebDist(center, c) > 1
+		ix.readCell(key(c), func(pts []geom.Point) {
+			for _, q := range pts {
+				if fn == nil && limit > 0 && count >= limit {
+					return
+				}
+				if q.ID == p.ID {
+					continue
+				}
+				if exact && !geom.WithinDist(p, q, ix.r) {
+					continue
+				}
+				count++
+				if fn != nil {
+					fn(q)
+				}
+			}
+		})
+	}
+	if fn == nil && limit > 0 && count > limit {
 		count = limit
 	}
 	return count, nil

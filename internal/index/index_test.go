@@ -273,3 +273,125 @@ func TestConcurrentHammer(t *testing.T) {
 		t.Fatalf("Len after hammer = %d, want 0", ix.Len())
 	}
 }
+
+// TestRingCellsInt64Extremes exercises ring enumeration with cell
+// coordinates at the edges of the int64 space. Offsets that would leave
+// the representable range must be skipped, not wrapped: a wrapped
+// coordinate aliases a cell at the opposite end of space and would leak
+// phantom neighbors into counts.
+func TestRingCellsInt64Extremes(t *testing.T) {
+	const maxI64, minI64 = int64(^uint64(0) >> 1), -int64(^uint64(0)>>1) - 1
+	cases := []struct {
+		name   string
+		center []int64
+		radius int
+	}{
+		{"max-corner", []int64{maxI64, maxI64}, 3},
+		{"min-corner", []int64{minI64, minI64}, 3},
+		{"mixed-corner", []int64{maxI64, minI64}, 2},
+		{"near-max", []int64{maxI64 - 1, 0}, 3},
+		{"near-min", []int64{minI64 + 2, minI64}, 3},
+		{"1d-max", []int64{maxI64}, 2},
+		{"3d-extremes", []int64{maxI64, minI64, maxI64 - 2}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seen := make(map[string]bool)
+			for radius := 0; radius <= tc.radius; radius++ {
+				RingCells(tc.center, radius, func(cell []int64) {
+					for d := range cell {
+						// Every emitted coordinate must be within Chebyshev
+						// distance radius of the center without wrapping.
+						if got := chebDist(cell, tc.center); got > uint64(radius) {
+							t.Fatalf("radius %d emitted cell %v at Chebyshev distance %d", radius, cell, got)
+						}
+						_ = d
+					}
+					k := string(key(cell))
+					if seen[k] {
+						t.Fatalf("radius %d emitted duplicate cell %v (wrapped coordinate aliases another cell)", radius, cell)
+					}
+					seen[k] = true
+				})
+			}
+			// The enumerated block must be the intersection of the full
+			// (2r+1)^d block with the representable coordinate space.
+			want := 1
+			for _, c := range tc.center {
+				lo, hi := tc.radius, tc.radius
+				if c < minI64+int64(tc.radius) {
+					lo = int(c - minI64)
+				}
+				if c > maxI64-int64(tc.radius) {
+					hi = int(maxI64 - c)
+				}
+				want *= lo + hi + 1
+			}
+			if len(seen) != want {
+				t.Fatalf("enumerated %d distinct cells, want %d", len(seen), want)
+			}
+		})
+	}
+}
+
+// TestNeighborsInCellsPartition splits a point's neighborhood cells into
+// arbitrary groups and checks that the per-group counts sum to exactly
+// what one Neighbors scan reports — the invariant the sharded serving
+// tier's boundary-support protocol rests on.
+func TestNeighborsInCellsPartition(t *testing.T) {
+	for _, dim := range []int{1, 2, 3} {
+		const r = 1.5
+		pts := randPoints(600, dim, 8, 77+int64(dim))
+		ix, err := New(Config{Dim: dim, R: r, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if err := ix.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(dim)))
+		for trial := 0; trial < 50; trial++ {
+			q := pts[rng.Intn(len(pts))]
+			// Collect the full neighborhood and deal cells into 3 groups.
+			groups := make([][][]int64, 3)
+			ix.NeighborhoodCells(q, func(cell []int64) {
+				g := rng.Intn(3)
+				groups[g] = append(groups[g], append([]int64(nil), cell...))
+			})
+			total := 0
+			var enumerated []uint64
+			for _, cells := range groups {
+				n, err := ix.NeighborsInCells(q, cells, 0, func(nb geom.Point) {
+					enumerated = append(enumerated, nb.ID)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += n
+			}
+			want := bruteCount(q, pts, r)
+			if total != want {
+				t.Fatalf("dim %d: partitioned count %d != brute-force %d", dim, total, want)
+			}
+			if len(enumerated) != want {
+				t.Fatalf("dim %d: enumerated %d neighbors, want %d", dim, len(enumerated), want)
+			}
+			// Early-terminated pure counting caps at the limit.
+			if want > 1 {
+				capped := 0
+				for _, cells := range groups {
+					n, err := ix.NeighborsInCells(q, cells, want-1, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					capped += n
+				}
+				if capped < want-1 {
+					t.Fatalf("dim %d: capped count %d below limit %d", dim, capped, want-1)
+				}
+			}
+		}
+	}
+}

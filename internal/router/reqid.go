@@ -1,0 +1,51 @@
+package router
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// HeaderRequestID is the cross-tier request correlation header. The router
+// generates an ID for every request that arrives without one, forwards it
+// on every shard call it makes on the request's behalf (suffixed per
+// sub-operation, so each mutating shard call has a distinct idempotency
+// key), and echoes it in responses and structured error bodies — one grep
+// through router and shard logs stitches a cross-shard trace together.
+const HeaderRequestID = "X-Dod-Request-Id"
+
+// HeaderTenant carries the caller's tenant identity for per-tenant rate
+// limiting and quotas at the router. Absent means the default tenant.
+const HeaderTenant = "X-Dod-Tenant"
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; a constant ID
+		// degrades tracing, not correctness.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// EnsureRequestID returns the request's correlation ID, generating and
+// installing one on the request headers if absent.
+func EnsureRequestID(r *http.Request) string {
+	id := r.Header.Get(HeaderRequestID)
+	if id == "" {
+		id = NewRequestID()
+		r.Header.Set(HeaderRequestID, id)
+	}
+	return id
+}
+
+// EchoRequestID copies the request's correlation ID (if any) onto the
+// response headers and returns it.
+func EchoRequestID(w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get(HeaderRequestID)
+	if id != "" {
+		w.Header().Set(HeaderRequestID, id)
+	}
+	return id
+}

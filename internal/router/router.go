@@ -1,0 +1,988 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dod/internal/detect"
+	"dod/internal/errs"
+	"dod/internal/geom"
+	"dod/internal/index"
+	"dod/internal/obs"
+	"dod/internal/retry"
+)
+
+// DefaultMaxBatch bounds the NDJSON lines per router request, mirroring the
+// single-process serving tier.
+const DefaultMaxBatch = 100_000
+
+// DefaultMaxBodyBytes bounds one request body (64 MiB).
+const DefaultMaxBodyBytes = 64 << 20
+
+// maxLineBytes bounds one NDJSON line.
+const maxLineBytes = 1 << 20
+
+// Config parameterizes a Router.
+type Config struct {
+	// R, K, Dim are the detection parameters, identical on every shard.
+	R   float64
+	K   int
+	Dim int
+	// Capacity bounds the GLOBAL window point count across all shards;
+	// ingesting past it evicts the globally oldest point first. Zero means
+	// no count bound (then TTL is required).
+	Capacity int
+	// TTL bounds global point age. Zero means no time bound.
+	TTL time.Duration
+	// Shards is the initial shard membership.
+	Shards []ShardInfo
+	// Block and Vnodes tune the ownership ring (0 = defaults).
+	Block  int
+	Vnodes int
+	// MaxBatch caps NDJSON lines per request; default DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes caps one request body; default DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// TenantRPS/TenantBurst shape the per-tenant token bucket; TenantRPS 0
+	// disables rate limiting.
+	TenantRPS   float64
+	TenantBurst int
+	// TenantQuota is a per-tenant lifetime ingested-line quota; 0 disables.
+	TenantQuota int64
+	// ProbeInterval is the shard health-probe period; default 1s.
+	ProbeInterval time.Duration
+	// Obs is the metrics registry; default a fresh one.
+	Obs *obs.Registry
+	// Transport is the HTTP transport for shard calls — the fault
+	// injection seam. Nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// Retry shapes shard-call backoff; zero value takes defaults.
+	Retry retry.Policy
+	// RetryAttempts bounds shard-call attempts; default 8.
+	RetryAttempts int
+	// Breaker tunes the per-shard health breakers (zero value: trip after
+	// 3 consecutive failures, probe again after 5s).
+	Breaker retry.BreakerConfig
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// resident is the router's per-point window metadata: enough to know WHERE
+// a point lives (its cell decides the owning shard under any topology) and
+// WHEN it arrived (drives TTL eviction). The router holds no coordinates
+// and no neighbor state — those live on the shards; this map plus the FIFO
+// is what "stateless router" means here: O(window) bookkeeping, O(0) data.
+type resident struct {
+	cell      []int64
+	arrivedNs int64
+}
+
+// Router fronts N dodserve shards as one logical detection service with
+// the same NDJSON API and byte-identical verdict streams as a
+// single-process server on the same input. It owns the global window
+// discipline — sequence numbers, capacity/TTL eviction order, duplicate
+// IDs — and delegates all point storage and neighbor counting to the
+// shards through the wire protocol.
+type Router struct {
+	cfg     Config
+	mux     *http.ServeMux
+	reg     *obs.Registry
+	met     *routerMetrics
+	trace   *obs.Trace
+	client  *http.Client
+	limiter *tenantLimiter
+	now     func() time.Time
+	started time.Time
+	l2      int
+
+	topoMu sync.RWMutex
+	topo   *Topology
+
+	breakMu  sync.Mutex
+	breakers map[string]*retry.Breaker
+
+	// mu serializes all window mutation (ingest batches, evictions,
+	// drains), exactly as the single-process window mutex does — the global
+	// order of mutations IS the contract that keeps the sharded verdict
+	// stream byte-identical.
+	mu        sync.Mutex
+	residents map[uint64]resident
+	fifo      []uint64
+	head      int
+	seq       uint64
+
+	ready     atomic.Bool
+	draining  atomic.Bool
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	probeOnce sync.Once
+}
+
+// New builds a Router over the given shard membership. Call Start to push
+// the initial topology and begin health probing.
+func New(cfg Config) (*Router, error) {
+	topo := &Topology{
+		Epoch: 1, Dim: cfg.Dim, R: cfg.R, K: cfg.K,
+		Block: cfg.Block, Vnodes: cfg.Vnodes, Shards: append([]ShardInfo(nil), cfg.Shards...),
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Capacity < 0 || cfg.TTL < 0 {
+		return nil, errs.BadParams("router capacity and ttl must be >= 0")
+	}
+	if cfg.Capacity == 0 && cfg.TTL == 0 {
+		return nil, errs.BadParams("window needs a capacity or a ttl (or both)")
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 8
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	rt := &Router{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		reg:       cfg.Obs,
+		met:       newRouterMetrics(cfg.Obs),
+		trace:     obs.NewTrace("dodroute"),
+		client:    &http.Client{Transport: cfg.Transport},
+		limiter:   newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst, cfg.TenantQuota, cfg.now),
+		now:       cfg.now,
+		started:   cfg.now(),
+		l2:        detect.L2Radius(cfg.Dim),
+		topo:      topo,
+		breakers:  make(map[string]*retry.Breaker),
+		residents: make(map[uint64]resident),
+		stopProbe: make(chan struct{}),
+	}
+	for _, s := range cfg.Shards {
+		rt.breakers[s.Name] = retry.NewBreaker(cfg.Breaker)
+	}
+	rt.reg.GaugeFunc("dod_route_window_points", "points resident in the global window",
+		func() float64 { rt.mu.Lock(); defer rt.mu.Unlock(); return float64(len(rt.residents)) })
+	rt.reg.GaugeFunc("dod_route_topology_epoch", "current ownership epoch",
+		func() float64 { return float64(rt.topology().Epoch) })
+	rt.reg.GaugeFunc("dod_route_shards", "shards in the current topology",
+		func() float64 { return float64(len(rt.topology().Shards)) })
+	retry.Instrument(rt.reg)
+	rt.mux.HandleFunc("/v1/ingest", rt.handleIngest)
+	rt.mux.HandleFunc("/v1/score", rt.handleScore)
+	rt.mux.HandleFunc("/v1/drain", rt.handleDrain)
+	rt.mux.HandleFunc("/v1/topology", rt.handleTopology)
+	rt.mux.HandleFunc("/v1/snapshot", rt.handleSnapshot)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("/statsz", rt.handleStatsz)
+	rt.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.TextContentType)
+		rt.reg.WritePrometheus(w)
+	})
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler; every response echoes the
+// caller's X-Dod-Request-Id (or the one the router generated for it).
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		EnsureRequestID(r)
+		EchoRequestID(w, r)
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+// Registry exposes the metrics registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Trace exposes the router's span trace (drain/handoff timings).
+func (rt *Router) Trace() *obs.Trace { return rt.trace }
+
+// Topology returns the current ownership view (a deep copy).
+func (rt *Router) Topology() *Topology { return rt.topology().Clone() }
+
+// SetDraining flips readiness for load-balancer rotation.
+func (rt *Router) SetDraining(d bool) { rt.draining.Store(d) }
+
+func (rt *Router) topology() *Topology {
+	rt.topoMu.RLock()
+	defer rt.topoMu.RUnlock()
+	return rt.topo
+}
+
+func (rt *Router) breaker(name string) *retry.Breaker {
+	rt.breakMu.Lock()
+	defer rt.breakMu.Unlock()
+	b := rt.breakers[name]
+	if b == nil {
+		b = retry.NewBreaker(rt.cfg.Breaker)
+		rt.breakers[name] = b
+	}
+	return b
+}
+
+// Start pushes the initial topology to every shard (retrying until ctx is
+// done) and starts the health-probe loop. The router serves 503 on /readyz
+// until the push succeeds.
+func (rt *Router) Start(ctx context.Context) error {
+	topo := rt.topology()
+	span := rt.trace.Start("topology_push").SetAttr(obs.Int("epoch", topo.Epoch))
+	if err := rt.pushTopology(ctx, topo, topo.Shards); err != nil {
+		span.End()
+		return err
+	}
+	span.End()
+	rt.ready.Store(true)
+	rt.probeOnce.Do(func() {
+		rt.probeWG.Add(1)
+		go rt.probeLoop()
+	})
+	return nil
+}
+
+// Close stops the health-probe loop.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stopProbe:
+	default:
+		close(rt.stopProbe)
+	}
+	rt.probeWG.Wait()
+}
+
+// probeLoop probes every shard's /healthz each ProbeInterval, feeding the
+// per-shard breakers that gate read-path routing.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stopProbe:
+			return
+		case <-t.C:
+			for _, s := range rt.topology().Shards {
+				rt.probeShard(s)
+			}
+		}
+	}
+}
+
+func (rt *Router) probeShard(s ShardInfo) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.URL+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		resp.Body.Close()
+	}
+	b := rt.breaker(s.Name)
+	if err != nil || resp.StatusCode/100 != 2 {
+		rt.met.probeFails.Inc()
+		b.Failure()
+		return
+	}
+	b.Success()
+}
+
+// callURL POSTs body to base+path with bounded retries and per-shard
+// breaker bookkeeping. Mutating calls are retry-safe because shards dedupe
+// by reqKey; pass reqKey "" for read-only calls to skip shard-side
+// deduplication.
+func (rt *Router) callURL(ctx context.Context, shard, base, path, reqKey string, body []byte, out any) error {
+	b := rt.breaker(shard)
+	var lastErr error
+	for attempt := 0; attempt < rt.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			rt.met.shardRetries.Inc()
+			if err := retry.Sleep(ctx, rt.cfg.Retry.Delay(attempt, nil)); err != nil {
+				return err
+			}
+		}
+		rt.met.shardCalls.Inc()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if reqKey != "" {
+			req.Header.Set(HeaderRequestID, reqKey)
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			b.Failure()
+			lastErr = err
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			b.Failure()
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			lastErr = fmt.Errorf("shard %s %s: status %d: %s", shard, path, resp.StatusCode, bytes.TrimSpace(raw))
+			if resp.StatusCode/100 == 4 {
+				return lastErr // malformed request: retries will not heal it
+			}
+			b.Failure()
+			continue
+		}
+		b.Success()
+		if out != nil {
+			if err := json.Unmarshal(raw, out); err != nil {
+				lastErr = fmt.Errorf("shard %s %s: bad response: %v", shard, path, err)
+				continue
+			}
+		}
+		return nil
+	}
+	rt.met.shardErrors.Inc()
+	return lastErr
+}
+
+// callShard resolves the shard's URL from the current topology, then calls.
+func (rt *Router) callShard(ctx context.Context, topo *Topology, shard, path, reqKey string, body []byte, out any) error {
+	base := topo.ShardURL(shard)
+	if base == "" {
+		return fmt.Errorf("no URL for shard %q in epoch %d", shard, topo.Epoch)
+	}
+	return rt.callURL(ctx, shard, base, path, reqKey, body, out)
+}
+
+// pushTopology installs topo on each given shard, retrying each until
+// success or ctx is done. Pushes are idempotent (shards accept re-pushes of
+// the same epoch), so a failed multi-shard push can be re-driven.
+func (rt *Router) pushTopology(ctx context.Context, topo *Topology, shards []ShardInfo) error {
+	raw, err := json.Marshal(topo)
+	if err != nil {
+		return err
+	}
+	for _, s := range shards {
+		var resp TopologyResponse
+		if err := rt.callURL(ctx, s.Name, s.URL, PathShardTopology, "", raw, &resp); err != nil {
+			return fmt.Errorf("pushing topology epoch %d to %s: %w", topo.Epoch, s.Name, err)
+		}
+	}
+	return nil
+}
+
+// ---- NDJSON data plane --------------------------------------------------
+
+// verdictLine answers one ingest line — the same JSON shape, field for
+// field, as the single-process serving tier, because the E2E contract is a
+// byte-identical response stream.
+type verdictLine struct {
+	ID        uint64 `json:"id"`
+	Seq       uint64 `json:"seq,omitempty"`
+	Neighbors int    `json:"neighbors"`
+	Outlier   bool   `json:"outlier"`
+	Evicted   int    `json:"evicted,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// scoreLine answers one score line.
+type scoreLine struct {
+	ID        uint64 `json:"id"`
+	Neighbors int    `json:"neighbors"`
+	Outlier   bool   `json:"outlier"`
+	Error     string `json:"error,omitempty"`
+}
+
+// pointLine is the NDJSON wire form of a point.
+type pointLine struct {
+	ID     uint64    `json:"id"`
+	Coords []float64 `json:"coords"`
+}
+
+type batchItem struct {
+	pt  geom.Point
+	err error
+}
+
+// readBatch parses up to MaxBatch NDJSON point lines, with the same
+// per-line and request-level error behavior as the single-process tier.
+func (rt *Router) readBatch(r *http.Request) ([]batchItem, error) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	var items []batchItem
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if len(items) >= rt.cfg.MaxBatch {
+			return nil, fmt.Errorf("batch exceeds %d lines", rt.cfg.MaxBatch)
+		}
+		var pl pointLine
+		if err := json.Unmarshal(line, &pl); err != nil {
+			items = append(items, batchItem{err: fmt.Errorf("malformed point line: %v", err)})
+			continue
+		}
+		items = append(items, batchItem{pt: geom.Point{ID: pl.ID, Coords: pl.Coords}})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return items, nil
+}
+
+func (rt *Router) writeBatchError(w http.ResponseWriter, r *http.Request, err error) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		rt.writeError(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+	case r.Context().Err() != nil:
+		rt.writeError(w, r, http.StatusRequestTimeout, "read_timeout", "request body read timed out")
+	default:
+		rt.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+	}
+}
+
+// writeError emits the serving tier's structured error shape, carrying the
+// request correlation ID.
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck
+		Error     string `json:"error"`
+		Message   string `json:"message"`
+		RequestID string `json:"request_id,omitempty"`
+	}{Error: code, Message: msg, RequestID: r.Header.Get(HeaderRequestID)})
+}
+
+// admitTenant applies the per-tenant token bucket; a rejection writes the
+// 429 and reports false.
+func (rt *Router) admitTenant(w http.ResponseWriter, r *http.Request) bool {
+	tenant := r.Header.Get(HeaderTenant)
+	ok, wait := rt.limiter.allowRequest(tenant)
+	if ok {
+		return true
+	}
+	rt.met.rateLimited.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int((wait+time.Second-1)/time.Second)))
+	rt.writeError(w, r, http.StatusTooManyRequests, "rate_limited",
+		fmt.Sprintf("tenant %q over %g req/s", tenant, rt.cfg.TenantRPS))
+	return false
+}
+
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	rt.met.ingestReqs.Inc()
+	if !rt.admitTenant(w, r) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+	items, err := rt.readBatch(r)
+	if err != nil {
+		rt.writeBatchError(w, r, err)
+		return
+	}
+	tenant := r.Header.Get(HeaderTenant)
+	if ok, remaining := rt.limiter.chargeQuota(tenant, len(items)); !ok {
+		rt.met.quotaDenied.Inc()
+		rt.writeError(w, r, http.StatusTooManyRequests, "quota_exceeded",
+			fmt.Sprintf("tenant %q has %d of its lifetime point quota left, batch needs %d",
+				tenant, remaining, len(items)))
+		return
+	}
+	reqID := r.Header.Get(HeaderRequestID)
+	out := make([]verdictLine, len(items))
+	// One global mutation order: the whole batch runs under the router
+	// mutex, line by line, exactly as the single-process window serializes
+	// Process calls.
+	rt.mu.Lock()
+	for i, it := range items {
+		if it.err != nil {
+			out[i] = verdictLine{ID: it.pt.ID, Error: it.err.Error()}
+			rt.met.lineErrors.Inc()
+			continue
+		}
+		lineKey := fmt.Sprintf("%s|%d", reqID, i)
+		v, err := rt.processLocked(r.Context(), it.pt, rt.now(), lineKey)
+		rt.met.ingestLines.Inc()
+		if err != nil {
+			out[i] = verdictLine{ID: it.pt.ID, Error: err.Error()}
+			rt.met.lineErrors.Inc()
+			continue
+		}
+		out[i] = v
+	}
+	rt.mu.Unlock()
+	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+}
+
+// processLocked ingests one point with the single-process window's exact
+// discipline — dimension check, duplicate check, capacity evictions, TTL
+// evictions, then admission — each eviction and the admission delegated to
+// the owning shard. Callers hold rt.mu.
+func (rt *Router) processLocked(ctx context.Context, pt geom.Point, now time.Time, lineKey string) (verdictLine, error) {
+	if pt.Dim() != rt.cfg.Dim {
+		return verdictLine{}, &errs.DimMismatchError{ID: pt.ID, Got: pt.Dim(), Want: rt.cfg.Dim}
+	}
+	if _, dup := rt.residents[pt.ID]; dup {
+		return verdictLine{}, &errs.DuplicateIDError{ID: pt.ID}
+	}
+	evictions := 0
+	if rt.cfg.Capacity > 0 {
+		for len(rt.residents) >= rt.cfg.Capacity {
+			if err := rt.evictHeadLocked(ctx, lineKey); err != nil {
+				return verdictLine{}, err
+			}
+			evictions++
+		}
+	}
+	if rt.cfg.TTL > 0 {
+		horizonNs := now.Add(-rt.cfg.TTL).UnixNano()
+		for rt.head < len(rt.fifo) {
+			id := rt.fifo[rt.head]
+			if rt.residents[id].arrivedNs >= horizonNs {
+				break
+			}
+			if err := rt.evictHeadLocked(ctx, lineKey); err != nil {
+				return verdictLine{}, err
+			}
+			evictions++
+		}
+	}
+	topo := rt.topology()
+	cell := topo.CellOf(pt.Coords)
+	owner := topo.Owner(cell)
+	seq := rt.seq + 1
+	body := EncodeIngest(IngestHeader{Seq: seq, ArrivedNs: now.UnixNano()}, pt)
+	var resp IngestResponse
+	if err := rt.callShard(ctx, topo, owner, PathShardIngest, lineKey+"|ingest", body, &resp); err != nil {
+		return verdictLine{}, fmt.Errorf("shard %s unavailable: %v", owner, err)
+	}
+	if resp.Error != "" {
+		return verdictLine{}, errors.New(resp.Error)
+	}
+	rt.seq = seq
+	rt.fifo = append(rt.fifo, pt.ID)
+	rt.residents[pt.ID] = resident{cell: cell, arrivedNs: now.UnixNano()}
+	return verdictLine{ID: resp.ID, Seq: resp.Seq, Neighbors: resp.Neighbors, Outlier: resp.Outlier, Evicted: evictions}, nil
+}
+
+// evictHeadLocked expires the globally oldest point: the owning shard
+// applies the eviction (and its cross-shard count deltas); the router
+// retires the FIFO slot. Callers hold rt.mu.
+func (rt *Router) evictHeadLocked(ctx context.Context, lineKey string) error {
+	id := rt.fifo[rt.head]
+	res, ok := rt.residents[id]
+	if !ok {
+		// Unreachable by construction: fifo and residents move together.
+		rt.head++
+		return nil
+	}
+	topo := rt.topology()
+	owner := topo.Owner(res.cell)
+	body, err := json.Marshal(EvictRequest{ID: id})
+	if err != nil {
+		return err
+	}
+	var resp EvictResponse
+	key := lineKey + "|evict|" + strconv.FormatUint(id, 10)
+	if err := rt.callShard(ctx, topo, owner, PathShardEvict, key, body, &resp); err != nil {
+		return fmt.Errorf("evicting %d from shard %s: %v", id, owner, err)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("evicting %d from shard %s: %s", id, owner, resp.Error)
+	}
+	if !resp.Evicted {
+		return fmt.Errorf("evicting %d: shard %s does not hold it (ownership drift)", id, owner)
+	}
+	rt.head++
+	delete(rt.residents, id)
+	rt.met.evictions.Inc()
+	// Reclaim the drained prefix once it dominates the backing array.
+	if rt.head > 64 && rt.head*2 > len(rt.fifo) {
+		rt.fifo = append([]uint64(nil), rt.fifo[rt.head:]...)
+		rt.head = 0
+	}
+	return nil
+}
+
+func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	rt.met.scoreReqs.Inc()
+	if !rt.admitTenant(w, r) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+	items, err := rt.readBatch(r)
+	if err != nil {
+		rt.writeBatchError(w, r, err)
+		return
+	}
+	out := make([]scoreLine, len(items))
+	// Scoring is read-only: fan the batch out in contiguous chunks.
+	const chunk = 64
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				it := items[i]
+				if it.err != nil {
+					out[i] = scoreLine{ID: it.pt.ID, Error: it.err.Error()}
+					rt.met.lineErrors.Inc()
+					continue
+				}
+				rt.met.scoreLines.Inc()
+				out[i] = rt.scoreOne(r.Context(), it.pt)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+}
+
+// scoreOne scores one probe point: its neighborhood cells are grouped by
+// owner and each owning shard reports its capped neighbor count through a
+// read-only support call; the capped sum equals the single-process count
+// (min distributes over the partition). Shards whose breaker is open are
+// skipped — scoring degrades to the reachable window rather than blocking.
+func (rt *Router) scoreOne(ctx context.Context, pt geom.Point) scoreLine {
+	if pt.Dim() != rt.cfg.Dim {
+		err := &errs.DimMismatchError{ID: pt.ID, Got: pt.Dim(), Want: rt.cfg.Dim}
+		rt.met.lineErrors.Inc()
+		return scoreLine{ID: pt.ID, Error: err.Error()}
+	}
+	topo := rt.topology()
+	center := topo.CellOf(pt.Coords)
+	byOwner := map[string][][]int64{}
+	for radius := 0; radius <= rt.l2; radius++ {
+		index.RingCells(center, radius, func(c []int64) {
+			cc := append([]int64(nil), c...)
+			o := topo.Owner(cc)
+			byOwner[o] = append(byOwner[o], cc)
+		})
+	}
+	owners := make([]string, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	total := 0
+	for _, o := range owners {
+		if rt.breaker(o).State() == retry.BreakerOpen {
+			continue // degraded: count what the healthy shards can see
+		}
+		body := EncodeSupport(SupportHeader{Delta: 0, Limit: rt.cfg.K}, pt, byOwner[o])
+		var resp SupportResponse
+		if err := rt.callShard(ctx, topo, o, PathSupport, "", body, &resp); err != nil {
+			rt.met.lineErrors.Inc()
+			return scoreLine{ID: pt.ID, Error: fmt.Sprintf("shard %s unavailable: %v", o, err)}
+		}
+		if resp.Error != "" {
+			rt.met.lineErrors.Inc()
+			return scoreLine{ID: pt.ID, Error: resp.Error}
+		}
+		total += resp.Count
+		if total >= rt.cfg.K {
+			break // already an inlier; min(total, K) is decided
+		}
+	}
+	if total > rt.cfg.K {
+		total = rt.cfg.K
+	}
+	return scoreLine{ID: pt.ID, Neighbors: total, Outlier: total < rt.cfg.K}
+}
+
+// writeNDJSON streams n lines through one buffered encoder.
+func writeNDJSON(w http.ResponseWriter, n int, line func(enc *json.Encoder, i int) error) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := 0; i < n; i++ {
+		if err := line(enc, i); err != nil {
+			return
+		}
+	}
+	bw.Flush()
+}
+
+// ---- drain / handoff ----------------------------------------------------
+
+// DrainResponse answers POST /v1/drain.
+type DrainResponse struct {
+	Drained string `json:"drained"`
+	Moved   int    `json:"moved"`
+	Epoch   int64  `json:"epoch"`
+}
+
+// handleDrain gracefully removes a shard: its window slice is exported,
+// ownership is re-rung without it (minimal movement: only its blocks
+// relocate), the new topology is pushed to the survivors, and the exported
+// entries are replayed to their new owners with their live neighbor counts
+// intact. Runs under the router mutex, so the global mutation order is
+// undisturbed and no verdict can observe a half-moved window.
+//
+// ?force=1 proceeds even if the departing shard cannot be reached; its
+// entries are then lost (a failover, not a drain — counts on survivors are
+// preserved, but verdict parity with a lossless reference ends).
+func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("shard")
+	force := r.URL.Query().Get("force") == "1"
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	topo := rt.topology()
+	if topo.ShardURL(name) == "" {
+		rt.writeError(w, r, http.StatusNotFound, "unknown_shard",
+			fmt.Sprintf("shard %q is not in epoch %d", name, topo.Epoch))
+		return
+	}
+	if len(topo.Shards) == 1 {
+		rt.writeError(w, r, http.StatusBadRequest, "last_shard",
+			"cannot drain the only shard in the topology")
+		return
+	}
+	span := rt.trace.Start("drain").SetAttr(obs.Str("shard", name))
+	defer span.End()
+
+	// 1. Snapshot the departing shard's window slice.
+	var entries []Entry
+	exportURL := topo.ShardURL(name) + PathShardExport
+	raw, err := rt.getBody(r.Context(), exportURL)
+	if err == nil {
+		entries, err = DecodeEntries(raw)
+	}
+	if err != nil {
+		if !force {
+			rt.writeError(w, r, http.StatusBadGateway, "export_failed",
+				fmt.Sprintf("exporting shard %s: %v", name, err))
+			return
+		}
+		rt.met.failovers.Inc()
+		entries = nil
+	}
+
+	// 2. Re-ring without the departing shard and tell the survivors first,
+	// so imported entries are never routed under the old view.
+	next := topo.Without(name)
+	if err := rt.pushTopology(r.Context(), next, next.Shards); err != nil {
+		rt.writeError(w, r, http.StatusBadGateway, "topology_push_failed", err.Error())
+		return
+	}
+
+	// 3. Replay the snapshot to each entry's new owner, counts verbatim.
+	reqID := r.Header.Get(HeaderRequestID)
+	byOwner := map[string][]Entry{}
+	for _, e := range entries {
+		o := next.Owner(next.CellOf(e.Point.Coords))
+		byOwner[o] = append(byOwner[o], e)
+	}
+	owners := make([]string, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	moved := 0
+	for _, o := range owners {
+		body := EncodeEntries(byOwner[o])
+		var resp ImportResponse
+		if err := rt.callShard(r.Context(), next, o, PathShardImport, reqID+"|import|"+o, body, &resp); err != nil {
+			rt.writeError(w, r, http.StatusBadGateway, "import_failed",
+				fmt.Sprintf("importing %d entries to %s: %v", len(byOwner[o]), o, err))
+			return
+		}
+		if resp.Error != "" {
+			rt.writeError(w, r, http.StatusBadGateway, "import_failed",
+				fmt.Sprintf("importing to %s: %s", o, resp.Error))
+			return
+		}
+		moved += resp.Imported
+	}
+
+	// 4. Route under the new view from here on.
+	rt.topoMu.Lock()
+	rt.topo = next
+	rt.topoMu.Unlock()
+	rt.met.drains.Inc()
+	span.SetAttr(obs.Int("moved", int64(moved)), obs.Int("epoch", next.Epoch))
+	rt.writeJSON(w, http.StatusOK, DrainResponse{Drained: name, Moved: moved, Epoch: next.Epoch})
+}
+
+// getBody GETs a URL and returns its body, with bounded retries.
+func (rt *Router) getBody(ctx context.Context, url string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < rt.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			rt.met.shardRetries.Inc()
+			if err := retry.Sleep(ctx, rt.cfg.Retry.Delay(attempt, nil)); err != nil {
+				return nil, err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			lastErr = fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+			continue
+		}
+		return raw, nil
+	}
+	return nil, lastErr
+}
+
+// ---- introspection ------------------------------------------------------
+
+func (rt *Router) handleTopology(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, rt.topology())
+}
+
+// handleSnapshot aggregates every shard's export into one seq-ordered view
+// of the global window (debugging and the E2E harness; O(window) transfer).
+func (rt *Router) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	topo := rt.topology()
+	var all []Entry
+	for _, s := range topo.Shards {
+		raw, err := rt.getBody(r.Context(), s.URL+PathShardExport)
+		if err != nil {
+			rt.writeError(w, r, http.StatusBadGateway, "export_failed",
+				fmt.Sprintf("exporting shard %s: %v", s.Name, err))
+			return
+		}
+		entries, err := DecodeEntries(raw)
+		if err != nil {
+			rt.writeError(w, r, http.StatusBadGateway, "export_failed",
+				fmt.Sprintf("decoding export from %s: %v", s.Name, err))
+			return
+		}
+		all = append(all, entries...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	type snapPoint struct {
+		ID        uint64 `json:"id"`
+		Seq       uint64 `json:"seq"`
+		Neighbors int    `json:"neighbors"`
+		Outlier   bool   `json:"outlier"`
+	}
+	out := struct {
+		Epoch  int64       `json:"epoch"`
+		Window int         `json:"window_len"`
+		Points []snapPoint `json:"points"`
+	}{Epoch: topo.Epoch, Window: len(all), Points: make([]snapPoint, len(all))}
+	for i, e := range all {
+		out.Points[i] = snapPoint{ID: e.Point.ID, Seq: e.Seq, Neighbors: e.Count, Outlier: e.Outlier}
+	}
+	rt.writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	window := len(rt.residents)
+	rt.mu.Unlock()
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"window": window,
+		"epoch":  rt.topology().Epoch,
+	})
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := rt.ready.Load() && !rt.draining.Load()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	rt.writeJSON(w, status, map[string]any{
+		"ready":    ready,
+		"draining": rt.draining.Load(),
+	})
+}
+
+func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	window := len(rt.residents)
+	seq := rt.seq
+	rt.mu.Unlock()
+	topo := rt.topology()
+	type shardHealth struct {
+		Name    string `json:"name"`
+		URL     string `json:"url"`
+		Breaker string `json:"breaker"`
+	}
+	shards := make([]shardHealth, len(topo.Shards))
+	for i, s := range topo.Shards {
+		shards[i] = shardHealth{Name: s.Name, URL: s.URL, Breaker: rt.breaker(s.Name).State().String()}
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds":  rt.now().Sub(rt.started).Seconds(),
+		"window_len":      window,
+		"window_seq":      seq,
+		"epoch":           topo.Epoch,
+		"ingest_requests": rt.met.ingestReqs.Value(),
+		"score_requests":  rt.met.scoreReqs.Value(),
+		"lines_ingested":  rt.met.ingestLines.Value(),
+		"lines_scored":    rt.met.scoreLines.Value(),
+		"line_errors":     rt.met.lineErrors.Value(),
+		"evictions":       rt.met.evictions.Value(),
+		"drains":          rt.met.drains.Value(),
+		"rate_limited":    rt.met.rateLimited.Value(),
+		"shards":          shards,
+	})
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck
+}

@@ -44,6 +44,7 @@ import (
 	"dod/internal/geom"
 	"dod/internal/obs"
 	"dod/internal/retry"
+	"dod/internal/router"
 	"dod/internal/stream"
 )
 
@@ -211,8 +212,15 @@ func (s *Server) Window() *stream.Window { return s.win }
 // Registry exposes the metrics registry backing /metrics and /statsz.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Handler returns the HTTP handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving all endpoints. Every response
+// echoes the caller's X-Dod-Request-Id header (the router propagates its
+// correlation IDs this way; direct callers may send their own).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		router.EchoRequestID(w, r)
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Close stops the worker pool and the background evictor. In-flight
 // requests should be drained first (http.Server.Shutdown does this).
@@ -253,10 +261,10 @@ func (s *Server) admit(ctx context.Context) (func(), bool) {
 
 // shed rejects an over-capacity request: 429, a Retry-After hint, and a
 // structured body carrying the ErrOverloaded identity.
-func (s *Server) shed(w http.ResponseWriter, endpoint string) {
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, endpoint string) {
 	shedCounter(s.met, endpoint).Inc()
 	w.Header().Set("Retry-After", "1")
-	writeErrorBody(w, http.StatusTooManyRequests, "overloaded", errs.ErrOverloaded.Error())
+	writeErrorBody(w, r, http.StatusTooManyRequests, "overloaded", errs.ErrOverloaded.Error())
 }
 
 // writeBatchError classifies a readBatch failure into a structured HTTP
@@ -266,23 +274,25 @@ func (s *Server) writeBatchError(w http.ResponseWriter, r *http.Request, err err
 	var tooBig *http.MaxBytesError
 	switch {
 	case errors.As(err, &tooBig):
-		writeErrorBody(w, http.StatusRequestEntityTooLarge, "body_too_large",
+		writeErrorBody(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
 			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 	case r.Context().Err() != nil:
-		writeErrorBody(w, http.StatusRequestTimeout, "read_timeout", "request body read timed out")
+		writeErrorBody(w, r, http.StatusRequestTimeout, "read_timeout", "request body read timed out")
 	default:
-		writeErrorBody(w, http.StatusBadRequest, "bad_request", err.Error())
+		writeErrorBody(w, r, http.StatusBadRequest, "bad_request", err.Error())
 	}
 }
 
-// writeErrorBody emits the serving layer's machine-readable error shape.
-func writeErrorBody(w http.ResponseWriter, status int, code, msg string) {
+// writeErrorBody emits the serving layer's machine-readable error shape,
+// carrying the request's correlation ID when the caller sent one.
+func writeErrorBody(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(struct { //nolint:errcheck
-		Error   string `json:"error"`
-		Message string `json:"message"`
-	}{Error: code, Message: msg})
+		Error     string `json:"error"`
+		Message   string `json:"message"`
+		RequestID string `json:"request_id,omitempty"`
+	}{Error: code, Message: msg, RequestID: r.Header.Get(router.HeaderRequestID)})
 }
 
 // scorePoint scores one point, preferring the remote scorer while its
@@ -386,7 +396,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.met.ingestReqs.Inc()
 	release, ok := s.admit(r.Context())
 	if !ok {
-		s.shed(w, "ingest")
+		s.shed(w, r, "ingest")
 		return
 	}
 	defer release()
@@ -436,7 +446,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.met.scoreReqs.Inc()
 	release, ok := s.admit(r.Context())
 	if !ok {
-		s.shed(w, "score")
+		s.shed(w, r, "score")
 		return
 	}
 	defer release()

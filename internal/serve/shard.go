@@ -1,0 +1,607 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dod/internal/geom"
+	"dod/internal/obs"
+	"dod/internal/retry"
+	"dod/internal/router"
+	"dod/internal/stream"
+)
+
+// ShardServer is one cell-partitioned dodserve shard: the slice of the
+// global sliding window whose grid cells this shard owns under the current
+// router-pushed topology. It speaks the codec-framed shard wire protocol
+// (internal/router/wire.go):
+//
+//	POST /v1/shard/ingest    admit one point with a router-assigned global
+//	                         sequence number; neighbor counting fans out
+//	                         to peers for boundary cells.
+//	POST /v1/shard/evict     expire one resident point by ID (the router
+//	                         owns the global FIFO and commands evictions).
+//	POST /v1/support         boundary-cell support (Lemma 3.1): count — and
+//	                         for delta ±1, adjust — this shard's residents
+//	                         that neighbor the probe point in the given
+//	                         cells. Called by peer shards and, for scoring,
+//	                         by the router.
+//	GET  /v1/shard/export    the full resident slice (drain/handoff).
+//	POST /v1/shard/import    adopt entries exported from a draining peer.
+//	POST /v1/shard/topology  install a new ownership epoch.
+//	GET  /healthz /readyz /statsz /metrics as usual.
+//
+// Every mutating endpoint is idempotent by X-Dod-Request-Id: a retried
+// request (lost response, injected fault) replays the recorded response
+// instead of re-applying its count deltas, so the router and peers may
+// retry blindly.
+//
+// Mutation ordering is the router's job: it serializes ingests, evicts and
+// drains globally, so at most one mutation originator is active at a time
+// and cross-shard support calls can never form a lock cycle.
+type ShardServer struct {
+	cfg ShardServerConfig
+	sw  *stream.ShardWindow
+	mux *http.ServeMux
+	reg *obs.Registry
+	met *shardMetrics
+
+	client  *http.Client
+	dedupe  *dedupeCache
+	started time.Time
+
+	draining atomic.Bool
+
+	topoMu sync.RWMutex
+	topo   *router.Topology
+}
+
+// ShardServerConfig parameterizes a ShardServer.
+type ShardServerConfig struct {
+	// Name is this shard's cluster-unique name; ownership is decided by
+	// comparing topology owners against it.
+	Name string
+	// R, K, Dim mirror the stream parameters and must match the router's.
+	R   float64
+	K   int
+	Dim int
+	// IndexShards is the local index's lock-stripe count (0 = default).
+	IndexShards int
+	// MaxBodyBytes caps one request body; default DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Obs is the metrics registry; default a fresh one.
+	Obs *obs.Registry
+	// Transport is the HTTP transport for peer support calls — the fault
+	// injection seam. Nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+	// Retry shapes peer-call backoff; zero value takes defaults.
+	Retry retry.Policy
+	// RetryAttempts bounds peer-call attempts; default 8.
+	RetryAttempts int
+}
+
+// shardMetrics are the shard serving layer's instruments.
+type shardMetrics struct {
+	ingests       *obs.Counter
+	evicts        *obs.Counter
+	supportServed *obs.Counter
+	supportIssued *obs.Counter
+	peerRetries   *obs.Counter
+	dedupeHits    *obs.Counter
+	imports       *obs.Counter
+	exports       *obs.Counter
+	topoPushes    *obs.Counter
+	wireErrors    *obs.Counter
+}
+
+// NewShard builds a shard server with an empty window slice. It serves
+// 503s until the router pushes a first topology.
+func NewShard(cfg ShardServerConfig) (*ShardServer, error) {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 8
+	}
+	sw, err := stream.NewShardWindow(stream.ShardConfig{
+		R: cfg.R, K: cfg.K, Dim: cfg.Dim, Shards: cfg.IndexShards, Obs: cfg.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardServer{
+		cfg:     cfg,
+		sw:      sw,
+		mux:     http.NewServeMux(),
+		reg:     cfg.Obs,
+		client:  &http.Client{Transport: cfg.Transport},
+		dedupe:  newDedupeCache(4096),
+		started: time.Now(),
+	}
+	s.met = &shardMetrics{
+		ingests:       s.reg.Counter("dod_shard_ingests_total", "points admitted to this shard slice"),
+		evicts:        s.reg.Counter("dod_shard_evicts_total", "router-commanded evictions applied"),
+		supportServed: s.reg.Counter("dod_shard_support_total", "boundary support calls", obs.L("dir", "served")),
+		supportIssued: s.reg.Counter("dod_shard_support_total", "boundary support calls", obs.L("dir", "issued")),
+		peerRetries:   s.reg.Counter("dod_shard_peer_retries_total", "retried peer support calls"),
+		dedupeHits:    s.reg.Counter("dod_shard_dedupe_hits_total", "mutating requests answered from the idempotency cache"),
+		imports:       s.reg.Counter("dod_shard_imports_total", "entries adopted during drain/handoff"),
+		exports:       s.reg.Counter("dod_shard_exports_total", "entries exported during drain/handoff"),
+		topoPushes:    s.reg.Counter("dod_shard_topology_pushes_total", "topology epochs installed"),
+		wireErrors:    s.reg.Counter("dod_shard_wire_errors_total", "malformed or corrupt wire bodies rejected"),
+	}
+	s.reg.GaugeFunc("dod_shard_topology_epoch", "currently installed ownership epoch",
+		func() float64 {
+			s.topoMu.RLock()
+			defer s.topoMu.RUnlock()
+			if s.topo == nil {
+				return -1
+			}
+			return float64(s.topo.Epoch)
+		})
+	s.mux.HandleFunc(router.PathShardIngest, s.handleShardIngest)
+	s.mux.HandleFunc(router.PathShardEvict, s.handleShardEvict)
+	s.mux.HandleFunc(router.PathSupport, s.handleSupport)
+	s.mux.HandleFunc(router.PathShardExport, s.handleShardExport)
+	s.mux.HandleFunc(router.PathShardImport, s.handleShardImport)
+	s.mux.HandleFunc(router.PathShardTopology, s.handleShardTopology)
+	s.mux.HandleFunc("/healthz", s.handleShardHealthz)
+	s.mux.HandleFunc("/readyz", s.handleShardReadyz)
+	s.mux.HandleFunc("/statsz", s.handleShardStatsz)
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.TextContentType)
+		s.reg.WritePrometheus(w)
+	})
+	return s, nil
+}
+
+// Handler returns the shard's HTTP handler (request-ID echoing included).
+func (s *ShardServer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		router.EchoRequestID(w, r)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Window exposes the underlying shard window (tests).
+func (s *ShardServer) Window() *stream.ShardWindow { return s.sw }
+
+// Registry exposes the metrics registry.
+func (s *ShardServer) Registry() *obs.Registry { return s.reg }
+
+// SetDraining flips readiness, as on Server.
+func (s *ShardServer) SetDraining(d bool) { s.draining.Store(d) }
+
+// topology returns the installed topology, or nil before the first push.
+func (s *ShardServer) topology() *router.Topology {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	return s.topo
+}
+
+// owns builds the ownership predicate for one captured topology.
+func (s *ShardServer) owns(topo *router.Topology) stream.OwnsFunc {
+	return func(cell []int64) bool { return topo.Owner(cell) == s.cfg.Name }
+}
+
+// supportFunc builds the SupportFunc that resolves foreign cells through
+// peer /v1/support calls, grouped per owning shard. Each (request, peer)
+// pair gets a derived idempotency key, so internal retries — and the
+// router's retries of the whole operation — can never double-apply a
+// delta.
+func (s *ShardServer) supportFunc(ctx context.Context, topo *router.Topology, reqID string) stream.SupportFunc {
+	return func(p geom.Point, cells [][]int64, delta, limit int) (int, error) {
+		byOwner := map[string][][]int64{}
+		for _, c := range cells {
+			o := topo.Owner(c)
+			byOwner[o] = append(byOwner[o], c)
+		}
+		owners := make([]string, 0, len(byOwner))
+		for o := range byOwner {
+			if o == s.cfg.Name {
+				// owns() and this func share one topology capture, so a
+				// self-referential support call cannot happen; calling
+				// ourselves over HTTP would deadlock on the window mutex.
+				return 0, fmt.Errorf("shard %s: support cells route back to self (topology torn?)", s.cfg.Name)
+			}
+			owners = append(owners, o)
+		}
+		sort.Strings(owners)
+		total := 0
+		for _, o := range owners {
+			body := router.EncodeSupport(router.SupportHeader{Delta: delta, Limit: limit}, p, byOwner[o])
+			var resp router.SupportResponse
+			key := fmt.Sprintf("%s|sup|%s|%d", reqID, o, delta)
+			if err := s.postPeer(ctx, topo.ShardURL(o), router.PathSupport, key, body, &resp); err != nil {
+				return 0, fmt.Errorf("support from %s: %w", o, err)
+			}
+			if resp.Error != "" {
+				return 0, fmt.Errorf("support from %s: %s", o, resp.Error)
+			}
+			s.met.supportIssued.Inc()
+			total += resp.Count
+		}
+		if limit > 0 && total > limit {
+			total = limit
+		}
+		return total, nil
+	}
+}
+
+// postPeer POSTs a body to a peer shard with bounded retries. Mutating
+// calls are safe to retry because the receiver dedupes by the request ID.
+func (s *ShardServer) postPeer(ctx context.Context, base, path, reqID string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			s.met.peerRetries.Inc()
+			if err := retry.Sleep(ctx, s.cfg.Retry.Delay(attempt, nil)); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(router.HeaderRequestID, reqID)
+		resp, err := s.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			lastErr = fmt.Errorf("peer %s%s: status %d: %s", base, path, resp.StatusCode, bytes.TrimSpace(raw))
+			if resp.StatusCode/100 == 4 {
+				return lastErr // a malformed request will not heal with retries
+			}
+			continue
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			lastErr = fmt.Errorf("peer %s%s: bad response: %v", base, path, err)
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// readWireBody reads a size-capped request body.
+func (s *ShardServer) readWireBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	return io.ReadAll(r.Body)
+}
+
+func (s *ShardServer) writeShardJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// requireTopology answers 503 and returns nil if no topology is installed.
+func (s *ShardServer) requireTopology(w http.ResponseWriter, r *http.Request) *router.Topology {
+	topo := s.topology()
+	if topo == nil {
+		writeErrorBody(w, r, http.StatusServiceUnavailable, "no_topology",
+			"shard has no installed topology yet")
+	}
+	return topo
+}
+
+func (s *ShardServer) handleShardTopology(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var topo router.Topology
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&topo); err != nil {
+		writeErrorBody(w, r, http.StatusBadRequest, "bad_request", "bad topology body: "+err.Error())
+		return
+	}
+	if err := topo.Validate(); err != nil {
+		writeErrorBody(w, r, http.StatusBadRequest, "bad_topology", err.Error())
+		return
+	}
+	if topo.Dim != s.cfg.Dim || topo.R != s.cfg.R || topo.K != s.cfg.K {
+		writeErrorBody(w, r, http.StatusBadRequest, "param_mismatch",
+			fmt.Sprintf("topology (r=%g k=%d dim=%d) does not match shard (r=%g k=%d dim=%d)",
+				topo.R, topo.K, topo.Dim, s.cfg.R, s.cfg.K, s.cfg.Dim))
+		return
+	}
+	s.topoMu.Lock()
+	stale := s.topo != nil && topo.Epoch < s.topo.Epoch
+	if !stale {
+		s.topo = &topo
+	}
+	s.topoMu.Unlock()
+	if stale {
+		writeErrorBody(w, r, http.StatusConflict, "stale_epoch", "pushed epoch is older than installed")
+		return
+	}
+	s.met.topoPushes.Inc()
+	s.writeShardJSON(w, http.StatusOK, router.TopologyResponse{
+		Epoch: topo.Epoch, Shard: s.cfg.Name, Points: s.sw.Stats().Len,
+	})
+}
+
+func (s *ShardServer) handleShardIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	topo := s.requireTopology(w, r)
+	if topo == nil {
+		return
+	}
+	body, err := s.readWireBody(w, r)
+	if err != nil {
+		s.writeBatchError(w, r, err)
+		return
+	}
+	reqID := r.Header.Get(router.HeaderRequestID)
+	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
+		hdr, pt, err := router.DecodeIngest(body)
+		if err != nil {
+			s.met.wireErrors.Inc()
+			return http.StatusBadRequest, marshalJSON(router.IngestResponse{Error: err.Error(), RequestID: reqID})
+		}
+		v, err := s.sw.Admit(pt, hdr.Seq, time.Unix(0, hdr.ArrivedNs), s.owns(topo), s.supportFunc(r.Context(), topo, reqID))
+		if err != nil {
+			return http.StatusOK, marshalJSON(router.IngestResponse{ID: pt.ID, Error: err.Error(), RequestID: reqID})
+		}
+		s.met.ingests.Inc()
+		return http.StatusOK, marshalJSON(router.IngestResponse{
+			ID: v.ID, Seq: v.Seq, Neighbors: v.Neighbors, Outlier: v.Outlier, RequestID: reqID,
+		})
+	})
+	s.writeRaw(w, status, resp)
+}
+
+func (s *ShardServer) handleShardEvict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	topo := s.requireTopology(w, r)
+	if topo == nil {
+		return
+	}
+	var req router.EvictRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErrorBody(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	reqID := r.Header.Get(router.HeaderRequestID)
+	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
+		ok, err := s.sw.EvictByID(req.ID, s.owns(topo), s.supportFunc(r.Context(), topo, reqID))
+		if err != nil {
+			return http.StatusOK, marshalJSON(router.EvictResponse{Error: err.Error(), RequestID: reqID})
+		}
+		if ok {
+			s.met.evicts.Inc()
+		}
+		return http.StatusOK, marshalJSON(router.EvictResponse{Evicted: ok, RequestID: reqID})
+	})
+	s.writeRaw(w, status, resp)
+}
+
+func (s *ShardServer) handleSupport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := s.readWireBody(w, r)
+	if err != nil {
+		s.writeBatchError(w, r, err)
+		return
+	}
+	reqID := r.Header.Get(router.HeaderRequestID)
+	serve := func() (int, []byte) {
+		hdr, pt, cells, err := router.DecodeSupport(body)
+		if err != nil {
+			s.met.wireErrors.Inc()
+			return http.StatusBadRequest, marshalJSON(router.SupportResponse{Error: err.Error(), RequestID: reqID})
+		}
+		n, err := s.sw.ApplySupport(pt, cells, hdr.Delta, hdr.Limit)
+		if err != nil {
+			return http.StatusOK, marshalJSON(router.SupportResponse{Error: err.Error(), RequestID: reqID})
+		}
+		s.met.supportServed.Inc()
+		return http.StatusOK, marshalJSON(router.SupportResponse{Count: n, RequestID: reqID})
+	}
+	// Read-only support (scoring) skips the idempotency cache; only
+	// delta-applying calls need exactly-once semantics. The delta lives in
+	// the sealed body, so peek cheaply: mutating callers always send a
+	// request ID, and scoring callers send none or delta 0.
+	if reqID == "" {
+		status, resp := serve()
+		s.writeRaw(w, status, resp)
+		return
+	}
+	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, serve)
+	s.writeRaw(w, status, resp)
+}
+
+func (s *ShardServer) handleShardExport(w http.ResponseWriter, r *http.Request) {
+	entries := s.sw.Export()
+	out := make([]router.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = router.Entry{
+			Point: e.Point, Seq: e.Seq, ArrivedNs: e.Arrived.UnixNano(),
+			Count: e.Count, Outlier: e.Outlier,
+		}
+	}
+	s.met.exports.Add(int64(len(out)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(router.EncodeEntries(out)) //nolint:errcheck
+}
+
+func (s *ShardServer) handleShardImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := s.readWireBody(w, r)
+	if err != nil {
+		s.writeBatchError(w, r, err)
+		return
+	}
+	reqID := r.Header.Get(router.HeaderRequestID)
+	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
+		entries, err := router.DecodeEntries(body)
+		if err != nil {
+			s.met.wireErrors.Inc()
+			return http.StatusBadRequest, marshalJSON(router.ImportResponse{Error: err.Error(), RequestID: reqID})
+		}
+		in := make([]stream.ExportedEntry, len(entries))
+		for i, e := range entries {
+			in[i] = stream.ExportedEntry{
+				Point: e.Point, Seq: e.Seq, Arrived: time.Unix(0, e.ArrivedNs),
+				Count: e.Count, Outlier: e.Outlier,
+			}
+		}
+		if err := s.sw.Import(in); err != nil {
+			return http.StatusOK, marshalJSON(router.ImportResponse{Error: err.Error(), RequestID: reqID})
+		}
+		s.met.imports.Add(int64(len(in)))
+		return http.StatusOK, marshalJSON(router.ImportResponse{Imported: len(in), RequestID: reqID})
+	})
+	s.writeRaw(w, status, resp)
+}
+
+func (s *ShardServer) handleShardHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.sw.Stats()
+	epoch := int64(-1)
+	if topo := s.topology(); topo != nil {
+		epoch = topo.Epoch
+	}
+	s.writeShardJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"shard":  s.cfg.Name,
+		"window": st.Len,
+		"epoch":  epoch,
+	})
+}
+
+func (s *ShardServer) handleShardReadyz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	ready := !draining && s.topology() != nil
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeShardJSON(w, status, map[string]any{
+		"ready":    ready,
+		"draining": draining,
+	})
+}
+
+func (s *ShardServer) handleShardStatsz(w http.ResponseWriter, r *http.Request) {
+	st := s.sw.Stats()
+	s.writeShardJSON(w, http.StatusOK, map[string]any{
+		"shard":                   s.cfg.Name,
+		"uptime_seconds":          time.Since(s.started).Seconds(),
+		"window_len":              st.Len,
+		"points_ingested":         st.Ingested,
+		"points_evicted":          st.Evicted,
+		"outliers":                st.Outliers,
+		"flips_outlier_to_inlier": st.FlipIn,
+		"flips_inlier_to_outlier": st.FlipOut,
+		"shard_occupancy":         st.Occupancy,
+	})
+}
+
+// writeBatchError mirrors Server.writeBatchError for wire bodies.
+func (s *ShardServer) writeBatchError(w http.ResponseWriter, r *http.Request, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeErrorBody(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	writeErrorBody(w, r, http.StatusBadRequest, "bad_request", err.Error())
+}
+
+func (s *ShardServer) writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck
+}
+
+func marshalJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("serve: marshal shard response: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// dedupeCache gives mutating shard endpoints exactly-once semantics per
+// request ID: the first arrival of an ID runs the handler and records its
+// response; concurrent or later arrivals (retries after a lost response)
+// wait for and replay the recorded bytes. Entries age out FIFO.
+type dedupeCache struct {
+	mu      sync.Mutex
+	max     int
+	order   []string
+	entries map[string]*dedupeEntry
+}
+
+type dedupeEntry struct {
+	done   chan struct{}
+	status int
+	resp   []byte
+}
+
+func newDedupeCache(max int) *dedupeCache {
+	return &dedupeCache{max: max, entries: make(map[string]*dedupeEntry)}
+}
+
+// do runs fn exactly once per key, replaying the recorded response for
+// duplicates. An empty key disables deduplication.
+func (c *dedupeCache) do(key string, hits *obs.Counter, fn func() (int, []byte)) (int, []byte) {
+	if key == "" {
+		return fn()
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if hits != nil {
+			hits.Inc()
+		}
+		return e.status, e.resp
+	}
+	e := &dedupeEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	for len(c.order) > c.max {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, old)
+	}
+	c.mu.Unlock()
+	e.status, e.resp = fn()
+	close(e.done)
+	return e.status, e.resp
+}

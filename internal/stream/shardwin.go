@@ -1,0 +1,314 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dod/internal/detect"
+	"dod/internal/errs"
+	"dod/internal/geom"
+	"dod/internal/index"
+	"dod/internal/obs"
+)
+
+// ShardWindow is one shard's slice of a cell-partitioned sliding window:
+// the resident points whose grid cells this shard owns, with the same
+// always-current exact neighbor counts a single-process Window maintains —
+// except that a point's neighbors may live on other shards.
+//
+// The paper's Lemma 3.1 makes this decomposition exact: a point's verdict
+// depends only on neighbor COUNTS from the bounded cell neighborhood, so
+// cross-shard effects reduce to count queries and count deltas — no point
+// data needs to be replicated. Every operation that would touch a foreign
+// cell is split: cells this shard owns (per the caller-supplied ownership
+// predicate) are processed against the local index exactly as Window
+// does, and the remaining cells are handed to a SupportFunc, which the
+// serving layer implements as codec-framed /v1/support calls to the
+// owning shards.
+//
+// Unlike Window, a ShardWindow has no capacity or TTL of its own:
+// eviction order is a property of the GLOBAL window, so the router tracks
+// the global FIFO and commands evictions by point ID. That keeps the
+// sharded tier's eviction sequence — and therefore every verdict flip —
+// bit-identical to the single-process reference.
+type ShardWindow struct {
+	cfg ShardConfig
+	ix  *index.Index
+	met *windowMetrics // nil when unobserved; shares dod_stream_* names
+
+	mu       sync.Mutex
+	entries  map[uint64]*entry
+	ingested uint64
+	evicted  uint64
+	outliers int
+	flipIn   uint64
+	flipOut  uint64
+}
+
+// ShardConfig parameterizes a ShardWindow. R, K and Dim must match the
+// router's topology exactly, or counts will disagree across shards.
+type ShardConfig struct {
+	R      float64
+	K      int
+	Dim    int
+	Shards int // index lock stripes, not serving shards
+	Obs    *obs.Registry
+}
+
+// SupportFunc resolves the foreign part of one neighborhood operation: it
+// must deliver (point, cells, delta, limit) to the shards owning those
+// cells and return the total neighbor count they report. Implementations
+// retry internally — a returned error is terminal for the operation.
+// Delta +1/-1 must be applied exactly once per call (the serving layer
+// uses request-ID idempotency to keep retries safe); delta 0 with
+// limit > 0 is a read-only count capped at limit.
+type SupportFunc func(p geom.Point, cells [][]int64, delta, limit int) (int, error)
+
+// OwnsFunc reports whether this shard owns a grid cell under the current
+// topology. The cell slice is only valid during the call.
+type OwnsFunc func(cell []int64) bool
+
+// NewShardWindow builds an empty shard window.
+func NewShardWindow(cfg ShardConfig) (*ShardWindow, error) {
+	if err := (detect.Params{R: cfg.R, K: cfg.K}).Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Dim < 1 {
+		return nil, errs.BadParams("shard window dimension must be >= 1, got %d", cfg.Dim)
+	}
+	ix, err := index.New(index.Config{Dim: cfg.Dim, R: cfg.R, Shards: cfg.Shards, Obs: cfg.Obs})
+	if err != nil {
+		return nil, err
+	}
+	sw := &ShardWindow{
+		cfg:     cfg,
+		ix:      ix,
+		entries: make(map[uint64]*entry),
+	}
+	if reg := cfg.Obs; reg != nil {
+		sw.met = &windowMetrics{
+			ingested: reg.Counter("dod_stream_ingested_total", "points admitted to the sliding window"),
+			evicted:  reg.Counter("dod_stream_evicted_total", "points expired from the sliding window"),
+			flipIn: reg.Counter("dod_stream_verdict_flips_total",
+				"verdict transitions caused by window churn", obs.L("direction", "outlier_to_inlier")),
+			flipOut: reg.Counter("dod_stream_verdict_flips_total",
+				"verdict transitions caused by window churn", obs.L("direction", "inlier_to_outlier")),
+		}
+		reg.GaugeFunc("dod_stream_window_points", "points currently resident in this shard's window slice",
+			func() float64 { sw.mu.Lock(); defer sw.mu.Unlock(); return float64(len(sw.entries)) })
+		reg.GaugeFunc("dod_stream_outliers", "current outliers in this shard's window slice",
+			func() float64 { sw.mu.Lock(); defer sw.mu.Unlock(); return float64(sw.outliers) })
+	}
+	return sw, nil
+}
+
+// Config returns the shard window configuration.
+func (sw *ShardWindow) Config() ShardConfig { return sw.cfg }
+
+// splitCells partitions p's neighborhood cells into owned and foreign,
+// copying coordinates (the enumeration reuses its scratch slice).
+func (sw *ShardWindow) splitCells(p geom.Point, owns OwnsFunc) (local, remote [][]int64) {
+	sw.ix.NeighborhoodCells(p, func(cell []int64) {
+		c := append([]int64(nil), cell...)
+		if owns == nil || owns(c) {
+			local = append(local, c)
+		} else {
+			remote = append(remote, c)
+		}
+	})
+	return local, remote
+}
+
+// applyLocalDelta visits p's neighbors in the given owned cells, adjusting
+// each resident neighbor's count by delta with the same flip rules
+// Window.Process and Window.evictOldest apply, and returns the neighbor
+// count found. Callers hold sw.mu.
+func (sw *ShardWindow) applyLocalDelta(p geom.Point, cells [][]int64, delta int) (int, error) {
+	return sw.ix.NeighborsInCells(p, cells, 0, func(q geom.Point) {
+		e := sw.entries[q.ID]
+		if e == nil {
+			return // the probe point itself is not yet (or no longer) resident
+		}
+		e.count += delta
+		switch {
+		case delta > 0 && e.outlier && e.count >= sw.cfg.K:
+			e.outlier = false
+			sw.outliers--
+			sw.flipIn++
+			if sw.met != nil {
+				sw.met.flipIn.Inc()
+			}
+		case delta < 0 && !e.outlier && e.count < sw.cfg.K:
+			e.outlier = true
+			sw.outliers++
+			sw.flipOut++
+			if sw.met != nil {
+				sw.met.flipOut.Inc()
+			}
+		}
+	})
+}
+
+// Admit ingests p as the global window's seq-th point. The router has
+// already evicted whatever the global capacity/TTL required, so Admit only
+// counts neighbors (local cells directly, foreign cells through support
+// with delta +1) and files the entry. The returned Verdict carries the
+// router-assigned global sequence number.
+func (sw *ShardWindow) Admit(p geom.Point, seq uint64, now time.Time, owns OwnsFunc, support SupportFunc) (Verdict, error) {
+	if p.Dim() != sw.cfg.Dim {
+		return Verdict{}, &errs.DimMismatchError{ID: p.ID, Got: p.Dim(), Want: sw.cfg.Dim}
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, dup := sw.entries[p.ID]; dup {
+		return Verdict{}, &errs.DuplicateIDError{ID: p.ID}
+	}
+	local, remote := sw.splitCells(p, owns)
+	n, err := sw.applyLocalDelta(p, local, +1)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if len(remote) > 0 && support != nil {
+		rn, err := support(p, remote, +1, 0)
+		if err != nil {
+			return Verdict{}, err
+		}
+		n += rn
+	}
+	if err := sw.ix.Insert(p.Clone()); err != nil {
+		return Verdict{}, err
+	}
+	sw.ingested++
+	if sw.met != nil {
+		sw.met.ingested.Inc()
+	}
+	e := &entry{pt: p.Clone(), seq: seq, arrived: now, count: n, outlier: n < sw.cfg.K}
+	if e.outlier {
+		sw.outliers++
+	}
+	sw.entries[p.ID] = e
+	return Verdict{ID: p.ID, Seq: seq, Neighbors: n, Outlier: e.outlier}, nil
+}
+
+// EvictByID expires the resident point with the given ID: its local
+// neighbors each lose a count (with inlier→outlier flips), foreign
+// neighbors lose theirs through support with delta -1, and the point
+// leaves the index. It reports whether the ID was resident.
+func (sw *ShardWindow) EvictByID(id uint64, owns OwnsFunc, support SupportFunc) (bool, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	victim := sw.entries[id]
+	if victim == nil {
+		return false, nil
+	}
+	local, remote := sw.splitCells(victim.pt, owns)
+	if _, err := sw.applyLocalDelta(victim.pt, local, -1); err != nil {
+		return false, err
+	}
+	if len(remote) > 0 && support != nil {
+		if _, err := support(victim.pt, remote, -1, 0); err != nil {
+			return false, err
+		}
+	}
+	sw.ix.Remove(victim.pt)
+	delete(sw.entries, id)
+	if victim.outlier {
+		sw.outliers--
+	}
+	sw.evicted++
+	if sw.met != nil {
+		sw.met.evicted.Inc()
+	}
+	return true, nil
+}
+
+// ApplySupport serves one boundary-support request from a peer shard (or a
+// read-only score probe from the router): count p's neighbors among the
+// given cells — all of which this shard should own — applying delta to
+// each matched resident's count with the usual flip rules. Delta 0 with
+// limit > 0 early-terminates the count at limit (scoring semantics,
+// matching Window.ScorePoint's NeighborCount cap).
+func (sw *ShardWindow) ApplySupport(p geom.Point, cells [][]int64, delta, limit int) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if delta == 0 {
+		return sw.ix.NeighborsInCells(p, cells, limit, nil)
+	}
+	return sw.applyLocalDelta(p, cells, delta)
+}
+
+// Export captures every resident entry in global-sequence order — the
+// drain/handoff payload. Counts travel verbatim: relocating a point never
+// changes anyone's neighbor relationships.
+func (sw *ShardWindow) Export() []ExportedEntry {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	out := make([]ExportedEntry, 0, len(sw.entries))
+	for _, e := range sw.entries {
+		out = append(out, ExportedEntry{
+			Point:   e.pt.Clone(),
+			Seq:     e.seq,
+			Arrived: e.arrived,
+			Count:   e.count,
+			Outlier: e.outlier,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Import adopts entries exported from another shard during drain/handoff,
+// inserting each point into the local index with its live bookkeeping
+// intact. Duplicate IDs fail the whole import.
+func (sw *ShardWindow) Import(entries []ExportedEntry) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for _, in := range entries {
+		if in.Point.Dim() != sw.cfg.Dim {
+			return &errs.DimMismatchError{ID: in.Point.ID, Got: in.Point.Dim(), Want: sw.cfg.Dim}
+		}
+		if _, dup := sw.entries[in.Point.ID]; dup {
+			return &errs.DuplicateIDError{ID: in.Point.ID}
+		}
+	}
+	for _, in := range entries {
+		if err := sw.ix.Insert(in.Point.Clone()); err != nil {
+			return err
+		}
+		e := &entry{pt: in.Point.Clone(), seq: in.Seq, arrived: in.Arrived, count: in.Count, outlier: in.Outlier}
+		sw.entries[in.Point.ID] = e
+		if e.outlier {
+			sw.outliers++
+		}
+	}
+	return nil
+}
+
+// ExportedEntry is one resident point with its live bookkeeping, as moved
+// between shards during drain/handoff and aggregated by the router for
+// whole-window snapshots.
+type ExportedEntry struct {
+	Point   geom.Point
+	Seq     uint64
+	Arrived time.Time
+	Count   int
+	Outlier bool
+}
+
+// Stats returns this shard slice's counters. Flip totals summed across
+// shards equal the single-process Window's flip totals on the same
+// stream — a cheap cross-check the property tests assert.
+func (sw *ShardWindow) Stats() Stats {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return Stats{
+		Len:       len(sw.entries),
+		Ingested:  sw.ingested,
+		Evicted:   sw.evicted,
+		Outliers:  sw.outliers,
+		FlipIn:    sw.flipIn,
+		FlipOut:   sw.flipOut,
+		Occupancy: sw.ix.ShardOccupancy(),
+	}
+}

@@ -1,0 +1,307 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"dod/internal/geom"
+)
+
+// shardHarness wires N ShardWindows together in-process: ownership is a
+// deterministic hash of the cell block, and support calls go straight to
+// the owning shard's ApplySupport — the protocol the HTTP tier implements
+// over the wire, minus the wire.
+type shardHarness struct {
+	t      *testing.T
+	shards map[string]*ShardWindow
+	names  []string
+	block  int64
+	// global FIFO metadata, as the router tracks it
+	fifo    []uint64
+	head    int
+	cells   map[uint64][]int64
+	coords  map[uint64]geom.Point
+	seq     uint64
+	evicted uint64
+}
+
+func newShardHarness(t *testing.T, n int, cfg ShardConfig, block int64) *shardHarness {
+	h := &shardHarness{t: t, shards: map[string]*ShardWindow{}, block: block,
+		cells: map[uint64][]int64{}, coords: map[uint64]geom.Point{}}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("s%d", i)
+		sw, err := NewShardWindow(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.shards[name] = sw
+		h.names = append(h.names, name)
+	}
+	return h
+}
+
+// owner deterministically assigns a cell's block to a shard by rendezvous
+// hashing, which shares the consistent-hash ring's key property: removing
+// a shard relocates only the blocks that shard owned.
+func (h *shardHarness) owner(cell []int64) string {
+	var blockHash uint64 = 14695981039346656037
+	for _, c := range cell {
+		b := c / h.block
+		if c%h.block != 0 && c < 0 {
+			b--
+		}
+		blockHash ^= uint64(b)
+		blockHash *= 1099511628211
+	}
+	best, bestW := "", uint64(0)
+	for _, name := range h.names {
+		w := blockHash
+		for _, ch := range []byte(name) {
+			w ^= uint64(ch)
+			w *= 1099511628211
+		}
+		if best == "" || w > bestW {
+			best, bestW = name, w
+		}
+	}
+	return best
+}
+
+func (h *shardHarness) ownsFor(name string) OwnsFunc {
+	return func(cell []int64) bool { return h.owner(cell) == name }
+}
+
+// support groups foreign cells by owner and applies them directly.
+func (h *shardHarness) support(p geom.Point, cells [][]int64, delta, limit int) (int, error) {
+	byOwner := map[string][][]int64{}
+	for _, c := range cells {
+		o := h.owner(c)
+		byOwner[o] = append(byOwner[o], c)
+	}
+	total := 0
+	for o, cs := range byOwner {
+		n, err := h.shards[o].ApplySupport(p, cs, delta, limit)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	return total, nil
+}
+
+// process mimics the router's serialized ingest: capacity evictions first
+// (global FIFO order), then route-by-cell and admit.
+func (h *shardHarness) process(p geom.Point, capacity int, now time.Time) (Verdict, error) {
+	evictions := 0
+	for capacity > 0 && len(h.fifo)-h.head >= capacity {
+		id := h.fifo[h.head]
+		h.head++
+		owner := h.owner(h.cells[id])
+		ok, err := h.shards[owner].EvictByID(id, h.ownsFor(owner), h.support)
+		if err != nil {
+			return Verdict{}, err
+		}
+		if !ok {
+			h.t.Fatalf("evict %d: not resident on %s", id, owner)
+		}
+		delete(h.cells, id)
+		delete(h.coords, id)
+		h.evicted++
+		evictions++
+	}
+	anyShard := h.shards[h.names[0]]
+	cell := anyShard.ix.CellCoords(p)
+	owner := h.owner(cell)
+	h.seq++
+	v, err := h.shards[owner].Admit(p, h.seq, now, h.ownsFor(owner), h.support)
+	if err != nil {
+		h.seq--
+		return Verdict{}, err
+	}
+	h.fifo = append(h.fifo, p.ID)
+	h.cells[p.ID] = append([]int64(nil), cell...)
+	h.coords[p.ID] = p
+	v.Evicted = evictions
+	return v, nil
+}
+
+// outlierIDs aggregates the current outlier set across shards.
+func (h *shardHarness) outlierIDs() []uint64 {
+	var ids []uint64
+	for _, sw := range h.shards {
+		for _, e := range sw.Export() {
+			if e.Outlier {
+				ids = append(ids, e.Point.ID)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TestShardWindowMatchesWindow streams random points through 1-, 2- and
+// 4-shard harnesses and a single-process Window with the same capacity,
+// asserting every verdict, every score, the final outlier set, and the
+// summed flip counters are identical.
+func TestShardWindowMatchesWindow(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		for _, seed := range []int64{1, 2} {
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				const (
+					r        = 1.2
+					k        = 3
+					capacity = 120
+					n        = 500
+				)
+				rng := rand.New(rand.NewSource(seed))
+				ref, err := NewWindow(Config{R: r, K: k, Dim: 2, Capacity: capacity})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := newShardHarness(t, shards, ShardConfig{R: r, K: k, Dim: 2}, 4)
+				base := time.Unix(1700000000, 0)
+				for i := 0; i < n; i++ {
+					p := geom.Point{ID: uint64(i + 1), Coords: []float64{
+						rng.Float64() * 12, rng.Float64() * 12,
+					}}
+					now := base.Add(time.Duration(i) * time.Millisecond)
+					want, err := ref.Process(p, now)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := h.process(p, capacity, now)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("point %d: sharded verdict %+v != reference %+v", p.ID, got, want)
+					}
+					// Interleave read-only scores of random probe points.
+					if i%7 == 0 {
+						q := geom.Point{ID: 1_000_000 + uint64(i), Coords: []float64{
+							rng.Float64() * 12, rng.Float64() * 12,
+						}}
+						wantSc, err := ref.ScorePoint(q)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cellProbe := h.shards[h.names[0]].ix
+						var cells [][]int64
+						cellProbe.NeighborhoodCells(q, func(c []int64) {
+							cells = append(cells, append([]int64(nil), c...))
+						})
+						gotN, err := h.support(q, cells, 0, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if gotN != wantSc.Neighbors || (gotN < k) != wantSc.Outlier {
+							t.Fatalf("score %d: sharded %d != reference %+v", q.ID, gotN, wantSc)
+						}
+					}
+				}
+				// Final window state: identical outlier sets and flip totals.
+				snap := ref.Snapshot()
+				gotIDs := h.outlierIDs()
+				if len(gotIDs) != len(snap.OutlierIDs) {
+					t.Fatalf("outlier sets differ: sharded %d vs reference %d", len(gotIDs), len(snap.OutlierIDs))
+				}
+				for i := range gotIDs {
+					if gotIDs[i] != snap.OutlierIDs[i] {
+						t.Fatalf("outlier ID %d: %d != %d", i, gotIDs[i], snap.OutlierIDs[i])
+					}
+				}
+				refStats := ref.Stats()
+				var flipIn, flipOut, lenSum uint64
+				for _, sw := range h.shards {
+					st := sw.Stats()
+					flipIn += st.FlipIn
+					flipOut += st.FlipOut
+					lenSum += uint64(st.Len)
+				}
+				if flipIn != refStats.FlipIn || flipOut != refStats.FlipOut {
+					t.Fatalf("flips: sharded (%d,%d) != reference (%d,%d)",
+						flipIn, flipOut, refStats.FlipIn, refStats.FlipOut)
+				}
+				if int(lenSum) != refStats.Len {
+					t.Fatalf("resident count: sharded %d != reference %d", lenSum, refStats.Len)
+				}
+			})
+		}
+	}
+}
+
+// TestShardWindowHandoff drains one shard mid-stream, imports its entries
+// into the survivors under a changed ownership map, and checks the stream
+// still matches the reference bit-for-bit afterwards.
+func TestShardWindowHandoff(t *testing.T) {
+	const (
+		r        = 1.0
+		k        = 3
+		capacity = 80
+		n        = 400
+	)
+	rng := rand.New(rand.NewSource(7))
+	ref, err := NewWindow(Config{R: r, K: k, Dim: 2, Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newShardHarness(t, 3, ShardConfig{R: r, K: k, Dim: 2}, 4)
+	base := time.Unix(1700000000, 0)
+	feed := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := geom.Point{ID: uint64(i + 1), Coords: []float64{rng.Float64() * 10, rng.Float64() * 10}}
+			now := base.Add(time.Duration(i) * time.Millisecond)
+			want, err := ref.Process(p, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := h.process(p, capacity, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("point %d: %+v != %+v", p.ID, got, want)
+			}
+		}
+	}
+	feed(0, n/2)
+
+	// Drain shard s2: move its entries to the shard owning them after s2
+	// leaves the ownership map.
+	victim := "s2"
+	exported := h.shards[victim].Export()
+	h.names = []string{"s0", "s1"} // new topology: owner() no longer maps to s2
+	byOwner := map[string][]ExportedEntry{}
+	for _, e := range exported {
+		cell := h.cells[e.Point.ID]
+		byOwner[h.owner(cell)] = append(byOwner[h.owner(cell)], e)
+	}
+	for o, entries := range byOwner {
+		if o == victim {
+			t.Fatalf("cell still owned by drained shard")
+		}
+		if err := h.shards[o].Import(entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delete(h.shards, victim)
+
+	feed(n/2, n)
+
+	snap := ref.Snapshot()
+	gotIDs := h.outlierIDs()
+	if len(gotIDs) != len(snap.OutlierIDs) {
+		t.Fatalf("outlier sets differ after handoff: %d vs %d", len(gotIDs), len(snap.OutlierIDs))
+	}
+	for i := range gotIDs {
+		if gotIDs[i] != snap.OutlierIDs[i] {
+			t.Fatalf("outlier ID %d after handoff: %d != %d", i, gotIDs[i], snap.OutlierIDs[i])
+		}
+	}
+}

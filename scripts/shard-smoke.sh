@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Multi-shard loopback smoke: a dodroute router over 3 real dodserve shard
+# processes must produce an ingest verdict stream byte-identical to one
+# single-process dodserve fed the same seeded workload — including across a
+# mid-stream drain of one shard, whose process is then killed.
+#
+# Usage: scripts/shard-smoke.sh [BIN_DIR]
+# BIN_DIR must hold dodserve and dodroute (default: ./bin).
+set -euo pipefail
+
+BIN=${1:-bin}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+R=1.2 K=3 DIM=2 WINDOW=400
+
+# wait_addr LOGFILE: block until the process announces its bound address on
+# stdout ("...: listening on HOST:PORT") and print a dialable 127.0.0.1 URL.
+wait_addr() {
+  local log=$1 addr=
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*: listening on //p' "$log" | head -n1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "no listen line in $log" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  echo "http://127.0.0.1:${addr##*:}"
+}
+
+# Seeded deterministic workload: two NDJSON halves (the drain happens in
+# between), with malformed lines and duplicate IDs mixed in so the error
+# paths are compared too.
+python3 - "$WORK" <<'EOF'
+import random, sys
+random.seed(42)
+work = sys.argv[1]
+next_id = 0
+for part in (1, 2):
+    with open(f"{work}/part{part}.ndjson", "w") as f:
+        for _ in range(600):
+            global_roll = random.random()
+            if global_roll < 0.02:
+                f.write("{oops\n")
+            elif global_roll < 0.05 and next_id > 10:
+                dup = next_id - random.randrange(1, 10)
+                f.write('{"id":%d,"coords":[%.6f,%.6f]}\n'
+                        % (dup, random.uniform(0, 12), random.uniform(0, 12)))
+            else:
+                next_id += 1
+                f.write('{"id":%d,"coords":[%.6f,%.6f]}\n'
+                        % (next_id, random.uniform(0, 12), random.uniform(0, 12)))
+EOF
+
+# Reference: one single-process dodserve holding the whole window.
+"$BIN/dodserve" -addr :0 -r $R -k $K -dim $DIM -window $WINDOW \
+  >"$WORK/ref.log" 2>"$WORK/ref.err" &
+REF_URL=$(wait_addr "$WORK/ref.log")
+
+# Three shard processes.
+SHARD_ARGS=""
+declare -A SHARD_PID
+for i in 0 1 2; do
+  "$BIN/dodserve" -addr :0 -shard -shard-name "s$i" -r $R -k $K -dim $DIM \
+    >"$WORK/s$i.log" 2>"$WORK/s$i.err" &
+  SHARD_PID[$i]=$!
+  URL=$(wait_addr "$WORK/s$i.log")
+  SHARD_ARGS="${SHARD_ARGS:+$SHARD_ARGS,}s$i=$URL"
+done
+
+# The router in front (block 2 keeps shard boundaries dense, maximizing
+# cross-shard support traffic).
+"$BIN/dodroute" -addr :0 -r $R -k $K -dim $DIM -window $WINDOW \
+  -shards "$SHARD_ARGS" -block 2 \
+  >"$WORK/route.log" 2>"$WORK/route.err" &
+ROUTE_URL=$(wait_addr "$WORK/route.log")
+
+post() { # post URL FILE OUT
+  curl -sS --fail-with-body -X POST --data-binary @"$2" "$1/v1/ingest" >>"$3"
+}
+
+echo "smoke: part 1 (${#SHARD_PID[@]} shards)"
+post "$REF_URL" "$WORK/part1.ndjson" "$WORK/ref.out"
+post "$ROUTE_URL" "$WORK/part1.ndjson" "$WORK/route.out"
+
+echo "smoke: draining shard s1, then killing its process"
+curl -sS --fail-with-body -X POST "$ROUTE_URL/v1/drain?shard=s1"
+echo
+kill "${SHARD_PID[1]}"
+wait "${SHARD_PID[1]}" 2>/dev/null || true
+
+echo "smoke: part 2 (s1 gone)"
+post "$REF_URL" "$WORK/part2.ndjson" "$WORK/ref.out"
+post "$ROUTE_URL" "$WORK/part2.ndjson" "$WORK/route.out"
+
+diff "$WORK/ref.out" "$WORK/route.out"
+echo "smoke: verdict streams byte-identical ($(wc -l <"$WORK/ref.out") lines)"
