@@ -1,0 +1,237 @@
+package dod
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestBatchOfRoundTrip(t *testing.T) {
+	pts := testDataset(200, 11)
+	b, err := BatchOf(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(pts))
+	}
+	for i, p := range pts {
+		if got := b.At(i); !reflect.DeepEqual(got, p) {
+			t.Fatalf("At(%d) = %v, want %v", i, got, p)
+		}
+	}
+}
+
+func TestBatchOfDimMismatch(t *testing.T) {
+	pts := []Point{
+		{ID: 1, Coords: []float64{1, 2}},
+		{ID: 2, Coords: []float64{1, 2, 3}},
+	}
+	_, err := BatchOf(pts)
+	if !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("err = %v, want ErrDimMismatch", err)
+	}
+	var dm *DimMismatchError
+	if !errors.As(err, &dm) || dm.ID != 2 || dm.Got != 3 || dm.Want != 2 {
+		t.Fatalf("err = %#v, want DimMismatchError{ID:2 Got:3 Want:2}", err)
+	}
+}
+
+func TestBatchAppend(t *testing.T) {
+	var b Batch
+	if err := b.Append(Point{ID: 1, Coords: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim != 3 {
+		t.Fatalf("Dim = %d, want 3 after first Append", b.Dim)
+	}
+	if err := b.Append(Point{ID: 2, Coords: []float64{4, 5}}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("mismatched Append err = %v, want ErrDimMismatch", err)
+	}
+	if b.Len() != 1 || len(b.Coords) != 3 {
+		t.Fatalf("failed Append mutated the batch: %+v", b)
+	}
+}
+
+// TestDetectBatchMatchesCentralized pins the tentpole's core contract: the
+// columnar parallel entry point produces exactly DetectCentralized's
+// answer for every detector that has a tiled kernel, and for the ones that
+// fall back to the sequential path.
+func TestDetectBatchMatchesCentralized(t *testing.T) {
+	pts := testDataset(900, 17)
+	b, err := BatchOf(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Detector{BruteForce, NestedLoop, CellBased, CellBasedL2, KDTree} {
+		want, err := DetectCentralized(pts, d, 5, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		got, err := DetectBatch(b, d, 5, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: DetectBatch = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestDetectBatchValidation(t *testing.T) {
+	good, err := BatchOf(testDataset(50, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DetectBatch(nil, CellBased, 5, 4); !errors.Is(err, ErrEmptyDataset) {
+		t.Errorf("nil batch: err = %v, want ErrEmptyDataset", err)
+	}
+	if _, err := DetectBatch(&Batch{}, CellBased, 5, 4); !errors.Is(err, ErrEmptyDataset) {
+		t.Errorf("empty batch: err = %v, want ErrEmptyDataset", err)
+	}
+	if _, err := DetectBatch(good, CellBased, -1, 4); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad R: err = %v, want ErrBadParams", err)
+	}
+	if _, err := DetectBatch(good, CellBased, 5, 0); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad K: err = %v, want ErrBadParams", err)
+	}
+
+	ragged := &Batch{Dim: 2, IDs: []uint64{1, 2}, Coords: []float64{1, 2, 3}}
+	if _, err := DetectBatch(ragged, CellBased, 5, 4); !errors.Is(err, ErrBadParams) {
+		t.Errorf("ragged coords: err = %v, want ErrBadParams", err)
+	}
+
+	dup := &Batch{Dim: 2, IDs: []uint64{1, 2, 1}, Coords: make([]float64, 6)}
+	_, err = DetectBatch(dup, CellBased, 5, 4)
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("dup IDs: err = %v, want ErrDuplicateID", err)
+	}
+	var de *DuplicateIDError
+	if !errors.As(err, &de) || de.ID != 1 {
+		t.Errorf("dup IDs: err = %#v, want DuplicateIDError{ID:1}", err)
+	}
+}
+
+// TestDetectCentralizedSharedValidation pins satellite 1: the centralized
+// wrapper rejects inputs through the same shared Config/validatePoints
+// path as every other entry point, with stable error identities.
+func TestDetectCentralizedSharedValidation(t *testing.T) {
+	pts := testDataset(50, 29)
+	if _, err := DetectCentralized(pts, CellBased, 0, 4); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad R: err = %v, want ErrBadParams", err)
+	}
+	if _, err := DetectCentralized(pts, CellBased, 5, -2); !errors.Is(err, ErrBadParams) {
+		t.Errorf("bad K: err = %v, want ErrBadParams", err)
+	}
+	if _, err := DetectCentralized(nil, CellBased, 5, 4); !errors.Is(err, ErrEmptyDataset) {
+		t.Errorf("empty: err = %v, want ErrEmptyDataset", err)
+	}
+	dup := append(testDataset(20, 31), Point{ID: 0, Coords: []float64{1, 1}})
+	_, err := DetectCentralized(dup, CellBased, 5, 4)
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("dup: err = %v, want ErrDuplicateID", err)
+	}
+	var de *DuplicateIDError
+	if !errors.As(err, &de) || de.ID != 0 {
+		t.Errorf("dup: err = %#v, want DuplicateIDError{ID:0}", err)
+	}
+}
+
+func TestBatchResultErr(t *testing.T) {
+	res := &BatchResult{Errs: []error{nil, nil, nil}}
+	if err := res.Err(); err != nil {
+		t.Fatalf("all-nil Err() = %v, want nil", err)
+	}
+	if !res.Ok(1) {
+		t.Error("Ok(1) = false for nil slot")
+	}
+	res = &BatchResult{Errs: []error{nil, &DuplicateIDError{ID: 7}, ErrClosed}}
+	err := res.Err()
+	if err == nil {
+		t.Fatal("Err() = nil with failed slots")
+	}
+	if !errors.Is(err, ErrDuplicateID) || !errors.Is(err, ErrClosed) {
+		t.Errorf("joined Err() = %v; want it to match both ErrDuplicateID and ErrClosed", err)
+	}
+	var de *DuplicateIDError
+	if !errors.As(err, &de) || de.ID != 7 {
+		t.Errorf("joined Err() = %#v; errors.As should recover DuplicateIDError{ID:7}", err)
+	}
+	if res.Ok(1) || !res.Ok(0) {
+		t.Error("Ok slots disagree with Errs")
+	}
+}
+
+// TestStreamDetectorBatchesMatchSingles checks the public batch methods
+// against their one-point counterparts: same verdicts and scores, same
+// per-item error identities, for an interleaving of good and bad items.
+func TestStreamDetectorBatchesMatchSingles(t *testing.T) {
+	mk := func() *StreamDetector {
+		d, err := NewStreamDetector(StreamConfig{R: 5, K: 3, Dim: 2, WindowCapacity: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	pts := testDataset(80, 37)
+	pts = append(pts, Point{ID: 0, Coords: []float64{9, 9}})        // duplicate ID
+	pts = append(pts, Point{ID: 91000, Coords: []float64{1, 2, 3}}) // wrong dim
+
+	ref, batch := mk(), mk()
+	now := time.Unix(1700000000, 0)
+
+	var wantV []StreamVerdict
+	var wantE []error
+	for _, p := range pts {
+		v, err := ref.ProcessAt(p, now)
+		wantV = append(wantV, v)
+		wantE = append(wantE, err)
+	}
+	res := batch.ProcessBatchAt(pts, now)
+	if !reflect.DeepEqual(res.Verdicts, wantV) {
+		t.Error("ProcessBatchAt verdicts diverge from per-point ProcessAt")
+	}
+	for i := range wantE {
+		if (res.Errs[i] == nil) != (wantE[i] == nil) {
+			t.Fatalf("slot %d: batch err %v, single err %v", i, res.Errs[i], wantE[i])
+		}
+		if wantE[i] != nil && res.Errs[i].Error() != wantE[i].Error() {
+			t.Errorf("slot %d: batch err %q, single err %q", i, res.Errs[i], wantE[i])
+		}
+	}
+	if !errors.Is(res.Err(), ErrDuplicateID) || !errors.Is(res.Err(), ErrDimMismatch) {
+		t.Errorf("joined Err() = %v; want ErrDuplicateID and ErrDimMismatch", res.Err())
+	}
+
+	queries := append([]Point{}, pts[:40]...)
+	queries = append(queries, Point{ID: 92000, Coords: []float64{1}}) // wrong dim
+	sres := batch.ScoreBatch(queries)
+	for i, q := range queries {
+		s, err := ref.Score(q)
+		if (sres.Errs[i] == nil) != (err == nil) {
+			t.Fatalf("score slot %d: batch err %v, single err %v", i, sres.Errs[i], err)
+		}
+		if err == nil && !reflect.DeepEqual(sres.Scores[i], s) {
+			t.Errorf("score slot %d: batch %v, single %v", i, sres.Scores[i], s)
+		}
+	}
+
+	if err := batch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	closed := batch.ProcessBatch(pts[:3])
+	for i := range closed.Errs {
+		if !errors.Is(closed.Errs[i], ErrClosed) {
+			t.Fatalf("closed slot %d: err = %v, want ErrClosed", i, closed.Errs[i])
+		}
+	}
+}
+
+func TestBatchTooLargeReexport(t *testing.T) {
+	err := error(&BatchTooLargeError{Limit: 10})
+	if !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("BatchTooLargeError does not match ErrBatchTooLarge: %v", err)
+	}
+}

@@ -35,8 +35,14 @@ type benchFile struct {
 	MaxProcs  int            `json:"gomaxprocs"`
 	Params    benchParams    `json:"params"`
 	Kernels   []kernelRecord `json:"kernels"`
-	Pipeline  pipelineRecord `json:"pipeline"`
-	Dist      distRecord     `json:"dist"`
+	// Parallel re-measures the tiled kernels at GOMAXPROCS workers via
+	// detect.DetectSetParallel; speedup_vs_seq compares against the
+	// sequential record of the same case in Kernels. On a single-core
+	// machine the section still appears (speedup ≈ 1), so the schema is
+	// stable across hardware.
+	Parallel []parallelRecord `json:"parallel"`
+	Pipeline pipelineRecord   `json:"pipeline"`
+	Dist     distRecord       `json:"dist"`
 }
 
 type benchParams struct {
@@ -57,6 +63,15 @@ type kernelRecord struct {
 	DistComps    int64   `json:"dist_comps"` // per detection pass
 	Outliers     int     `json:"outliers"`   // result size (sanity anchor)
 	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+// parallelRecord is a kernelRecord measured through the tiled parallel
+// entry point, plus the worker count and the speedup over the sequential
+// measurement of the same case.
+type parallelRecord struct {
+	kernelRecord
+	Workers int     `json:"workers"`
+	Speedup float64 `json:"speedup_vs_seq"`
 }
 
 // pipelineRecord is one traced end-to-end core.Run.
@@ -162,6 +177,107 @@ func measureKernel(c benchCase) kernelRecord {
 		rec.PointsPerSec = float64(c.n) * 1e9 / float64(nsPerOp)
 	}
 	return rec
+}
+
+// parallelBenchCases is the subset of jsonBenchCases with tiled kernels —
+// the ones DetectSetParallel actually spreads across workers.
+func parallelBenchCases() []benchCase {
+	var out []benchCase
+	for _, c := range jsonBenchCases() {
+		switch c.kind {
+		case detect.BruteForce, detect.NestedLoop, detect.CellBased, detect.CellBasedL2:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// measureKernelParallel benchmarks one tiled kernel at the given worker
+// count. seqNs is the sequential ns/op of the same case, for the speedup
+// ratio; the deterministic counters (DistComps, Outliers) are asserted
+// identical to the sequential pass, so a drifting tile merge shows up in
+// the committed artifact as well as in tests.
+func measureKernelParallel(c benchCase, workers int, seqNs int64) parallelRecord {
+	pts := c.pts()
+	set := geom.PointSetOf(pts)
+	d := detect.New(c.kind, 7)
+	seqRef := detect.DetectSet(d, set, set.Len(), jsonParams)
+	ref := detect.DetectSetParallel(d, set, set.Len(), jsonParams, workers)
+	if ref.Stats.DistComps != seqRef.Stats.DistComps || len(ref.OutlierIDs) != len(seqRef.OutlierIDs) {
+		// The parallel kernels are contractually bit-identical; refuse to
+		// record a baseline that violates it.
+		panic(fmt.Sprintf("%s: parallel result diverged from sequential", c.name))
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			detect.DetectSetParallel(d, set, set.Len(), jsonParams, workers)
+		}
+	})
+	nsPerOp := res.NsPerOp()
+	rec := parallelRecord{
+		kernelRecord: kernelRecord{
+			Name:        c.name,
+			Detector:    c.kind.String(),
+			N:           c.n,
+			Dim:         c.dim,
+			Iters:       res.N,
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			DistComps:   ref.Stats.DistComps,
+			Outliers:    len(ref.OutlierIDs),
+		},
+		Workers: workers,
+	}
+	if nsPerOp > 0 {
+		rec.PointsPerSec = float64(c.n) * 1e9 / float64(nsPerOp)
+		rec.Speedup = float64(seqNs) / float64(nsPerOp)
+	}
+	return rec
+}
+
+// runParCheck is the CI speedup gate: it benchmarks the Cell-Based kernel
+// sequentially and tiled at GOMAXPROCS workers, verifies bit-identity, and
+// fails if the parallel/sequential throughput ratio falls below min. CI
+// runs it at GOMAXPROCS=1 (min ~0.9: tiling must never cost much when
+// there is nothing to parallelize) and GOMAXPROCS=4 (min ~2: the tiles
+// must actually scale).
+func runParCheck(n int, min float64) error {
+	workers := runtime.GOMAXPROCS(0)
+	pts := synth.Segment(synth.Massachusetts, n, 3)
+	set := geom.PointSetOf(pts)
+	d := detect.New(detect.CellBased, 7)
+
+	seqRef := detect.DetectSet(d, set, set.Len(), jsonParams)
+	parRef := detect.DetectSetParallel(d, set, set.Len(), jsonParams, workers)
+	if len(seqRef.OutlierIDs) != len(parRef.OutlierIDs) || seqRef.Stats != parRef.Stats {
+		return fmt.Errorf("parcheck: parallel result diverged from sequential (seq %d outliers %+v, par %d outliers %+v)",
+			len(seqRef.OutlierIDs), seqRef.Stats, len(parRef.OutlierIDs), parRef.Stats)
+	}
+	for i := range seqRef.OutlierIDs {
+		if seqRef.OutlierIDs[i] != parRef.OutlierIDs[i] {
+			return fmt.Errorf("parcheck: outlier %d differs: seq %d, par %d", i, seqRef.OutlierIDs[i], parRef.OutlierIDs[i])
+		}
+	}
+
+	seq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			detect.DetectSet(d, set, set.Len(), jsonParams)
+		}
+	})
+	par := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			detect.DetectSetParallel(d, set, set.Len(), jsonParams, workers)
+		}
+	})
+	ratio := float64(seq.NsPerOp()) / float64(par.NsPerOp())
+	fmt.Printf("dodbench: parcheck GOMAXPROCS=%d n=%d seq=%v/op par=%v/op ratio=%.2f min=%.2f\n",
+		workers, n, time.Duration(seq.NsPerOp()), time.Duration(par.NsPerOp()), ratio, min)
+	if ratio < min {
+		return fmt.Errorf("parcheck: parallel/sequential ratio %.2f below minimum %.2f at GOMAXPROCS=%d", ratio, min, workers)
+	}
+	return nil
 }
 
 // measurePipeline runs one canonical distributed detection (DMT planner,
@@ -316,9 +432,17 @@ func runJSONBench(cfg benchRunConfig, path string) error {
 		MaxProcs:  runtime.GOMAXPROCS(0),
 		Params:    benchParams{R: jsonParams.R, K: jsonParams.K},
 	}
+	seqNs := map[string]int64{}
 	for _, c := range jsonBenchCases() {
 		fmt.Fprintf(os.Stderr, "dodbench: measuring %s\n", c.name)
-		doc.Kernels = append(doc.Kernels, measureKernel(c))
+		rec := measureKernel(c)
+		seqNs[c.name] = rec.NsPerOp
+		doc.Kernels = append(doc.Kernels, rec)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	for _, c := range parallelBenchCases() {
+		fmt.Fprintf(os.Stderr, "dodbench: measuring %s (parallel, %d workers)\n", c.name, workers)
+		doc.Parallel = append(doc.Parallel, measureKernelParallel(c, workers, seqNs[c.name]))
 	}
 	fmt.Fprintf(os.Stderr, "dodbench: measuring pipeline (%d points, %d reducers)\n", cfg.points, cfg.reducers)
 	pipe, err := measurePipeline(cfg)

@@ -8,6 +8,7 @@
 //	dodbench -segment-n 60000 -base-n 8000 -reducers 8 -seed 1
 //	dodbench -json BENCH.json      # machine-readable kernel + pipeline benchmarks
 //	dodbench -json - -cpuprofile cpu.pprof
+//	dodbench -parcheck -parcheck-min 2  # gate: parallel kernel >= 2x sequential
 //
 // Larger -segment-n / -base-n values reduce the laptop-scale artifacts
 // discussed in EXPERIMENTS.md at the price of longer runs.
@@ -72,6 +73,9 @@ func main() {
 	)
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV (figure,series,x,y) instead of tables")
 	jsonOut := flag.String("json", "", "run the benchmark suite instead of figures and write JSON records to this file (- for stdout)")
+	parCheck := flag.Bool("parcheck", false, "benchmark the parallel Cell-Based kernel against the sequential one at GOMAXPROCS workers, verify bit-identity, and exit nonzero if the speedup ratio is below -parcheck-min")
+	parCheckMin := flag.Float64("parcheck-min", 0, "minimum parallel/sequential throughput ratio for -parcheck")
+	parCheckN := flag.Int("parcheck-n", 8000, "dataset size for -parcheck")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Var(&figs, "fig", "figure to run (4, 5, 7a, 7b, 8a, 8b, 9a, 9b, 10a, 10b, g=generality); repeatable; default all")
@@ -105,6 +109,13 @@ func main() {
 				fail(err)
 			}
 		}()
+	}
+
+	if *parCheck {
+		if err := runParCheck(*parCheckN, *parCheckMin); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *jsonOut != "" {

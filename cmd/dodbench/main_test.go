@@ -54,6 +54,41 @@ func TestMeasureDist(t *testing.T) {
 	}
 }
 
+// TestMeasureKernelParallel checks the parallel bench record at test
+// scale: the deterministic counters must match the sequential case, and
+// the speedup field must be derived from the supplied sequential ns/op.
+func TestMeasureKernelParallel(t *testing.T) {
+	var c benchCase
+	for _, cand := range parallelBenchCases() {
+		if cand.n == 2000 {
+			c = cand
+			break
+		}
+	}
+	if c.name == "" {
+		t.Fatal("no small parallel bench case found")
+	}
+	seq := measureKernel(c)
+	rec := measureKernelParallel(c, 2, seq.NsPerOp)
+	if rec.Workers != 2 {
+		t.Errorf("workers = %d, want 2", rec.Workers)
+	}
+	if rec.DistComps != seq.DistComps || rec.Outliers != seq.Outliers {
+		t.Errorf("deterministic counters diverge: parallel %+v, sequential %+v", rec, seq)
+	}
+	if rec.Speedup <= 0 {
+		t.Errorf("speedup not recorded: %+v", rec)
+	}
+}
+
+// TestRunParCheck runs the CI gate at test scale with no minimum: it must
+// verify bit-identity and report a ratio without failing.
+func TestRunParCheck(t *testing.T) {
+	if err := runParCheck(1500, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFigListFlag(t *testing.T) {
 	var f figList
 	if err := f.Set("4"); err != nil {

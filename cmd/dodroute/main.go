@@ -58,7 +58,7 @@ func main() {
 		shards        = flag.String("shards", "", "comma-separated shard list, name=url pairs or bare URLs (required)")
 		block         = flag.Int("block", 0, "ownership block side in cells (0 = default)")
 		vnodes        = flag.Int("vnodes", 0, "virtual nodes per shard on the ring (0 = default)")
-		maxBatch      = flag.Int("max-batch", 0, "max NDJSON lines per request (0 = default)")
+		maxBatch      = flag.Int("max-batch", 0, "max NDJSON lines per request; beyond it the whole request is rejected with 400 batch_too_large (0 = default)")
 		maxBody       = flag.Int64("max-body-bytes", 0, "max request body bytes before 413 (0 = default 64 MiB)")
 		tenantRPS     = flag.Float64("tenant-rps", 0, "per-tenant request rate limit (0 = unlimited)")
 		tenantBurst   = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = 1)")

@@ -64,7 +64,7 @@ func main() {
 		ttl      = flag.Duration("ttl", 0, "window age horizon (0 = none; then -window is required)")
 		shards   = flag.Int("shards", 0, "index shard count (0 = default)")
 		workers  = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
-		maxBatch = flag.Int("max-batch", 0, "max NDJSON lines per request (0 = default)")
+		maxBatch = flag.Int("max-batch", 0, "max NDJSON lines per request; beyond it the whole request is rejected with 400 batch_too_large (0 = default)")
 		inflight = flag.Int("max-inflight", 0, "max concurrently admitted batch requests before 429 shedding (0 = 2x workers)")
 		maxBody  = flag.Int64("max-body-bytes", 0, "max request body bytes before 413 (0 = default 64 MiB)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")

@@ -285,10 +285,13 @@ func DetectContext(ctx context.Context, points []Point, cfg Config) (*Result, er
 
 // DetectCentralized runs one centralized detector on a single machine with
 // no partitioning — the right choice for small datasets and the reference
-// for the distributed path.
+// for the distributed path. It is a thin wrapper over the same parameter
+// and dataset validation Detect uses: bad parameters match ErrBadParams,
+// an empty dataset is ErrEmptyDataset, and duplicate IDs are
+// ErrDuplicateID, exactly as for every other entry point.
 func DetectCentralized(points []Point, detector Detector, r float64, k int) ([]uint64, error) {
-	params := detect.Params{R: r, K: k}
-	if err := params.Validate(); err != nil {
+	params, err := Config{R: r, K: k}.params()
+	if err != nil {
 		return nil, err
 	}
 	if err := validatePoints(points); err != nil {
@@ -320,10 +323,21 @@ func validatePoints(points []Point) error {
 	return nil
 }
 
-// toCore translates the public config into the driver config.
-func (cfg Config) toCore() (core.Config, error) {
+// params validates and returns the detection parameters. Every public
+// entry point — Detect, DetectCentralized, DetectBatch — funnels its R/K
+// validation through here so they reject bad parameters identically.
+func (cfg Config) params() (detect.Params, error) {
 	params := detect.Params{R: cfg.R, K: cfg.K}
 	if err := params.Validate(); err != nil {
+		return detect.Params{}, err
+	}
+	return params, nil
+}
+
+// toCore translates the public config into the driver config.
+func (cfg Config) toCore() (core.Config, error) {
+	params, err := cfg.params()
+	if err != nil {
 		return core.Config{}, err
 	}
 	strategy := cfg.Strategy

@@ -34,6 +34,12 @@ var (
 	// layer sheds load: its admission queue is full, and rejecting fast
 	// beats queueing into a timeout. Back off and retry.
 	ErrOverloaded = errs.ErrOverloaded
+	// ErrBatchTooLarge is returned (and served as HTTP 400
+	// "batch_too_large") when one request batch exceeds the serving layer's
+	// configured line limit. Unlike ErrOverloaded it is not retryable
+	// as-is: the client must split the batch. The concrete error is a
+	// *BatchTooLargeError carrying the limit (use errors.As).
+	ErrBatchTooLarge = errs.ErrBatchTooLarge
 )
 
 // DuplicateIDError is the concrete error behind ErrDuplicateID; it carries
@@ -43,3 +49,7 @@ type DuplicateIDError = errs.DuplicateIDError
 // DimMismatchError is the concrete error behind ErrDimMismatch; it carries
 // the offending point's ID and the got/want dimensions.
 type DimMismatchError = errs.DimMismatchError
+
+// BatchTooLargeError is the concrete error behind ErrBatchTooLarge; it
+// carries the serving layer's configured batch line limit.
+type BatchTooLargeError = errs.BatchTooLargeError

@@ -58,9 +58,29 @@ type cellIndex struct {
 	cells     []int
 	cellStart []int32
 
-	// Neighborhood iteration scratch (one odometer per index, so block
-	// scans allocate nothing).
-	nbIdx, nbLo, nbHi, nbCur []int
+	// nb is the sequential path's neighborhood odometer, so block scans
+	// allocate nothing. Parallel workers bring their own (newNbScratch):
+	// the odometer is the only mutable state a block scan touches, so one
+	// scratch per worker makes the whole index safely shareable read-only.
+	nb nbScratch
+}
+
+// nbScratch is one neighborhood-iteration odometer: the per-dimension
+// decomposition of a cell ordinal and the iteration bounds/cursor of a
+// Chebyshev block walk. forNeighborhood mutates nothing else, so each
+// concurrent walker needs exactly one of these.
+type nbScratch struct {
+	idx, lo, hi, cur []int
+}
+
+func newNbScratch(d int) nbScratch {
+	backing := make([]int, 4*d)
+	return nbScratch{
+		idx: backing[0:d],
+		lo:  backing[d : 2*d],
+		hi:  backing[2*d : 3*d],
+		cur: backing[3*d : 4*d],
+	}
 }
 
 // maxDenseCells bounds the dense layout's per-ordinal arrays: dense until
@@ -83,10 +103,7 @@ func buildCellIndex(all *geom.PointSet, r float64, stats *Stats) *cellIndex {
 		grid: geom.NewGridByWidth(all.Bounds(), CellSide(d, r)),
 		l2:   L2Radius(d),
 	}
-	ix.nbIdx = make([]int, d)
-	ix.nbLo = make([]int, d)
-	ix.nbHi = make([]int, d)
-	ix.nbCur = make([]int, d)
+	ix.nb = newNbScratch(d)
 
 	n := all.Len()
 	nc := ix.grid.NumCells()
@@ -202,38 +219,45 @@ func (ix *cellIndex) forEachCoreCell(nCore int, fn func(ord int, coreMembers []i
 // distance radius of the cell with ordinal ord (including itself), clipped
 // to the grid — the same row-major order as geom.Grid.Neighborhood, but
 // iterative over the index's scratch odometer so block scans allocate
-// nothing.
+// nothing. Sequential path only; concurrent walkers use forNeighborhoodSc
+// with a private odometer.
 func (ix *cellIndex) forNeighborhood(ord, radius int, fn func(o int)) {
+	ix.forNeighborhoodSc(&ix.nb, ord, radius, fn)
+}
+
+// forNeighborhoodSc is forNeighborhood over a caller-supplied odometer —
+// the reentrant form the parallel tiles use (the index itself is only read).
+func (ix *cellIndex) forNeighborhoodSc(sc *nbScratch, ord, radius int, fn func(o int)) {
 	dims := ix.grid.Dims
 	d := len(dims)
 	for i := d - 1; i >= 0; i-- {
-		ix.nbIdx[i] = ord % dims[i]
+		sc.idx[i] = ord % dims[i]
 		ord /= dims[i]
 	}
 	for i := 0; i < d; i++ {
-		lo := ix.nbIdx[i] - radius
+		lo := sc.idx[i] - radius
 		if lo < 0 {
 			lo = 0
 		}
-		hi := ix.nbIdx[i] + radius
+		hi := sc.idx[i] + radius
 		if hi > dims[i]-1 {
 			hi = dims[i] - 1
 		}
-		ix.nbLo[i], ix.nbHi[i], ix.nbCur[i] = lo, hi, lo
+		sc.lo[i], sc.hi[i], sc.cur[i] = lo, hi, lo
 	}
 	for {
 		o := 0
 		for i := 0; i < d; i++ {
-			o = o*dims[i] + ix.nbCur[i]
+			o = o*dims[i] + sc.cur[i]
 		}
 		fn(o)
 		i := d - 1
 		for ; i >= 0; i-- {
-			ix.nbCur[i]++
-			if ix.nbCur[i] <= ix.nbHi[i] {
+			sc.cur[i]++
+			if sc.cur[i] <= sc.hi[i] {
 				break
 			}
-			ix.nbCur[i] = ix.nbLo[i]
+			sc.cur[i] = sc.lo[i]
 		}
 		if i < 0 {
 			return
@@ -244,8 +268,13 @@ func (ix *cellIndex) forNeighborhood(ord, radius int, fn func(o int)) {
 // blockCount sums the point counts of all cells within Chebyshev radius of
 // the cell with ordinal ord.
 func (ix *cellIndex) blockCount(ord, radius int) int {
+	return ix.blockCountSc(&ix.nb, ord, radius)
+}
+
+// blockCountSc is blockCount over a caller-supplied odometer.
+func (ix *cellIndex) blockCountSc(sc *nbScratch, ord, radius int) int {
 	total := 0
-	ix.forNeighborhood(ord, radius, func(o int) {
+	ix.forNeighborhoodSc(sc, ord, radius, func(o int) {
 		total += ix.count(o)
 	})
 	return total

@@ -219,18 +219,12 @@ func (bruteForceDetector) detectSet(all *geom.PointSet, nCore int, params Params
 	var res Result
 	n := all.Len()
 	r2 := params.R * params.R
+	// The full scan has no early exit, so the wide counting kernel applies:
+	// verdicts and DistComps are identical to the scalar pairwise loop.
 	for i := 0; i < nCore; i++ {
 		id := all.IDs[i]
-		neighbors := 0
-		for j := 0; j < n; j++ {
-			if all.IDs[j] == id {
-				continue
-			}
-			res.Stats.DistComps++
-			if all.Within2(i, j, r2) {
-				neighbors++
-			}
-		}
+		neighbors, compared := all.CountWithin2Coords(all.CoordsAt(i), id, 0, n, r2)
+		res.Stats.DistComps += int64(compared)
 		if neighbors < params.K {
 			res.OutlierIDs = append(res.OutlierIDs, id)
 		}

@@ -1,0 +1,219 @@
+package detect
+
+import (
+	"math/rand"
+
+	"dod/internal/geom"
+	"dod/internal/par"
+)
+
+// This file holds the intra-partition parallel scan kernels: the same
+// detectors as detect.go/cellbased.go/nestedloop.go, tiled across a bounded
+// goroutine pool. Every parallel path is bit-identical to its sequential
+// counterpart — same OutlierIDs in the same order, same Stats (DistComps is
+// the deterministic cost measure the cluster simulator replays, so it must
+// not drift). Identity holds because:
+//
+//   - tiles are contiguous ranges of the sequential iteration order
+//     (ascending core index, or ascending cell ordinal), so concatenating
+//     per-tile outputs in tile order reproduces the sequential output;
+//   - each point's scan is self-contained (shared permutation + per-ID
+//     rotation, or a block walk over the read-only cell index), so moving a
+//     point to another goroutine changes nothing about its verdict or its
+//     distance-computation count;
+//   - all mutable state (odometers, ring scratch, partial Results) is
+//     per-tile; the point set, permutation and cell index are only read.
+
+// parSetDetector is the optional tiled fast path a detector can provide.
+// detectSetPar must return a Result identical to detectSet for every input.
+type parSetDetector interface {
+	detectSetPar(all *geom.PointSet, nCore int, params Params, workers int) Result
+}
+
+// DetectSetParallel is DetectSet with intra-partition parallelism: detectors
+// that support tiling (BruteForce, Nested-Loop, both Cell-Based variants)
+// spread the core scan over up to workers goroutines; workers < 1 means
+// GOMAXPROCS. Results are bit-identical to DetectSet — callers may switch
+// between the two freely, including under a deterministic-replay contract.
+// Detectors without a tiled kernel (KD-Tree, Pivot) fall back to DetectSet.
+func DetectSetParallel(d Detector, all *geom.PointSet, nCore int, params Params, workers int) Result {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if nCore == 0 {
+		return Result{}
+	}
+	workers = par.Workers(workers)
+	if workers > 1 {
+		if pd, ok := d.(parSetDetector); ok {
+			return pd.detectSetPar(all, nCore, params, workers)
+		}
+	}
+	return DetectSet(d, all, nCore, params)
+}
+
+// mergeTiles concatenates per-tile results in tile order into res. Tiles
+// cover contiguous ranges of the sequential order, so this reproduces the
+// sequential OutlierIDs exactly.
+func mergeTiles(res *Result, tiles []Result) {
+	total := 0
+	for i := range tiles {
+		total += len(tiles[i].OutlierIDs)
+	}
+	if total > 0 {
+		res.OutlierIDs = make([]uint64, 0, total)
+	}
+	for i := range tiles {
+		res.OutlierIDs = append(res.OutlierIDs, tiles[i].OutlierIDs...)
+		res.Stats.Add(tiles[i].Stats)
+	}
+}
+
+func (d bruteForceDetector) detectSetPar(all *geom.PointSet, nCore int, params Params, workers int) Result {
+	n := all.Len()
+	r2 := params.R * params.R
+	tiles := make([]Result, par.Tiles(nCore, workers))
+	par.Do(nCore, workers, func(tile, lo, hi int) {
+		t := &tiles[tile]
+		for i := lo; i < hi; i++ {
+			id := all.IDs[i]
+			neighbors, compared := all.CountWithin2Coords(all.CoordsAt(i), id, 0, n, r2)
+			t.Stats.DistComps += int64(compared)
+			if neighbors < params.K {
+				t.OutlierIDs = append(t.OutlierIDs, id)
+			}
+		}
+	})
+	var res Result
+	mergeTiles(&res, tiles)
+	return res
+}
+
+func (d nestedLoopDetector) detectSetPar(all *geom.PointSet, nCore int, params Params, workers int) Result {
+	rng := rand.New(rand.NewSource(d.seed))
+	order := rng.Perm(all.Len())
+	r2 := params.R * params.R
+
+	tiles := make([]Result, par.Tiles(nCore, workers))
+	par.Do(nCore, workers, func(tile, lo, hi int) {
+		t := &tiles[tile]
+		for i := lo; i < hi; i++ {
+			if randomScan(all, i, order, r2, params.K, &t.Stats) < params.K {
+				t.OutlierIDs = append(t.OutlierIDs, all.IDs[i])
+			}
+		}
+	})
+	var res Result
+	mergeTiles(&res, tiles)
+	return res
+}
+
+// coreCell is one materialized forEachCoreCell visit, captured so the cell
+// list can be tiled. members aliases the index's CSR storage (read-only).
+type coreCell struct {
+	ord     int
+	members []int32
+}
+
+// coreCells materializes forEachCoreCell's visit sequence in its ascending
+// ordinal order.
+func (ix *cellIndex) coreCells(nCore int) []coreCell {
+	var cells []coreCell
+	ix.forEachCoreCell(nCore, func(ord int, members []int32) {
+		cells = append(cells, coreCell{ord: ord, members: members})
+	})
+	return cells
+}
+
+func (d cellBasedDetector) detectSetPar(all *geom.PointSet, nCore int, params Params, workers int) Result {
+	var res Result
+	ix := buildCellIndex(all, params.R, &res.Stats)
+
+	rng := rand.New(rand.NewSource(d.seed))
+	order := rng.Perm(all.Len())
+	r2 := params.R * params.R
+
+	cells := ix.coreCells(nCore)
+	tiles := make([]Result, par.Tiles(len(cells), workers))
+	par.Do(len(cells), workers, func(tile, lo, hi int) {
+		t := &tiles[tile]
+		sc := newNbScratch(all.Dim)
+		for _, c := range cells[lo:hi] {
+			if ix.blockCountSc(&sc, c.ord, 1)-1 >= params.K {
+				t.Stats.CellsPruned++
+				continue
+			}
+			if ix.blockCountSc(&sc, c.ord, ix.l2)-1 < params.K {
+				t.Stats.CellsPruned++
+				for _, pi := range c.members {
+					t.OutlierIDs = append(t.OutlierIDs, all.IDs[pi])
+				}
+				continue
+			}
+			for _, pi := range c.members {
+				if randomScan(all, int(pi), order, r2, params.K, &t.Stats) < params.K {
+					t.OutlierIDs = append(t.OutlierIDs, all.IDs[pi])
+				}
+			}
+		}
+	})
+	mergeTiles(&res, tiles)
+	return res
+}
+
+func (cellBasedL2Detector) detectSetPar(all *geom.PointSet, nCore int, params Params, workers int) Result {
+	var res Result
+	ix := buildCellIndex(all, params.R, &res.Stats)
+	r2 := params.R * params.R
+
+	cells := ix.coreCells(nCore)
+	tiles := make([]Result, par.Tiles(len(cells), workers))
+	par.Do(len(cells), workers, func(tile, lo, hi int) {
+		t := &tiles[tile]
+		sc := newNbScratch(all.Dim)
+		var l1Ords []int
+		var ring []int32
+		for _, c := range cells[lo:hi] {
+			cnt1 := ix.blockCountSc(&sc, c.ord, 1)
+			if cnt1-1 >= params.K {
+				t.Stats.CellsPruned++
+				continue
+			}
+			if ix.blockCountSc(&sc, c.ord, ix.l2)-1 < params.K {
+				t.Stats.CellsPruned++
+				for _, pi := range c.members {
+					t.OutlierIDs = append(t.OutlierIDs, all.IDs[pi])
+				}
+				continue
+			}
+			l1Ords = l1Ords[:0]
+			ix.forNeighborhoodSc(&sc, c.ord, 1, func(o int) { l1Ords = append(l1Ords, o) })
+			ring = ring[:0]
+			ix.forNeighborhoodSc(&sc, c.ord, ix.l2, func(o int) {
+				for _, l1 := range l1Ords {
+					if o == l1 {
+						return
+					}
+				}
+				ring = append(ring, ix.members(o)...)
+			})
+			for _, pi := range c.members {
+				neighbors := cnt1 - 1
+				for _, qi := range ring {
+					if neighbors >= params.K {
+						break
+					}
+					t.Stats.DistComps++
+					if all.Within2(int(pi), int(qi), r2) {
+						neighbors++
+					}
+				}
+				if neighbors < params.K {
+					t.OutlierIDs = append(t.OutlierIDs, all.IDs[pi])
+				}
+			}
+		}
+	})
+	mergeTiles(&res, tiles)
+	return res
+}

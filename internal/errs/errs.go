@@ -52,6 +52,12 @@ var (
 	// unboundedly. Callers should back off and retry (HTTP callers see
 	// 429 with Retry-After).
 	ErrOverloaded = errors.New("dod: overloaded")
+	// ErrBatchTooLarge rejects ingest/score batches exceeding the serving
+	// layer's configured line limit. Concrete errors are BatchTooLargeError
+	// values carrying the limit; HTTP callers see 400 with code
+	// "batch_too_large". Unlike ErrOverloaded this is not retryable as-is —
+	// the client must split the batch.
+	ErrBatchTooLarge = errors.New("dod: batch too large")
 )
 
 // BadParams builds an ErrBadParams-wrapping error with details.
@@ -85,3 +91,15 @@ func (e *DimMismatchError) Error() string {
 
 // Is makes errors.Is(err, ErrDimMismatch) match.
 func (e *DimMismatchError) Is(target error) bool { return target == ErrDimMismatch }
+
+// BatchTooLargeError reports a batch that exceeds the configured line limit.
+type BatchTooLargeError struct {
+	Limit int // the configured maximum batch size, in lines
+}
+
+func (e *BatchTooLargeError) Error() string {
+	return fmt.Sprintf("dod: batch exceeds %d lines", e.Limit)
+}
+
+// Is makes errors.Is(err, ErrBatchTooLarge) match.
+func (e *BatchTooLargeError) Is(target error) bool { return target == ErrBatchTooLarge }

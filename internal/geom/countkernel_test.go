@@ -1,0 +1,87 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveCount mirrors the contract of CountWithin2Coords with the scalar
+// Within2Coords kernel, one row at a time.
+func naiveCount(s *PointSet, q []float64, skipID uint64, lo, hi int, r2 float64) (int, int) {
+	neighbors, compared := 0, 0
+	for j := lo; j < hi; j++ {
+		if s.IDs[j] == skipID {
+			continue
+		}
+		compared++
+		if s.Within2Coords(j, q, r2) {
+			neighbors++
+		}
+	}
+	return neighbors, compared
+}
+
+// TestCountWithin2CoordsMatchesScalar cross-checks the wide counting
+// kernel against the scalar per-row kernel over random sets, ranges and
+// thresholds, in the unrolled 2D/3D cases and the generic fallback.
+func TestCountWithin2CoordsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{2, 3, 5} {
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(40)
+			s := NewPointSet(dim, n)
+			for i := 0; i < n; i++ {
+				coords := make([]float64, dim)
+				for d := range coords {
+					coords[d] = rng.Float64() * 10
+				}
+				s.AppendRaw(uint64(i), coords)
+			}
+			q := make([]float64, dim)
+			for d := range q {
+				q[d] = rng.Float64() * 10
+			}
+			r2 := rng.Float64() * 20
+			lo := rng.Intn(n + 1)
+			hi := lo + rng.Intn(n+1-lo)
+			skipID := uint64(rng.Intn(n + 3)) // sometimes absent from the range
+			gotN, gotC := s.CountWithin2Coords(q, skipID, lo, hi, r2)
+			wantN, wantC := naiveCount(s, q, skipID, lo, hi, r2)
+			if gotN != wantN || gotC != wantC {
+				t.Fatalf("dim=%d n=%d lo=%d hi=%d skip=%d: got (%d, %d), want (%d, %d)",
+					dim, n, lo, hi, skipID, gotN, gotC, wantN, wantC)
+			}
+		}
+	}
+}
+
+// TestCountWithin2CoordsDuplicateSkipIDs pins the correction path: several
+// rows sharing the skip ID inside one 4-wide group must all be excluded.
+func TestCountWithin2CoordsDuplicateSkipIDs(t *testing.T) {
+	s := NewPointSet(2, 8)
+	for i := 0; i < 8; i++ {
+		id := uint64(1)
+		if i%2 == 1 {
+			id = uint64(i + 10)
+		}
+		s.AppendRaw(id, []float64{0, 0})
+	}
+	q := []float64{0, 0}
+	neighbors, compared := s.CountWithin2Coords(q, 1, 0, 8, 1)
+	if neighbors != 4 || compared != 4 {
+		t.Fatalf("got (%d, %d), want (4, 4)", neighbors, compared)
+	}
+}
+
+func TestCountWithin2CoordsZeroAlloc(t *testing.T) {
+	s := NewPointSet(2, 256)
+	for i := 0; i < 256; i++ {
+		s.AppendRaw(uint64(i), []float64{float64(i), float64(i % 7)})
+	}
+	q := []float64{5, 5}
+	if allocs := testing.AllocsPerRun(20, func() {
+		s.CountWithin2Coords(q, 3, 0, s.Len(), 25)
+	}); allocs != 0 {
+		t.Errorf("CountWithin2Coords allocates %v per run, want 0", allocs)
+	}
+}

@@ -218,6 +218,169 @@ func (s *PointSet) Within2Coords(i int, q []float64, r2 float64) bool {
 	return sum <= r2
 }
 
+// CountWithin2Coords counts the points of rows [lo, hi) lying within r
+// (r2 = r*r) of the bare coordinate row q, skipping rows whose ID equals
+// skipID. It returns the neighbor count and the number of rows that
+// received a distance evaluation (hi-lo minus the skipped rows) — the
+// caller's DistComps delta.
+//
+// Unlike Within2Coords the scan never exits early, so the verdict per row
+// is the full-sum comparison (bit-identical to Within2Coords: squared
+// terms are non-negative, so the early exit and the full sum agree) and
+// the counting order is irrelevant to the result. That freedom is spent on
+// throughput: the 2D/3D loops run four candidates per iteration with four
+// independent accumulators, breaking the loop-carried dependency chain so
+// the compiler can schedule the distance math wide.
+func (s *PointSet) CountWithin2Coords(q []float64, skipID uint64, lo, hi int, r2 float64) (neighbors, compared int) {
+	if len(q) != s.Dim {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", s.Dim, len(q)))
+	}
+	ids, coords := s.IDs, s.Coords
+	skipped := 0
+	switch s.Dim {
+	case 2:
+		qx, qy := q[0], q[1]
+		var n0, n1, n2, n3 int
+		j := lo
+		for ; j+4 <= hi; j += 4 {
+			x0 := coords[2*j] - qx
+			y0 := coords[2*j+1] - qy
+			x1 := coords[2*j+2] - qx
+			y1 := coords[2*j+3] - qy
+			x2 := coords[2*j+4] - qx
+			y2 := coords[2*j+5] - qy
+			x3 := coords[2*j+6] - qx
+			y3 := coords[2*j+7] - qy
+			if x0*x0+y0*y0 <= r2 {
+				n0++
+			}
+			if x1*x1+y1*y1 <= r2 {
+				n1++
+			}
+			if x2*x2+y2*y2 <= r2 {
+				n2++
+			}
+			if x3*x3+y3*y3 <= r2 {
+				n3++
+			}
+			// The skip is rare (usually the query point itself), so the
+			// wide loop counts unconditionally and corrects after the fact.
+			for k := j; k < j+4; k++ {
+				if ids[k] == skipID {
+					skipped++
+					dx := coords[2*k] - qx
+					dy := coords[2*k+1] - qy
+					if dx*dx+dy*dy <= r2 {
+						switch k - j {
+						case 0:
+							n0--
+						case 1:
+							n1--
+						case 2:
+							n2--
+						default:
+							n3--
+						}
+					}
+				}
+			}
+		}
+		neighbors = n0 + n1 + n2 + n3
+		for ; j < hi; j++ {
+			if ids[j] == skipID {
+				skipped++
+				continue
+			}
+			dx := coords[2*j] - qx
+			dy := coords[2*j+1] - qy
+			if dx*dx+dy*dy <= r2 {
+				neighbors++
+			}
+		}
+	case 3:
+		qx, qy, qz := q[0], q[1], q[2]
+		var n0, n1, n2, n3 int
+		j := lo
+		for ; j+4 <= hi; j += 4 {
+			x0 := coords[3*j] - qx
+			y0 := coords[3*j+1] - qy
+			z0 := coords[3*j+2] - qz
+			x1 := coords[3*j+3] - qx
+			y1 := coords[3*j+4] - qy
+			z1 := coords[3*j+5] - qz
+			x2 := coords[3*j+6] - qx
+			y2 := coords[3*j+7] - qy
+			z2 := coords[3*j+8] - qz
+			x3 := coords[3*j+9] - qx
+			y3 := coords[3*j+10] - qy
+			z3 := coords[3*j+11] - qz
+			if x0*x0+y0*y0+z0*z0 <= r2 {
+				n0++
+			}
+			if x1*x1+y1*y1+z1*z1 <= r2 {
+				n1++
+			}
+			if x2*x2+y2*y2+z2*z2 <= r2 {
+				n2++
+			}
+			if x3*x3+y3*y3+z3*z3 <= r2 {
+				n3++
+			}
+			for k := j; k < j+4; k++ {
+				if ids[k] == skipID {
+					skipped++
+					dx := coords[3*k] - qx
+					dy := coords[3*k+1] - qy
+					dz := coords[3*k+2] - qz
+					if dx*dx+dy*dy+dz*dz <= r2 {
+						switch k - j {
+						case 0:
+							n0--
+						case 1:
+							n1--
+						case 2:
+							n2--
+						default:
+							n3--
+						}
+					}
+				}
+			}
+		}
+		neighbors = n0 + n1 + n2 + n3
+		for ; j < hi; j++ {
+			if ids[j] == skipID {
+				skipped++
+				continue
+			}
+			dx := coords[3*j] - qx
+			dy := coords[3*j+1] - qy
+			dz := coords[3*j+2] - qz
+			if dx*dx+dy*dy+dz*dz <= r2 {
+				neighbors++
+			}
+		}
+	default:
+		d := s.Dim
+		for j := lo; j < hi; j++ {
+			if ids[j] == skipID {
+				skipped++
+				continue
+			}
+			var sum float64
+			row := coords[j*d : (j+1)*d]
+			for k := 0; k < d; k++ {
+				diff := row[k] - q[k]
+				sum += diff * diff
+			}
+			if sum <= r2 {
+				neighbors++
+			}
+		}
+	}
+	return neighbors, hi - lo - skipped
+}
+
 // Bounds returns the minimal bounding rectangle of the set, with the same
 // comparison order as Bounds so the rectangles are bit-identical. It panics
 // on an empty set.

@@ -1,0 +1,173 @@
+package index
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+
+	"dod/internal/errs"
+	"dod/internal/geom"
+)
+
+// CountScratch holds the per-caller buffers of a NeighborCountScratch
+// query: the query cell coordinates, the ring-walk cursor and offset
+// odometer, and the cell-key encoding buffer. NeighborCount allocates these
+// per call; batch scoring issues thousands of queries per request, so each
+// scoring worker owns one CountScratch and the steady-state query path
+// allocates nothing. A CountScratch must not be shared between concurrent
+// queries; the Index itself remains safe for concurrent use.
+type CountScratch struct {
+	center []int64
+	cur    []int64
+	off    []int64
+	keyBuf []byte
+}
+
+// NewCountScratch returns an empty scratch; buffers are sized lazily to the
+// index dimensionality on first use.
+func NewCountScratch() *CountScratch { return &CountScratch{} }
+
+func (sc *CountScratch) grow(dim int) {
+	if cap(sc.center) < dim {
+		sc.center = make([]int64, dim)
+		sc.cur = make([]int64, dim)
+		sc.off = make([]int64, dim)
+		sc.keyBuf = make([]byte, dim*8)
+	}
+	sc.center = sc.center[:dim]
+	sc.cur = sc.cur[:dim]
+	sc.off = sc.off[:dim]
+	sc.keyBuf = sc.keyBuf[:dim*8]
+}
+
+// putKey encodes cell coordinates into buf with the same little-endian
+// layout as key(), so lookups through either path address the same cells.
+func putKey(buf []byte, c []int64) []byte {
+	for i, v := range c {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	return buf
+}
+
+// readCellBuf is readCell keyed by an encoded byte buffer: the maphash runs
+// over the raw bytes (identical to hashing the cellKey string) and the map
+// probe converts in place, so no key string is materialized.
+func (ix *Index) readCellBuf(buf []byte, fn func(pts []geom.Point)) {
+	var h maphash.Hash
+	h.SetSeed(ix.seed)
+	h.Write(buf)
+	sh := &ix.shards[h.Sum64()%uint64(len(ix.shards))]
+	sh.mu.RLock()
+	if c := sh.cells[cellKey(buf)]; c != nil {
+		fn(c.points)
+	}
+	sh.mu.RUnlock()
+}
+
+// ringCellsSc enumerates the cells at exactly Chebyshev distance radius from
+// sc.center into fn, in the same lexicographic order as RingCells, using the
+// scratch's odometer instead of recursion — no closure or cursor allocation.
+// The slice passed to fn aliases sc.cur.
+func (sc *CountScratch) ringCellsSc(radius int, fn func(cell []int64)) {
+	if radius == 0 {
+		fn(sc.center)
+		return
+	}
+	center, cur, off := sc.center, sc.cur, sc.off
+	d := len(center)
+	for i := range off {
+		off[i] = int64(-radius)
+	}
+	for {
+		surface, valid := false, true
+		for i := 0; i < d; i++ {
+			o, v := off[i], center[i]
+			if o < 0 && v < math.MinInt64-o {
+				valid = false // below the representable cell space
+				break
+			}
+			if o > 0 && v > math.MaxInt64-o {
+				valid = false // above the representable cell space
+				break
+			}
+			cur[i] = v + o
+			if o == int64(-radius) || o == int64(radius) {
+				surface = true
+			}
+		}
+		if valid && surface {
+			fn(cur)
+		}
+		i := d - 1
+		for ; i >= 0; i-- {
+			off[i]++
+			if off[i] <= int64(radius) {
+				break
+			}
+			off[i] = int64(-radius)
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// NeighborCountScratch is NeighborCount with caller-owned buffers: same
+// arguments, same result for every input (the early-termination bound makes
+// the count order-independent, and the scratch ring walk visits the same
+// cells as the allocating one). Use one scratch per goroutine; the index may
+// be queried and mutated concurrently as usual.
+func (ix *Index) NeighborCountScratch(sc *CountScratch, p geom.Point, limit int) (int, error) {
+	if err := ix.checkDim(p); err != nil {
+		return 0, err
+	}
+	if limit < 1 {
+		return 0, errs.BadParams("NeighborCount limit must be >= 1, got %d", limit)
+	}
+	sc.grow(ix.dim)
+	for i, v := range p.Coords {
+		sc.center[i] = int64(math.Floor(v / ix.side))
+	}
+	count := 0
+	depth := 0
+	for radius := 0; radius <= 1 && count < limit; radius++ {
+		depth = radius
+		sc.ringCellsSc(radius, func(c []int64) {
+			ix.readCellBuf(putKey(sc.keyBuf, c), func(pts []geom.Point) {
+				for _, q := range pts {
+					if q.ID != p.ID {
+						count++
+					}
+				}
+			})
+		})
+	}
+	if count < limit {
+		for radius := 2; radius <= ix.l2 && count < limit; radius++ {
+			depth = radius
+			sc.ringCellsSc(radius, func(c []int64) {
+				if count >= limit {
+					return
+				}
+				ix.readCellBuf(putKey(sc.keyBuf, c), func(pts []geom.Point) {
+					for _, q := range pts {
+						if count >= limit {
+							return
+						}
+						if q.ID != p.ID && geom.WithinDist(p, q, ix.r) {
+							count++
+						}
+					}
+				})
+			})
+		}
+	}
+	if ix.met != nil {
+		ix.met.counts.Inc()
+		ix.met.ringDepth.Observe(float64(depth))
+	}
+	if count > limit {
+		count = limit
+	}
+	return count, nil
+}

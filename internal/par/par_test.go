@@ -1,0 +1,82 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTilesBounds(t *testing.T) {
+	cases := []struct {
+		n, workers, want int
+	}{
+		{0, 4, 1},
+		{1, 4, 1},
+		{63, 8, 1},   // below minTile: never split
+		{128, 8, 2},  // two full tiles
+		{1000, 4, 4}, // worker-bound
+		{1000, 100, 15} /* n/minTile = 15 */, {1000, 1, 1},
+		{1000, -1, Tiles(1000, 0)}, // <1 means GOMAXPROCS; just consistency
+	}
+	for _, c := range cases {
+		if got := Tiles(c.n, c.workers); got != c.want {
+			t.Errorf("Tiles(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestDoCoversExactly checks every element is visited exactly once and tile
+// ranges are contiguous, ordered and non-overlapping.
+func TestDoCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 128, 129, 1000, 4096} {
+		for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			type rng struct{ tile, lo, hi int }
+			var ranges []rng
+			Do(n, workers, func(tile, lo, hi int) {
+				mu.Lock()
+				ranges = append(ranges, rng{tile, lo, hi})
+				mu.Unlock()
+				for i := lo; i < hi; i++ {
+					mu.Lock()
+					seen[i]++
+					mu.Unlock()
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: element %d visited %d times", n, workers, i, c)
+				}
+			}
+			if n > 0 && len(ranges) != Tiles(n, workers) {
+				t.Fatalf("n=%d workers=%d: %d tiles ran, want %d", n, workers, len(ranges), Tiles(n, workers))
+			}
+			// Tile t's range must sit strictly below tile t+1's.
+			byTile := make(map[int]rng, len(ranges))
+			for _, r := range ranges {
+				byTile[r.tile] = r
+			}
+			for tile := 0; tile+1 < len(ranges); tile++ {
+				if byTile[tile].hi != byTile[tile+1].lo {
+					t.Fatalf("n=%d workers=%d: tile %d ends at %d, tile %d starts at %d",
+						n, workers, tile, byTile[tile].hi, tile+1, byTile[tile+1].lo)
+				}
+			}
+		}
+	}
+}
+
+// TestDoSequentialFallback pins that one-tile runs stay on the calling
+// goroutine (no allocation beyond the closure, no spawned goroutine).
+func TestDoSequentialFallback(t *testing.T) {
+	ran := 0
+	Do(10, 1, func(tile, lo, hi int) {
+		if tile != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("tile=%d lo=%d hi=%d", tile, lo, hi)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("fn ran %d times, want 1", ran)
+	}
+}

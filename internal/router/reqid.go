@@ -4,6 +4,8 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
+
+	"dod/internal/httpapi"
 )
 
 // HeaderRequestID is the cross-tier request correlation header. The router
@@ -12,7 +14,9 @@ import (
 // sub-operation, so each mutating shard call has a distinct idempotency
 // key), and echoes it in responses and structured error bodies — one grep
 // through router and shard logs stitches a cross-shard trace together.
-const HeaderRequestID = "X-Dod-Request-Id"
+// The canonical definition lives in internal/httpapi with the rest of the
+// shared batch plumbing; this alias keeps existing callers compiling.
+const HeaderRequestID = httpapi.HeaderRequestID
 
 // HeaderTenant carries the caller's tenant identity for per-tenant rate
 // limiting and quotas at the router. Absent means the default tenant.

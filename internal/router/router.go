@@ -1,7 +1,6 @@
 package router
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -18,6 +17,7 @@ import (
 	"dod/internal/detect"
 	"dod/internal/errs"
 	"dod/internal/geom"
+	"dod/internal/httpapi"
 	"dod/internal/index"
 	"dod/internal/obs"
 	"dod/internal/retry"
@@ -29,9 +29,6 @@ const DefaultMaxBatch = 100_000
 
 // DefaultMaxBodyBytes bounds one request body (64 MiB).
 const DefaultMaxBodyBytes = 64 << 20
-
-// maxLineBytes bounds one NDJSON line.
-const maxLineBytes = 1 << 20
 
 // Config parameterizes a Router.
 type Config struct {
@@ -416,67 +413,21 @@ type scoreLine struct {
 	Error     string `json:"error,omitempty"`
 }
 
-// pointLine is the NDJSON wire form of a point.
-type pointLine struct {
-	ID     uint64    `json:"id"`
-	Coords []float64 `json:"coords"`
-}
-
-type batchItem struct {
-	pt  geom.Point
-	err error
-}
-
-// readBatch parses up to MaxBatch NDJSON point lines, with the same
-// per-line and request-level error behavior as the single-process tier.
-func (rt *Router) readBatch(r *http.Request) ([]batchItem, error) {
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
-	var items []batchItem
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		if len(items) >= rt.cfg.MaxBatch {
-			return nil, fmt.Errorf("batch exceeds %d lines", rt.cfg.MaxBatch)
-		}
-		var pl pointLine
-		if err := json.Unmarshal(line, &pl); err != nil {
-			items = append(items, batchItem{err: fmt.Errorf("malformed point line: %v", err)})
-			continue
-		}
-		items = append(items, batchItem{pt: geom.Point{ID: pl.ID, Coords: pl.Coords}})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("reading body: %w", err)
-	}
-	return items, nil
+// readBatch parses up to MaxBatch NDJSON point lines via the shared parser,
+// with the same per-line and request-level error behavior as the
+// single-process tier.
+func (rt *Router) readBatch(r *http.Request) ([]httpapi.BatchItem, error) {
+	return httpapi.ReadBatch(r, rt.cfg.MaxBatch)
 }
 
 func (rt *Router) writeBatchError(w http.ResponseWriter, r *http.Request, err error) {
-	var tooBig *http.MaxBytesError
-	switch {
-	case errors.As(err, &tooBig):
-		rt.writeError(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
-			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
-	case r.Context().Err() != nil:
-		rt.writeError(w, r, http.StatusRequestTimeout, "read_timeout", "request body read timed out")
-	default:
-		rt.writeError(w, r, http.StatusBadRequest, "bad_request", err.Error())
-	}
+	httpapi.WriteBatchError(w, r, err)
 }
 
 // writeError emits the serving tier's structured error shape, carrying the
 // request correlation ID.
 func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(struct { //nolint:errcheck
-		Error     string `json:"error"`
-		Message   string `json:"message"`
-		RequestID string `json:"request_id,omitempty"`
-	}{Error: code, Message: msg, RequestID: r.Header.Get(HeaderRequestID)})
+	httpapi.WriteError(w, r, status, code, msg)
 }
 
 // admitTenant applies the per-tenant token bucket; a rejection writes the
@@ -521,19 +472,24 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 	out := make([]verdictLine, len(items))
 	// One global mutation order: the whole batch runs under the router
 	// mutex, line by line, exactly as the single-process window serializes
-	// Process calls.
+	// Process calls. The topology and arrival timestamp are resolved once
+	// per batch — drain also holds rt.mu, so the topology cannot change
+	// mid-batch, and the shared timestamp matches the single-process tier's
+	// one-ProcessBatch-one-instant semantics.
 	rt.mu.Lock()
+	topo := rt.topology()
+	now := rt.now()
 	for i, it := range items {
-		if it.err != nil {
-			out[i] = verdictLine{ID: it.pt.ID, Error: it.err.Error()}
+		if it.Err != nil {
+			out[i] = verdictLine{ID: it.Pt.ID, Error: it.Err.Error()}
 			rt.met.lineErrors.Inc()
 			continue
 		}
 		lineKey := fmt.Sprintf("%s|%d", reqID, i)
-		v, err := rt.processLocked(r.Context(), it.pt, rt.now(), lineKey)
+		v, err := rt.processLocked(r.Context(), topo, it.Pt, now, lineKey)
 		rt.met.ingestLines.Inc()
 		if err != nil {
-			out[i] = verdictLine{ID: it.pt.ID, Error: err.Error()}
+			out[i] = verdictLine{ID: it.Pt.ID, Error: err.Error()}
 			rt.met.lineErrors.Inc()
 			continue
 		}
@@ -546,8 +502,9 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 // processLocked ingests one point with the single-process window's exact
 // discipline — dimension check, duplicate check, capacity evictions, TTL
 // evictions, then admission — each eviction and the admission delegated to
-// the owning shard. Callers hold rt.mu.
-func (rt *Router) processLocked(ctx context.Context, pt geom.Point, now time.Time, lineKey string) (verdictLine, error) {
+// the owning shard. Callers hold rt.mu and pass the batch's resolved
+// topology; holding the mutex guarantees it stays current for the call.
+func (rt *Router) processLocked(ctx context.Context, topo *Topology, pt geom.Point, now time.Time, lineKey string) (verdictLine, error) {
 	if pt.Dim() != rt.cfg.Dim {
 		return verdictLine{}, &errs.DimMismatchError{ID: pt.ID, Got: pt.Dim(), Want: rt.cfg.Dim}
 	}
@@ -557,7 +514,7 @@ func (rt *Router) processLocked(ctx context.Context, pt geom.Point, now time.Tim
 	evictions := 0
 	if rt.cfg.Capacity > 0 {
 		for len(rt.residents) >= rt.cfg.Capacity {
-			if err := rt.evictHeadLocked(ctx, lineKey); err != nil {
+			if err := rt.evictHeadLocked(ctx, topo, lineKey); err != nil {
 				return verdictLine{}, err
 			}
 			evictions++
@@ -570,13 +527,12 @@ func (rt *Router) processLocked(ctx context.Context, pt geom.Point, now time.Tim
 			if rt.residents[id].arrivedNs >= horizonNs {
 				break
 			}
-			if err := rt.evictHeadLocked(ctx, lineKey); err != nil {
+			if err := rt.evictHeadLocked(ctx, topo, lineKey); err != nil {
 				return verdictLine{}, err
 			}
 			evictions++
 		}
 	}
-	topo := rt.topology()
 	cell := topo.CellOf(pt.Coords)
 	owner := topo.Owner(cell)
 	seq := rt.seq + 1
@@ -597,7 +553,7 @@ func (rt *Router) processLocked(ctx context.Context, pt geom.Point, now time.Tim
 // evictHeadLocked expires the globally oldest point: the owning shard
 // applies the eviction (and its cross-shard count deltas); the router
 // retires the FIFO slot. Callers hold rt.mu.
-func (rt *Router) evictHeadLocked(ctx context.Context, lineKey string) error {
+func (rt *Router) evictHeadLocked(ctx context.Context, topo *Topology, lineKey string) error {
 	id := rt.fifo[rt.head]
 	res, ok := rt.residents[id]
 	if !ok {
@@ -605,7 +561,6 @@ func (rt *Router) evictHeadLocked(ctx context.Context, lineKey string) error {
 		rt.head++
 		return nil
 	}
-	topo := rt.topology()
 	owner := topo.Owner(res.cell)
 	body, err := json.Marshal(EvictRequest{ID: id})
 	if err != nil {
@@ -662,13 +617,13 @@ func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				it := items[i]
-				if it.err != nil {
-					out[i] = scoreLine{ID: it.pt.ID, Error: it.err.Error()}
+				if it.Err != nil {
+					out[i] = scoreLine{ID: it.Pt.ID, Error: it.Err.Error()}
 					rt.met.lineErrors.Inc()
 					continue
 				}
 				rt.met.scoreLines.Inc()
-				out[i] = rt.scoreOne(r.Context(), it.pt)
+				out[i] = rt.scoreOne(r.Context(), it.Pt)
 			}
 		}(lo, hi)
 	}
@@ -730,15 +685,7 @@ func (rt *Router) scoreOne(ctx context.Context, pt geom.Point) scoreLine {
 
 // writeNDJSON streams n lines through one buffered encoder.
 func writeNDJSON(w http.ResponseWriter, n int, line func(enc *json.Encoder, i int) error) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for i := 0; i < n; i++ {
-		if err := line(enc, i); err != nil {
-			return
-		}
-	}
-	bw.Flush()
+	httpapi.WriteNDJSON(w, n, line)
 }
 
 // ---- drain / handoff ----------------------------------------------------

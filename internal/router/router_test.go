@@ -268,6 +268,86 @@ func TestRouterMatchesSingleProcess(t *testing.T) {
 	}
 }
 
+// TestRouterBatchSplitInvariance pins the batch-API contract end to end:
+// one logical stream of NDJSON lines produces the same concatenated
+// response bytes no matter how it is split into request batches — size-1
+// requests (the pre-batch protocol), mid-size batches, or one request for
+// the whole stream — and the router stays byte-identical to the
+// single-process reference at every split. Malformed lines, duplicates and
+// wrong-dimension points ride along so the per-line error slots are held to
+// the same invariance.
+func TestRouterBatchSplitInvariance(t *testing.T) {
+	const total = 120
+	mkLines := func() []string {
+		rng := rand.New(rand.NewSource(7))
+		lines := make([]string, 0, total)
+		id := uint64(0)
+		for i := 0; i < total; i++ {
+			switch {
+			case rng.Float64() < 0.05:
+				lines = append(lines, "{malformed\n")
+			case rng.Float64() < 0.05 && id > 10:
+				dup := id - uint64(rng.Intn(8)) - 1
+				lines = append(lines, fmt.Sprintf(`{"id":%d,"coords":[%g,%g]}`+"\n", dup, rng.Float64()*12, rng.Float64()*12))
+			case rng.Float64() < 0.03:
+				id++
+				lines = append(lines, fmt.Sprintf(`{"id":%d,"coords":[%g]}`+"\n", id, rng.Float64()))
+			default:
+				id++
+				lines = append(lines, fmt.Sprintf(`{"id":%d,"coords":[%g,%g]}`+"\n", id, rng.Float64()*12, rng.Float64()*12))
+			}
+		}
+		return lines
+	}
+	queries := func() []string {
+		rng := rand.New(rand.NewSource(9))
+		qs := make([]string, 24)
+		for i := range qs {
+			qs[i] = fmt.Sprintf(`{"id":%d,"coords":[%g,%g]}`+"\n", 2_000_000+uint64(i), rng.Float64()*12, rng.Float64()*12)
+		}
+		return qs
+	}()
+
+	send := func(t *testing.T, c *cluster, path string, lines []string, size int, out *bytes.Buffer) {
+		t.Helper()
+		for lo := 0; lo < len(lines); lo += size {
+			hi := lo + size
+			if hi > len(lines) {
+				hi = len(lines)
+			}
+			body := strings.Join(lines[lo:hi], "")
+			refStatus, refRaw := post(t, c.refSrv.URL+path, body)
+			gotStatus, gotRaw := post(t, c.rtSrv.URL+path, body)
+			if gotStatus != refStatus || !bytes.Equal(gotRaw, refRaw) {
+				t.Fatalf("%s lines [%d,%d): router response diverged from reference\nrouter (%d): %s\nreference (%d): %s",
+					path, lo, hi, gotStatus, gotRaw, refStatus, refRaw)
+			}
+			out.Write(refRaw)
+		}
+	}
+
+	var wantIngest, wantScore []byte // concatenated size-1 streams
+	for _, size := range []int{1, 7, total} {
+		t.Run(fmt.Sprintf("size=%d", size), func(t *testing.T) {
+			c := newCluster(t, clusterOpts{shards: 2, capacity: 80, block: 2})
+			var ingest, score bytes.Buffer
+			send(t, c, "/v1/ingest", mkLines(), size, &ingest)
+			send(t, c, "/v1/score", queries, size, &score)
+			c.checkFinalState()
+			if wantIngest == nil {
+				wantIngest, wantScore = ingest.Bytes(), score.Bytes()
+				return
+			}
+			if !bytes.Equal(ingest.Bytes(), wantIngest) {
+				t.Errorf("size %d: concatenated ingest responses diverge from the size-1 split", size)
+			}
+			if !bytes.Equal(score.Bytes(), wantScore) {
+				t.Errorf("size %d: concatenated score responses diverge from the size-1 split", size)
+			}
+		})
+	}
+}
+
 // TestRequestIDPropagation covers the correlation-ID satellite: the router
 // echoes caller IDs, generates one when absent, propagates it to shards,
 // and embeds it in structured error bodies.

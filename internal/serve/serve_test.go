@@ -17,6 +17,7 @@ import (
 
 	"dod/internal/core"
 	"dod/internal/detect"
+	"dod/internal/httpapi"
 	"dod/internal/stream"
 )
 
@@ -39,7 +40,7 @@ func ndjsonBody(ids []uint64, coords [][]float64) *bytes.Buffer {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for i, id := range ids {
-		enc.Encode(pointLine{ID: id, Coords: coords[i]})
+		enc.Encode(httpapi.PointLine{ID: id, Coords: coords[i]})
 	}
 	return &buf
 }

@@ -28,11 +28,8 @@
 package serve
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
-	"errors"
-	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -42,6 +39,7 @@ import (
 
 	"dod/internal/errs"
 	"dod/internal/geom"
+	"dod/internal/httpapi"
 	"dod/internal/obs"
 	"dod/internal/retry"
 	"dod/internal/router"
@@ -50,9 +48,6 @@ import (
 
 // DefaultMaxBatch bounds the number of NDJSON lines per request.
 const DefaultMaxBatch = 100_000
-
-// maxLineBytes bounds one NDJSON line (high-dimensional points are long).
-const maxLineBytes = 1 << 20
 
 // DefaultMaxBodyBytes bounds one request body (64 MiB); larger uploads are
 // rejected with a structured 413 instead of being buffered.
@@ -267,32 +262,18 @@ func (s *Server) shed(w http.ResponseWriter, r *http.Request, endpoint string) {
 	writeErrorBody(w, r, http.StatusTooManyRequests, "overloaded", errs.ErrOverloaded.Error())
 }
 
-// writeBatchError classifies a readBatch failure into a structured HTTP
-// error: 413 for an oversize body, 408 when the client's send stalled out
-// the request, 400 otherwise.
+// writeBatchError classifies a readBatch failure through the shared
+// classifier (internal/httpapi): 413 "body_too_large" for an oversize body,
+// 400 "batch_too_large" past the line cap, 408 when the client's send
+// stalled out the request, 400 otherwise — identical across tiers.
 func (s *Server) writeBatchError(w http.ResponseWriter, r *http.Request, err error) {
-	var tooBig *http.MaxBytesError
-	switch {
-	case errors.As(err, &tooBig):
-		writeErrorBody(w, r, http.StatusRequestEntityTooLarge, "body_too_large",
-			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
-	case r.Context().Err() != nil:
-		writeErrorBody(w, r, http.StatusRequestTimeout, "read_timeout", "request body read timed out")
-	default:
-		writeErrorBody(w, r, http.StatusBadRequest, "bad_request", err.Error())
-	}
+	httpapi.WriteBatchError(w, r, err)
 }
 
 // writeErrorBody emits the serving layer's machine-readable error shape,
 // carrying the request's correlation ID when the caller sent one.
 func writeErrorBody(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(struct { //nolint:errcheck
-		Error     string `json:"error"`
-		Message   string `json:"message"`
-		RequestID string `json:"request_id,omitempty"`
-	}{Error: code, Message: msg, RequestID: r.Header.Get(router.HeaderRequestID)})
+	httpapi.WriteError(w, r, status, code, msg)
 }
 
 // scorePoint scores one point, preferring the remote scorer while its
@@ -329,12 +310,6 @@ func (s *Server) evictLoop(interval time.Duration) {
 	}
 }
 
-// pointLine is the NDJSON wire form of a point.
-type pointLine struct {
-	ID     uint64    `json:"id"`
-	Coords []float64 `json:"coords"`
-}
-
 // verdictLine answers one ingest line.
 type verdictLine struct {
 	ID        uint64 `json:"id"`
@@ -353,39 +328,11 @@ type scoreLine struct {
 	Error     string `json:"error,omitempty"`
 }
 
-// readBatch parses up to maxBatch NDJSON point lines from the request.
-// A parse failure on line i is returned as a per-line error at index i
-// (Point.Coords nil), keeping request-level failures for oversize input.
-type batchItem struct {
-	pt  geom.Point
-	err error
-}
-
-func (s *Server) readBatch(r *http.Request) ([]batchItem, error) {
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
-	var items []batchItem
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		if len(items) >= s.cfg.MaxBatch {
-			return nil, fmt.Errorf("batch exceeds %d lines", s.cfg.MaxBatch)
-		}
-		var pl pointLine
-		if err := json.Unmarshal(line, &pl); err != nil {
-			items = append(items, batchItem{err: fmt.Errorf("malformed point line: %v", err)})
-			continue
-		}
-		items = append(items, batchItem{pt: geom.Point{ID: pl.ID, Coords: pl.Coords}})
-	}
-	if err := sc.Err(); err != nil {
-		// %w: writeBatchError classifies by unwrapping (*http.MaxBytesError
-		// means 413, a context error means 408).
-		return nil, fmt.Errorf("reading body: %w", err)
-	}
-	return items, nil
+// readBatch parses up to MaxBatch NDJSON point lines from the request via
+// the shared parser. A parse failure on line i is returned as a per-line
+// error at index i, keeping request-level failures for oversize input.
+func (s *Server) readBatch(r *http.Request) ([]httpapi.BatchItem, error) {
+	return httpapi.ReadBatch(r, s.cfg.MaxBatch)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -412,23 +359,41 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	procStart := s.now()
 	// One pool job per batch: ingest is serialized by the window lock and
 	// must preserve line order for sequence numbers, so there is nothing
-	// to fan out — the pool's job is bounding concurrent batches.
+	// to fan out — the pool's job is bounding concurrent batches. The
+	// parseable lines go through ProcessBatch as one unit: one lock
+	// acquisition and one arrival timestamp for the whole batch, with
+	// per-line error slots mapped back to their request line.
 	s.pool.do(func() {
+		pts := make([]geom.Point, 0, len(items))
+		lineOf := make([]int, 0, len(items))
 		for i, it := range items {
-			if it.err != nil {
-				out[i] = verdictLine{ID: it.pt.ID, Error: it.err.Error()}
+			if it.Err != nil {
+				out[i] = verdictLine{ID: it.Pt.ID, Error: it.Err.Error()}
 				s.met.lineErrors.Inc()
 				continue
 			}
-			start := s.now()
-			v, err := s.win.Process(it.pt, start)
-			s.observeSince(s.met.ingestLatency, start)
+			pts = append(pts, it.Pt)
+			lineOf = append(lineOf, i)
+		}
+		batchStart := s.now()
+		verdicts, procErrs := s.win.ProcessBatch(pts, batchStart)
+		// Per-line latency is amortized over the batch: one observation per
+		// ingested line, each the batch's mean, so counts still tally lines.
+		perLine := 0.0
+		if n := len(pts); n > 0 {
+			if d := s.now().Sub(batchStart); d > 0 {
+				perLine = d.Seconds() / float64(n)
+			}
+		}
+		for j, i := range lineOf {
+			s.met.ingestLatency.Observe(perLine)
 			s.met.ingestLines.Inc()
-			if err != nil {
-				out[i] = verdictLine{ID: it.pt.ID, Error: err.Error()}
+			if procErrs[j] != nil {
+				out[i] = verdictLine{ID: pts[j].ID, Error: procErrs[j].Error()}
 				s.met.lineErrors.Inc()
 				continue
 			}
+			v := verdicts[j]
 			out[i] = verdictLine{ID: v.ID, Seq: v.Seq, Neighbors: v.Neighbors, Outlier: v.Outlier, Evicted: v.Evicted}
 		}
 	})
@@ -462,6 +427,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	procStart := s.now()
 	// Scoring is read-only and lock-striped, so fan the batch out across
 	// the pool in contiguous chunks; results land at their line index.
+	// Purely local chunks score through the window's batch API, which reuses
+	// one query scratch per chunk; a configured remote scorer keeps the
+	// per-point path for its per-line breaker/fallback decisions.
 	const chunk = 64
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(items); lo += chunk {
@@ -472,19 +440,23 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		s.pool.submit(func() {
 			defer wg.Done()
+			if s.cfg.Remote == nil {
+				s.scoreChunkLocal(items, out, lo, hi)
+				return
+			}
 			for i := lo; i < hi; i++ {
 				it := items[i]
-				if it.err != nil {
-					out[i] = scoreLine{ID: it.pt.ID, Error: it.err.Error()}
+				if it.Err != nil {
+					out[i] = scoreLine{ID: it.Pt.ID, Error: it.Err.Error()}
 					s.met.lineErrors.Inc()
 					continue
 				}
 				start := s.now()
-				sc, err := s.scorePoint(r.Context(), it.pt)
+				sc, err := s.scorePoint(r.Context(), it.Pt)
 				s.observeSince(s.met.scoreLatency, start)
 				s.met.scoreLines.Inc()
 				if err != nil {
-					out[i] = scoreLine{ID: it.pt.ID, Error: err.Error()}
+					out[i] = scoreLine{ID: it.Pt.ID, Error: err.Error()}
 					s.met.lineErrors.Inc()
 					continue
 				}
@@ -499,17 +471,46 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.observeSince(s.met.scoreStage[stageWrite], writeStart)
 }
 
-// writeNDJSON streams n lines through one buffered encoder.
-func writeNDJSON(w http.ResponseWriter, n int, line func(enc *json.Encoder, i int) error) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for i := 0; i < n; i++ {
-		if err := line(enc, i); err != nil {
-			return
+// scoreChunkLocal scores one contiguous chunk against the local window via
+// ScoreBatch — a single scratch reused across the chunk — and maps per-slot
+// results back to their line indices with the same metrics accounting as the
+// per-point path (one latency observation per scored line, amortized).
+func (s *Server) scoreChunkLocal(items []httpapi.BatchItem, out []scoreLine, lo, hi int) {
+	pts := make([]geom.Point, 0, hi-lo)
+	lineOf := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		if items[i].Err != nil {
+			out[i] = scoreLine{ID: items[i].Pt.ID, Error: items[i].Err.Error()}
+			s.met.lineErrors.Inc()
+			continue
+		}
+		pts = append(pts, items[i].Pt)
+		lineOf = append(lineOf, i)
+	}
+	start := s.now()
+	scores, scoreErrs := s.win.ScoreBatch(pts, 1)
+	perLine := 0.0
+	if n := len(pts); n > 0 {
+		if d := s.now().Sub(start); d > 0 {
+			perLine = d.Seconds() / float64(n)
 		}
 	}
-	bw.Flush()
+	for j, i := range lineOf {
+		s.met.scoreLatency.Observe(perLine)
+		s.met.scoreLines.Inc()
+		if scoreErrs[j] != nil {
+			out[i] = scoreLine{ID: pts[j].ID, Error: scoreErrs[j].Error()}
+			s.met.lineErrors.Inc()
+			continue
+		}
+		sc := scores[j]
+		out[i] = scoreLine{ID: sc.ID, Neighbors: sc.Neighbors, Outlier: sc.Outlier}
+	}
+}
+
+// writeNDJSON streams n lines through one buffered encoder.
+func writeNDJSON(w http.ResponseWriter, n int, line func(enc *json.Encoder, i int) error) {
+	httpapi.WriteNDJSON(w, n, line)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

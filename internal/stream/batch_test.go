@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dod/internal/errs"
+	"dod/internal/geom"
+)
+
+// batchScene builds a randomized ingest sequence with deliberate bad items
+// (duplicate IDs, wrong dimensions) so the per-slot error contract is
+// exercised alongside the happy path.
+func batchScene(seed int64) (Config, []geom.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := Config{
+		R:        0.5 + rng.Float64()*4,
+		K:        1 + rng.Intn(5),
+		Dim:      2,
+		Capacity: 8 + rng.Intn(40),
+	}
+	n := 20 + rng.Intn(180)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		id := uint64(i)
+		if rng.Intn(12) == 0 && i > 0 {
+			id = uint64(rng.Intn(i)) // sometimes a duplicate of an earlier ID
+		}
+		coords := []float64{rng.Float64() * 20, rng.Float64() * 20}
+		if rng.Intn(25) == 0 {
+			coords = coords[:1] // sometimes the wrong dimensionality
+		}
+		pts[i] = geom.Point{ID: id, Coords: coords}
+	}
+	return cfg, pts
+}
+
+// splitInto cuts pts into batches of the given size (the final batch may be
+// shorter); size <= 0 means one batch holding everything.
+func splitInto(pts []geom.Point, size int) [][]geom.Point {
+	if size <= 0 {
+		return [][]geom.Point{pts}
+	}
+	var out [][]geom.Point
+	for lo := 0; lo < len(pts); lo += size {
+		hi := lo + size
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		out = append(out, pts[lo:hi])
+	}
+	return out
+}
+
+// TestProcessBatchSplitInvariance is the batch-API contract: cutting one
+// logical stream into batches of any size yields byte-identical verdicts,
+// error slots, flip counters, eviction totals and final window contents to
+// point-at-a-time ingestion, provided each point observes its batch's
+// timestamp. Batch sizes 1, 7, 64 and whole-stream are compared against the
+// sequential reference.
+func TestProcessBatchSplitInvariance(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	f := func(seed int64) bool {
+		cfg, pts := batchScene(seed)
+		for _, size := range []int{1, 7, 64, 0} {
+			batches := splitInto(pts, size)
+
+			ref, err := NewWindow(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantV []Verdict
+			var wantE []error
+			for bi, batch := range batches {
+				now := base.Add(time.Duration(bi) * time.Second)
+				for _, p := range batch {
+					v, err := ref.Process(p, now)
+					wantV = append(wantV, v)
+					wantE = append(wantE, err)
+				}
+			}
+
+			win, err := NewWindow(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gotV []Verdict
+			var gotE []error
+			for bi, batch := range batches {
+				now := base.Add(time.Duration(bi) * time.Second)
+				vs, es := win.ProcessBatch(batch, now)
+				gotV = append(gotV, vs...)
+				gotE = append(gotE, es...)
+			}
+
+			if !reflect.DeepEqual(gotV, wantV) {
+				t.Logf("seed %d size %d: verdicts diverge", seed, size)
+				return false
+			}
+			for i := range wantE {
+				if (gotE[i] == nil) != (wantE[i] == nil) {
+					t.Logf("seed %d size %d item %d: err %v vs %v", seed, size, i, gotE[i], wantE[i])
+					return false
+				}
+				if wantE[i] != nil && gotE[i].Error() != wantE[i].Error() {
+					t.Logf("seed %d size %d item %d: err %q vs %q", seed, size, i, gotE[i], wantE[i])
+					return false
+				}
+			}
+			// Occupancy depends on each index's random maphash seed, so two
+			// windows never shard identically; every other counter must match.
+			gotSt, wantSt := win.Stats(), ref.Stats()
+			gotSt.Occupancy, wantSt.Occupancy = nil, nil
+			if !reflect.DeepEqual(gotSt, wantSt) {
+				t.Logf("seed %d size %d: stats diverge: %+v vs %+v", seed, size, gotSt, wantSt)
+				return false
+			}
+			if !reflect.DeepEqual(win.Snapshot(), ref.Snapshot()) {
+				t.Logf("seed %d size %d: snapshots diverge", seed, size)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProcessBatchErrorSlots pins the per-slot error identities: bad items
+// fail individually with the documented sentinels while the rest of the
+// batch is admitted.
+func TestProcessBatchErrorSlots(t *testing.T) {
+	win, err := NewWindow(Config{R: 1, K: 2, Dim: 2, Capacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []geom.Point{
+		{ID: 1, Coords: []float64{0, 0}},
+		{ID: 1, Coords: []float64{1, 1}},    // duplicate of slot 0
+		{ID: 2, Coords: []float64{1, 2, 3}}, // wrong dimension
+		{ID: 3, Coords: []float64{0.5, 0}},
+	}
+	vs, es := win.ProcessBatch(batch, time.Unix(0, 0))
+	if es[0] != nil || es[3] != nil {
+		t.Fatalf("good slots failed: %v %v", es[0], es[3])
+	}
+	if !errors.Is(es[1], errs.ErrDuplicateID) {
+		t.Errorf("slot 1: %v, want ErrDuplicateID", es[1])
+	}
+	if !errors.Is(es[2], errs.ErrDimMismatch) {
+		t.Errorf("slot 2: %v, want ErrDimMismatch", es[2])
+	}
+	if vs[1] != (Verdict{}) || vs[2] != (Verdict{}) {
+		t.Errorf("failed slots carry non-zero verdicts: %+v %+v", vs[1], vs[2])
+	}
+	if vs[3].Seq != 2 {
+		t.Errorf("slot 3 seq = %d, want 2 (failed slots consume no sequence numbers)", vs[3].Seq)
+	}
+	if st := win.Stats(); st.Len != 2 || st.Ingested != 2 {
+		t.Errorf("stats after partial batch: %+v", st)
+	}
+}
+
+// TestProcessBatchClosed: a closed window fails every slot with ErrClosed.
+func TestProcessBatchClosed(t *testing.T) {
+	win, err := NewWindow(Config{R: 1, K: 1, Dim: 2, Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win.Close()
+	_, es := win.ProcessBatch([]geom.Point{{ID: 1, Coords: []float64{0, 0}}}, time.Unix(0, 0))
+	if !errors.Is(es[0], errs.ErrClosed) {
+		t.Errorf("got %v, want ErrClosed", es[0])
+	}
+	_, ses := win.ScoreBatch([]geom.Point{{ID: 1, Coords: []float64{0, 0}}}, 2)
+	if !errors.Is(ses[0], errs.ErrClosed) {
+		t.Errorf("score: got %v, want ErrClosed", ses[0])
+	}
+}
+
+// TestScoreBatchMatchesScorePoint: batch scoring at any worker count equals
+// per-point ScorePoint, including error slots for bad-dimension queries.
+func TestScoreBatchMatchesScorePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	win, err := NewWindow(Config{R: 2, K: 3, Dim: 2, Capacity: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		p := geom.Point{ID: uint64(i), Coords: []float64{rng.Float64() * 15, rng.Float64() * 15}}
+		if _, err := win.Process(p, time.Unix(int64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := make([]geom.Point, 200)
+	for i := range queries {
+		coords := []float64{rng.Float64() * 15, rng.Float64() * 15}
+		if i%40 == 13 {
+			coords = coords[:1] // bad dimension
+		}
+		queries[i] = geom.Point{ID: uint64(10000 + i), Coords: coords}
+	}
+	wantS := make([]Score, len(queries))
+	wantE := make([]error, len(queries))
+	for i, q := range queries {
+		wantS[i], wantE[i] = win.ScorePoint(q)
+	}
+	for _, workers := range []int{1, 2, 7, 0} {
+		gotS, gotE := win.ScoreBatch(queries, workers)
+		if !reflect.DeepEqual(gotS, wantS) {
+			t.Errorf("workers=%d: scores diverge from ScorePoint", workers)
+		}
+		for i := range wantE {
+			if (gotE[i] == nil) != (wantE[i] == nil) {
+				t.Errorf("workers=%d slot %d: err %v vs %v", workers, i, gotE[i], wantE[i])
+			}
+		}
+	}
+}

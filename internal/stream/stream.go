@@ -189,11 +189,18 @@ func (w *Window) Process(p geom.Point, now time.Time) (Verdict, error) {
 	if w.closed.Load() {
 		return Verdict{}, errs.ErrClosed
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.processLocked(p, now)
+}
+
+// processLocked is one point's admission under w.mu — the unit both Process
+// and ProcessBatch are built from, so a batch is exactly a sequence of
+// single-point ingests sharing one lock acquisition.
+func (w *Window) processLocked(p geom.Point, now time.Time) (Verdict, error) {
 	if p.Dim() != w.cfg.Dim {
 		return Verdict{}, &errs.DimMismatchError{ID: p.ID, Got: p.Dim(), Want: w.cfg.Dim}
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	if _, dup := w.entries[p.ID]; dup {
 		return Verdict{}, &errs.DuplicateIDError{ID: p.ID}
 	}

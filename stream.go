@@ -92,6 +92,36 @@ func (d *StreamDetector) Score(p Point) (StreamScore, error) {
 	return d.win.ScorePoint(p)
 }
 
+// ProcessBatch ingests pts in order under one lock acquisition and one
+// shared arrival timestamp (time.Now() at the call), amortizing the
+// per-point synchronization cost. Verdicts, sequence numbers, flips and
+// evictions are bit-identical to calling Process on each point at that
+// instant, for any way of splitting a stream into batches.
+//
+// Failures are per item, not fail-fast: see BatchResult for the partial-
+// failure contract.
+func (d *StreamDetector) ProcessBatch(pts []Point) *BatchResult {
+	return d.ProcessBatchAt(pts, time.Now())
+}
+
+// ProcessBatchAt is ProcessBatch with an explicit shared arrival time —
+// for replaying recorded streams and for deterministic tests. Arrival
+// times must be non-decreasing across calls for TTL semantics to hold.
+func (d *StreamDetector) ProcessBatchAt(pts []Point, now time.Time) *BatchResult {
+	verdicts, errs := d.win.ProcessBatch(pts, now)
+	return &BatchResult{Verdicts: verdicts, Errs: errs}
+}
+
+// ScoreBatch judges pts against the current window without ingesting them,
+// spreading the queries over up to GOMAXPROCS goroutines. Like Score it
+// takes no window lock, so read throughput scales with StreamConfig.Shards;
+// each result is identical to a Score call on the same point. Failures are
+// per item: see BatchResult.
+func (d *StreamDetector) ScoreBatch(pts []Point) *BatchResult {
+	scores, errs := d.win.ScoreBatch(pts, 0)
+	return &BatchResult{Scores: scores, Errs: errs}
+}
+
 // EvictExpired drains points older than the TTL horizon relative to now
 // and reports how many were evicted. Process does this implicitly; call it
 // directly to age out an idle window.
