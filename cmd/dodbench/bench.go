@@ -43,6 +43,11 @@ type benchFile struct {
 	Parallel []parallelRecord `json:"parallel"`
 	Pipeline pipelineRecord   `json:"pipeline"`
 	Dist     distRecord       `json:"dist"`
+	// Serve measures the NDJSON serving tier over loopback HTTP — the fast
+	// wire path against the legacy one on the same build, single-process and
+	// sharded — so the committed baseline documents the wire-path speedup
+	// and the support-RPC coalescing factor.
+	Serve serveSection `json:"serve"`
 }
 
 type benchParams struct {
@@ -456,6 +461,12 @@ func runJSONBench(cfg benchRunConfig, path string) error {
 		return err
 	}
 	doc.Dist = distRec
+	fmt.Fprintf(os.Stderr, "dodbench: measuring serving tier (%d points)\n", cfg.points)
+	serveSec, err := measureServe(cfg)
+	if err != nil {
+		return err
+	}
+	doc.Serve = serveSec
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

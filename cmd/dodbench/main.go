@@ -9,6 +9,7 @@
 //	dodbench -json BENCH.json      # machine-readable kernel + pipeline benchmarks
 //	dodbench -json - -cpuprofile cpu.pprof
 //	dodbench -parcheck -parcheck-min 2  # gate: parallel kernel >= 2x sequential
+//	dodbench -servecheck -servecheck-min 2  # gate: fast wire path >= 2x legacy
 //
 // Larger -segment-n / -base-n values reduce the laptop-scale artifacts
 // discussed in EXPERIMENTS.md at the price of longer runs.
@@ -76,6 +77,10 @@ func main() {
 	parCheck := flag.Bool("parcheck", false, "benchmark the parallel Cell-Based kernel against the sequential one at GOMAXPROCS workers, verify bit-identity, and exit nonzero if the speedup ratio is below -parcheck-min")
 	parCheckMin := flag.Float64("parcheck-min", 0, "minimum parallel/sequential throughput ratio for -parcheck")
 	parCheckN := flag.Int("parcheck-n", 8000, "dataset size for -parcheck")
+	serveCheck := flag.Bool("servecheck", false, "benchmark the fast NDJSON serving wire path against the legacy one over loopback HTTP, verify the two answer byte-identical streams, and exit nonzero below -servecheck-min or above -servecheck-allocs")
+	serveCheckMin := flag.Float64("servecheck-min", 0, "minimum fast/legacy ingest throughput ratio for -servecheck")
+	serveCheckAllocs := flag.Float64("servecheck-allocs", 0, "maximum whole-process allocations per ingested line for -servecheck (0 disables)")
+	serveCheckN := flag.Int("servecheck-n", 6000, "dataset size for -servecheck")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Var(&figs, "fig", "figure to run (4, 5, 7a, 7b, 8a, 8b, 9a, 9b, 10a, 10b, g=generality); repeatable; default all")
@@ -113,6 +118,13 @@ func main() {
 
 	if *parCheck {
 		if err := runParCheck(*parCheckN, *parCheckMin); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *serveCheck {
+		if err := runServeCheck(*serveCheckN, *serveCheckMin, *serveCheckAllocs); err != nil {
 			fail(err)
 		}
 		return

@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"time"
+
+	"dod/internal/geom"
+	"dod/internal/obs"
+	"dod/internal/retry"
+	"dod/internal/router"
+	"dod/internal/serve"
+	"dod/internal/stream"
+	"dod/internal/synth"
+)
+
+// The serve section measures the NDJSON serving tier end to end over
+// loopback HTTP: a single-process dodserve and a router fronting three
+// shard servers, each in its "fast" wiring (wirejson codec, pooled
+// buffers, coalesced support RPCs) and its "legacy" wiring (encoding/json,
+// per-point shard RPCs) on the same build. The two wirings answer
+// byte-identical streams — the section records that check alongside the
+// throughput ratio, so a committed baseline documents both the speedup and
+// that it cost nothing in behavior.
+
+const supportRPCHelp = "boundary support round trips issued over the wire"
+
+// serveRecord is one (tier, wiring) measurement.
+type serveRecord struct {
+	Tier            string  `json:"tier"` // "single" | "sharded"
+	Mode            string  `json:"mode"` // "fast" | "legacy"
+	Lines           int     `json:"lines"`
+	BatchLines      int     `json:"batch_lines"`
+	IngestPtsPerSec float64 `json:"ingest_pts_per_sec"`
+	ScorePtsPerSec  float64 `json:"score_pts_per_sec"`
+	// IngestAllocsPerLine is the whole-process allocation count per ingested
+	// line across the loopback exchange — client, transport and server —
+	// so the server-side fast path must hold ~0 for the number to approach
+	// the client-side floor.
+	IngestAllocsPerLine float64 `json:"ingest_allocs_per_line"`
+	// SupportRPCsPer1k counts boundary support round trips per 1000 ingested
+	// points, summed across the router and every shard (sharded tier only).
+	SupportRPCsPer1k float64 `json:"support_rpcs_per_1k,omitempty"`
+}
+
+// serveSection is the benchFile's serving-tier section.
+type serveSection struct {
+	Shards               int           `json:"shards"`
+	Records              []serveRecord `json:"records"`
+	SingleIngestSpeedup  float64       `json:"single_ingest_speedup"`
+	ShardedIngestSpeedup float64       `json:"sharded_ingest_speedup"`
+	SupportRPCReduction  float64       `json:"support_rpc_reduction"`
+	// ResponsesMatch is true when the fast and legacy wirings answered
+	// byte-identical ingest and score streams on both tiers.
+	ResponsesMatch bool `json:"responses_match"`
+}
+
+// serveBenchPoints generates the bench stream: the same clustered synthetic
+// geography the kernel benchmarks use, 2-D, IDs unique from 0.
+func serveBenchPoints(n int) []geom.Point {
+	return synth.Segment(synth.Massachusetts, n, 3)
+}
+
+// ndjsonBatches renders points into canonical NDJSON request bodies of
+// batchLines lines each — canonical so the fast parser takes its fast path,
+// exactly as a well-formed client would produce.
+func ndjsonBatches(pts []geom.Point, batchLines int) [][]byte {
+	var batches [][]byte
+	var buf []byte
+	for i, p := range pts {
+		buf = append(buf, `{"id":`...)
+		buf = strconv.AppendUint(buf, p.ID, 10)
+		buf = append(buf, `,"coords":[`...)
+		for d, c := range p.Coords {
+			if d > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendFloat(buf, c, 'g', -1, 64)
+		}
+		buf = append(buf, "]}\n"...)
+		if (i+1)%batchLines == 0 || i == len(pts)-1 {
+			batches = append(batches, buf)
+			buf = nil
+		}
+	}
+	return batches
+}
+
+// postAll streams every batch to url, folding each response into sum and
+// returning elapsed wall time and the whole-process allocation delta.
+func postAll(url string, batches [][]byte, sum *fnv64Sum) (time.Duration, uint64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, body := range batches {
+		resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(body))
+		if err != nil {
+			return 0, 0, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(raw))
+		}
+		sum.add(raw)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed, m1.Mallocs - m0.Mallocs, nil
+}
+
+// fnv64Sum folds response streams into one digest for cross-mode identity
+// checks without retaining megabytes of NDJSON.
+type fnv64Sum struct{ h uint64 }
+
+func newSum() *fnv64Sum { return &fnv64Sum{} }
+
+func (s *fnv64Sum) add(b []byte) {
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(s.h >> (8 * i))
+	}
+	h.Write(seed[:]) //nolint:errcheck
+	h.Write(b)       //nolint:errcheck
+	s.h = h.Sum64()
+}
+
+// measureServeSingle benchmarks one wiring of the single-process tier and
+// returns the record plus digests of the ingest and score streams.
+func measureServeSingle(pts []geom.Point, batchLines int, legacy bool) (serveRecord, uint64, uint64, error) {
+	srv, err := serve.New(serve.Config{
+		Stream:     stream.Config{R: jsonParams.R, K: jsonParams.K, Dim: 2, Capacity: len(pts) + 1},
+		LegacyWire: legacy,
+	})
+	if err != nil {
+		return serveRecord{}, 0, 0, err
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	batches := ndjsonBatches(pts, batchLines)
+	ingestSum, scoreSum := newSum(), newSum()
+	ingestWall, mallocs, err := postAll(hs.URL+"/v1/ingest", batches, ingestSum)
+	if err != nil {
+		return serveRecord{}, 0, 0, err
+	}
+	scoreWall, _, err := postAll(hs.URL+"/v1/score", batches, scoreSum)
+	if err != nil {
+		return serveRecord{}, 0, 0, err
+	}
+	mode := "fast"
+	if legacy {
+		mode = "legacy"
+	}
+	n := float64(len(pts))
+	return serveRecord{
+		Tier: "single", Mode: mode, Lines: len(pts), BatchLines: batchLines,
+		IngestPtsPerSec:     n / ingestWall.Seconds(),
+		ScorePtsPerSec:      n / scoreWall.Seconds(),
+		IngestAllocsPerLine: float64(mallocs) / n,
+	}, ingestSum.h, scoreSum.h, nil
+}
+
+// measureServeSharded benchmarks one wiring of the router + 3-shard tier.
+func measureServeSharded(pts []geom.Point, batchLines, shards int, legacy bool) (serveRecord, uint64, uint64, error) {
+	var infos []router.ShardInfo
+	var regs []*obs.Registry
+	var servers []*httptest.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < shards; i++ {
+		reg := obs.NewRegistry()
+		ss, err := serve.NewShard(serve.ShardServerConfig{
+			Name: fmt.Sprintf("s%d", i), R: jsonParams.R, K: jsonParams.K, Dim: 2,
+			Obs: reg, Retry: retry.Policy{Base: time.Millisecond},
+		})
+		if err != nil {
+			return serveRecord{}, 0, 0, err
+		}
+		hs := httptest.NewServer(ss.Handler())
+		servers = append(servers, hs)
+		regs = append(regs, reg)
+		infos = append(infos, router.ShardInfo{Name: fmt.Sprintf("s%d", i), URL: hs.URL})
+	}
+	routerReg := obs.NewRegistry()
+	rt, err := router.New(router.Config{
+		R: jsonParams.R, K: jsonParams.K, Dim: 2, Capacity: len(pts) + 1,
+		Shards: infos, Obs: routerReg,
+		Retry:      retry.Policy{Base: time.Millisecond},
+		LegacyWire: legacy, NoCoalesce: legacy,
+	})
+	if err != nil {
+		return serveRecord{}, 0, 0, err
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		return serveRecord{}, 0, 0, err
+	}
+	defer rt.Close()
+	hs := httptest.NewServer(rt.Handler())
+	servers = append(servers, hs)
+	regs = append(regs, routerReg)
+
+	supportTotal := func() int64 {
+		var total int64
+		for _, reg := range regs {
+			total += reg.Counter("dod_support_rpc_total", supportRPCHelp).Value()
+		}
+		return total
+	}
+
+	batches := ndjsonBatches(pts, batchLines)
+	ingestSum, scoreSum := newSum(), newSum()
+	rpcs0 := supportTotal()
+	ingestWall, mallocs, err := postAll(hs.URL+"/v1/ingest", batches, ingestSum)
+	if err != nil {
+		return serveRecord{}, 0, 0, err
+	}
+	rpcs1 := supportTotal()
+	scoreWall, _, err := postAll(hs.URL+"/v1/score", batches, scoreSum)
+	if err != nil {
+		return serveRecord{}, 0, 0, err
+	}
+	mode := "fast"
+	if legacy {
+		mode = "legacy"
+	}
+	n := float64(len(pts))
+	return serveRecord{
+		Tier: "sharded", Mode: mode, Lines: len(pts), BatchLines: batchLines,
+		IngestPtsPerSec:     n / ingestWall.Seconds(),
+		ScorePtsPerSec:      n / scoreWall.Seconds(),
+		IngestAllocsPerLine: float64(mallocs) / n,
+		SupportRPCsPer1k:    float64(rpcs1-rpcs0) / (n / 1000),
+	}, ingestSum.h, scoreSum.h, nil
+}
+
+// measureServe runs all four (tier, wiring) cells and derives the ratios.
+func measureServe(cfg benchRunConfig) (serveSection, error) {
+	const (
+		batchLines  = 1000
+		serveShards = 3
+	)
+	singleLines := cfg.points
+	shardedLines := cfg.points / 4
+	if shardedLines < 2000 {
+		shardedLines = 2000
+	}
+	singlePts := serveBenchPoints(singleLines)
+	shardedPts := serveBenchPoints(shardedLines)
+
+	sec := serveSection{Shards: serveShards, ResponsesMatch: true}
+
+	singleFast, fi, fs, err := measureServeSingle(singlePts, batchLines, false)
+	if err != nil {
+		return sec, err
+	}
+	singleLegacy, li, ls, err := measureServeSingle(singlePts, batchLines, true)
+	if err != nil {
+		return sec, err
+	}
+	sec.ResponsesMatch = sec.ResponsesMatch && fi == li && fs == ls
+
+	shardFast, sfi, sfs, err := measureServeSharded(shardedPts, batchLines, serveShards, false)
+	if err != nil {
+		return sec, err
+	}
+	shardLegacy, sli, sls, err := measureServeSharded(shardedPts, batchLines, serveShards, true)
+	if err != nil {
+		return sec, err
+	}
+	sec.ResponsesMatch = sec.ResponsesMatch && sfi == sli && sfs == sls
+
+	sec.Records = []serveRecord{singleFast, singleLegacy, shardFast, shardLegacy}
+	sec.SingleIngestSpeedup = singleFast.IngestPtsPerSec / singleLegacy.IngestPtsPerSec
+	sec.ShardedIngestSpeedup = shardFast.IngestPtsPerSec / shardLegacy.IngestPtsPerSec
+	if shardFast.SupportRPCsPer1k > 0 {
+		sec.SupportRPCReduction = shardLegacy.SupportRPCsPer1k / shardFast.SupportRPCsPer1k
+	}
+	return sec, nil
+}
+
+// runServeCheck is the CI gate for the serving wire path: the fast and
+// legacy wirings must answer byte-identical streams, the fast wiring must
+// ingest at least minSpeedup times faster, and (when maxAllocs > 0) the
+// loopback exchange must stay under maxAllocs allocations per line.
+func runServeCheck(n int, minSpeedup, maxAllocs float64) error {
+	pts := serveBenchPoints(n)
+	fast, fi, fs, err := measureServeSingle(pts, 1000, false)
+	if err != nil {
+		return err
+	}
+	legacy, li, ls, err := measureServeSingle(pts, 1000, true)
+	if err != nil {
+		return err
+	}
+	if fi != li || fs != ls {
+		return fmt.Errorf("servecheck: fast and legacy wire paths answered different streams (ingest %x vs %x, score %x vs %x)", fi, li, fs, ls)
+	}
+	speedup := fast.IngestPtsPerSec / legacy.IngestPtsPerSec
+	fmt.Printf("dodbench: servecheck n=%d fast=%.0f pts/s legacy=%.0f pts/s speedup=%.2f allocs/line=%.2f min=%.2f max-allocs=%.2f\n",
+		n, fast.IngestPtsPerSec, legacy.IngestPtsPerSec, speedup, fast.IngestAllocsPerLine, minSpeedup, maxAllocs)
+	if minSpeedup > 0 && speedup < minSpeedup {
+		return fmt.Errorf("servecheck: fast/legacy ingest ratio %.2f below minimum %.2f", speedup, minSpeedup)
+	}
+	if maxAllocs > 0 && fast.IngestAllocsPerLine > maxAllocs {
+		return fmt.Errorf("servecheck: %.2f allocations per ingested line exceeds maximum %.2f", fast.IngestAllocsPerLine, maxAllocs)
+	}
+	return nil
+}

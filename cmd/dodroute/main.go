@@ -26,6 +26,10 @@
 //	GET  /v1/snapshot          the aggregated global window.
 //	GET  /healthz /readyz /statsz /metrics as usual.
 //
+// -pprof additionally mounts the net/http/pprof profiling handlers under
+// /debug/pprof/, same as dodserve's flag — profile the router and a shard
+// side by side to see which tier owns a regression.
+//
 // With -addr :0 the actual bound address is printed on stdout as
 // "dodroute: listening on HOST:PORT".
 package main
@@ -65,6 +69,7 @@ func main() {
 		tenantQuota   = flag.Int64("tenant-quota", 0, "per-tenant lifetime ingested-line quota (0 = unlimited)")
 		probeInterval = flag.Duration("probe-interval", time.Second, "shard health-probe period")
 		retries       = flag.Int("shard-retries", 0, "max attempts per shard call (0 = default 8)")
+		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -82,6 +87,7 @@ func main() {
 		ProbeInterval: *probeInterval,
 		RetryAttempts: *retries,
 		Retry:         retry.Policy{Base: 50 * time.Millisecond},
+		EnablePprof:   *pprofOn,
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dodroute:", err)

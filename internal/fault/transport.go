@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"dod/internal/httpapi"
 )
 
 // Transport wraps an http.RoundTripper with fault injection. Each request
@@ -22,10 +24,12 @@ import (
 //   - Corrupt: send, then flip one byte of the response body — exercises
 //     the codec integrity check at the frame boundary.
 //
-// inner nil uses http.DefaultTransport; in nil injects nothing.
+// inner nil uses httpapi.NewTransport — the same tuned transport the
+// serving tier defaults to, so fault-wrapped clients keep its connection
+// reuse. in nil injects nothing.
 func Transport(inner http.RoundTripper, in *Injector, prefix string) http.RoundTripper {
 	if inner == nil {
-		inner = http.DefaultTransport
+		inner = httpapi.NewTransport()
 	}
 	return &faultTransport{inner: inner, in: in, prefix: prefix}
 }

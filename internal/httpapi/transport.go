@@ -1,0 +1,31 @@
+package httpapi
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewTransport builds the tuned transport shared by every serving-tier
+// loopback client (router→shard, shard→shard). http.DefaultTransport keeps
+// only two idle connections per host, so a router fanning batches out to a
+// handful of shards reconnects constantly under load; the serving hops are
+// few, long-lived, and high-rate, which wants a deep per-host idle pool.
+// Router and shard constructors use this when no custom Transport is
+// configured, and the fault-injection seam wraps it the same way it wraps
+// any caller-supplied RoundTripper.
+func NewTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   30 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          512,
+		MaxIdleConnsPerHost:   128,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+	}
+}

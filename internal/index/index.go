@@ -25,8 +25,8 @@
 package index
 
 import (
-	"hash/maphash"
 	"math"
+	"math/rand/v2"
 	"sync"
 
 	"dod/internal/detect"
@@ -56,19 +56,27 @@ type Config struct {
 	Obs *obs.Registry
 }
 
-// cellKey is the flattened string form of a cell's integer coordinates,
-// usable as a map key for any dimensionality.
+// cellKey is the flattened string form of a cell's integer coordinates.
+// The live cell map is keyed by a 64-bit coordinate hash instead (string
+// keys cost a re-hash plus a memory compare on every one of the ~(2·L2+1)^d
+// probes a neighbor walk issues); the string form survives for tests and
+// diagnostics that want a canonical printable key.
 type cellKey string
 
-// cell holds the points currently hashed to one grid cell.
+// cell holds the points currently hashed to one grid cell, its exact
+// coordinates, and an overflow chain for the astronomically rare case of
+// two coordinate vectors sharing a 64-bit hash. Correctness never leans on
+// hash quality: every probe verifies coords before touching points.
 type cell struct {
+	coords []int64
+	next   *cell
 	points []geom.Point
 }
 
 // shard is one lock stripe: a fraction of the cells, guarded by one mutex.
 type shard struct {
 	mu    sync.RWMutex
-	cells map[cellKey]*cell
+	cells map[uint64]*cell
 	n     int // points resident in this shard
 }
 
@@ -81,7 +89,7 @@ type Index struct {
 	side   float64 // cell side r/(2√d)
 	l2     int     // Chebyshev radius beyond which no neighbor exists
 	shards []shard
-	seed   maphash.Seed
+	seed   uint64        // per-index stripe-hash seed
 	met    *indexMetrics // nil when unobserved
 }
 
@@ -134,10 +142,10 @@ func New(cfg Config) (*Index, error) {
 		side:   detect.CellSide(cfg.Dim, cfg.R),
 		l2:     detect.L2Radius(cfg.Dim),
 		shards: make([]shard, shards),
-		seed:   maphash.MakeSeed(),
+		seed:   rand.Uint64(),
 	}
 	for i := range ix.shards {
-		ix.shards[i].cells = make(map[cellKey]*cell)
+		ix.shards[i].cells = make(map[uint64]*cell)
 	}
 	if cfg.Obs != nil {
 		ix.met = registerMetrics(cfg.Obs, ix)
@@ -153,14 +161,21 @@ func (ix *Index) R() float64 { return ix.r }
 
 // coords maps a point to its integer cell coordinate vector.
 func (ix *Index) coords(p geom.Point) []int64 {
-	c := make([]int64, ix.dim)
-	for i, v := range p.Coords {
-		c[i] = int64(math.Floor(v / ix.side))
-	}
-	return c
+	return ix.cellCoordsInto(make([]int64, 0, ix.dim), p)
 }
 
-// key flattens integer cell coordinates into a map key.
+// cellCoordsInto computes p's cell coordinates into buf; the hot paths pass
+// a stack-backed buffer so the per-point coordinate vector is free.
+func (ix *Index) cellCoordsInto(buf []int64, p geom.Point) []int64 {
+	for _, v := range p.Coords {
+		buf = append(buf, int64(math.Floor(v/ix.side)))
+	}
+	return buf
+}
+
+// key flattens integer cell coordinates into a canonical printable form;
+// tests use it to compare cell identities. The live map is keyed by
+// cellHash instead.
 func key(c []int64) cellKey {
 	buf := make([]byte, 0, len(c)*8)
 	for _, v := range c {
@@ -171,12 +186,28 @@ func key(c []int64) cellKey {
 	return cellKey(buf)
 }
 
-// shardFor maps a cell key onto its lock stripe.
-func (ix *Index) shardFor(k cellKey) *shard {
-	var h maphash.Hash
-	h.SetSeed(ix.seed)
-	h.WriteString(string(k))
-	return &ix.shards[h.Sum64()%uint64(len(ix.shards))]
+// cellHash folds a cell coordinate vector into the 64-bit key of the cell
+// map, seeded per index. An FNV-style xor-multiply over whole coordinates
+// inlines into the probe loop; hash quality only affects performance, never
+// correctness, because cells carry their exact coordinates and an overflow
+// chain.
+func (ix *Index) cellHash(c []int64) uint64 {
+	h := ix.seed ^ 14695981039346656037
+	for _, v := range c {
+		h = (h ^ uint64(v)) * 1099511628211
+	}
+	return h
+}
+
+// sameCoords reports whether two equal-length coordinate vectors match —
+// the exactness guard behind every hash-keyed cell probe.
+func sameCoords(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // checkDim validates a point's dimensionality against the index. Failures
@@ -189,18 +220,25 @@ func (ix *Index) checkDim(p geom.Point) error {
 }
 
 // Insert adds p to the index. The caller is responsible for ID uniqueness;
-// the sliding-window layer above enforces it.
+// the sliding-window layer above enforces it. The retained coordinate copy
+// is only materialized when the insert creates a new cell; the common case
+// (a resident cell) probes through a stack buffer.
 func (ix *Index) Insert(p geom.Point) error {
 	if err := ix.checkDim(p); err != nil {
 		return err
 	}
-	k := key(ix.coords(p))
-	sh := ix.shardFor(k)
+	var a [8]int64
+	cc := ix.cellCoordsInto(a[:0], p)
+	h := ix.cellHash(cc)
+	sh := &ix.shards[h%uint64(len(ix.shards))]
 	sh.mu.Lock()
-	c := sh.cells[k]
+	c := sh.cells[h]
+	for c != nil && !sameCoords(c.coords, cc) {
+		c = c.next
+	}
 	if c == nil {
-		c = &cell{}
-		sh.cells[k] = c
+		c = &cell{coords: append([]int64(nil), cc...), next: sh.cells[h]}
+		sh.cells[h] = c
 	}
 	c.points = append(c.points, p)
 	sh.n++
@@ -217,11 +255,17 @@ func (ix *Index) Remove(p geom.Point) bool {
 	if p.Dim() != ix.dim {
 		return false
 	}
-	k := key(ix.coords(p))
-	sh := ix.shardFor(k)
+	var a [8]int64
+	cc := ix.cellCoordsInto(a[:0], p)
+	h := ix.cellHash(cc)
+	sh := &ix.shards[h%uint64(len(ix.shards))]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	c := sh.cells[k]
+	var prev *cell
+	c := sh.cells[h]
+	for c != nil && !sameCoords(c.coords, cc) {
+		prev, c = c, c.next
+	}
 	if c == nil {
 		return false
 	}
@@ -231,7 +275,15 @@ func (ix *Index) Remove(p geom.Point) bool {
 			c.points[i] = c.points[last]
 			c.points = c.points[:last]
 			if len(c.points) == 0 {
-				delete(sh.cells, k)
+				// Unlink the emptied cell from its hash chain.
+				switch {
+				case prev != nil:
+					prev.next = c.next
+				case c.next != nil:
+					sh.cells[h] = c.next
+				default:
+					delete(sh.cells, h)
+				}
 			}
 			sh.n--
 			if ix.met != nil {
@@ -268,21 +320,20 @@ func (ix *Index) ShardOccupancy() []int {
 	return occ
 }
 
-// readCell calls fn under the owning shard's read lock with the points of
-// the cell at key k, if the cell exists.
-func (ix *Index) readCell(k cellKey, fn func(pts []geom.Point)) {
-	sh := ix.shardFor(k)
+// readCellCoords calls fn under the owning stripe's read lock with the
+// points of the cell at coordinates cc, if the cell exists.
+func (ix *Index) readCellCoords(cc []int64, fn func(pts []geom.Point)) {
+	h := ix.cellHash(cc)
+	sh := &ix.shards[h%uint64(len(ix.shards))]
 	sh.mu.RLock()
-	if c := sh.cells[k]; c != nil {
+	c := sh.cells[h]
+	for c != nil && !sameCoords(c.coords, cc) {
+		c = c.next
+	}
+	if c != nil {
 		fn(c.points)
 	}
 	sh.mu.RUnlock()
-}
-
-// ringCells calls fn with the key of every cell whose Chebyshev distance
-// from center is exactly radius (or, for radius 0, the center itself).
-func ringCells(center []int64, radius int, fn func(k cellKey)) {
-	RingCells(center, radius, func(c []int64) { fn(key(c)) })
 }
 
 // RingCells calls fn with the integer coordinates of every cell whose
@@ -345,8 +396,8 @@ func (ix *Index) NeighborCount(p geom.Point, limit int) (int, error) {
 	// L1 auto-accept: every point in the radius-1 block is within r.
 	for radius := 0; radius <= 1 && count < limit; radius++ {
 		depth = radius
-		ringCells(center, radius, func(k cellKey) {
-			ix.readCell(k, func(pts []geom.Point) {
+		RingCells(center, radius, func(c []int64) {
+			ix.readCellCoords(c, func(pts []geom.Point) {
 				for _, q := range pts {
 					if q.ID != p.ID {
 						count++
@@ -359,11 +410,11 @@ func (ix *Index) NeighborCount(p geom.Point, limit int) (int, error) {
 		// Ring expansion with exact distance checks out to the L2 cutoff.
 		for radius := 2; radius <= ix.l2 && count < limit; radius++ {
 			depth = radius
-			ringCells(center, radius, func(k cellKey) {
+			RingCells(center, radius, func(c []int64) {
 				if count >= limit {
 					return
 				}
-				ix.readCell(k, func(pts []geom.Point) {
+				ix.readCellCoords(c, func(pts []geom.Point) {
 					for _, q := range pts {
 						if count >= limit {
 							return
@@ -451,7 +502,7 @@ func (ix *Index) NeighborsInCells(p geom.Point, cells [][]int64, limit int, fn f
 			break
 		}
 		exact := chebDist(center, c) > 1
-		ix.readCell(key(c), func(pts []geom.Point) {
+		ix.readCellCoords(c, func(pts []geom.Point) {
 			for _, q := range pts {
 				if fn == nil && limit > 0 && count >= limit {
 					return
@@ -489,8 +540,8 @@ func (ix *Index) Neighbors(p geom.Point, fn func(q geom.Point)) error {
 	center := ix.coords(p)
 	for radius := 0; radius <= ix.l2; radius++ {
 		exact := radius > 1 // L1 block needs no distance checks
-		ringCells(center, radius, func(k cellKey) {
-			ix.readCell(k, func(pts []geom.Point) {
+		RingCells(center, radius, func(c []int64) {
+			ix.readCellCoords(c, func(pts []geom.Point) {
 				for _, q := range pts {
 					if q.ID == p.ID {
 						continue

@@ -1,26 +1,23 @@
 package index
 
 import (
-	"encoding/binary"
-	"hash/maphash"
 	"math"
 
 	"dod/internal/errs"
 	"dod/internal/geom"
 )
 
-// CountScratch holds the per-caller buffers of a NeighborCountScratch
-// query: the query cell coordinates, the ring-walk cursor and offset
-// odometer, and the cell-key encoding buffer. NeighborCount allocates these
-// per call; batch scoring issues thousands of queries per request, so each
-// scoring worker owns one CountScratch and the steady-state query path
-// allocates nothing. A CountScratch must not be shared between concurrent
-// queries; the Index itself remains safe for concurrent use.
+// CountScratch holds the per-caller buffers of a scratch neighbor query:
+// the query cell coordinates and the ring-walk cursor and offset odometer.
+// NeighborCount allocates these per call; batch scoring issues thousands of
+// queries per request, so each scoring worker owns one CountScratch and the
+// steady-state query path allocates nothing. A CountScratch must not be
+// shared between concurrent queries; the Index itself remains safe for
+// concurrent use.
 type CountScratch struct {
 	center []int64
 	cur    []int64
 	off    []int64
-	keyBuf []byte
 }
 
 // NewCountScratch returns an empty scratch; buffers are sized lazily to the
@@ -32,36 +29,10 @@ func (sc *CountScratch) grow(dim int) {
 		sc.center = make([]int64, dim)
 		sc.cur = make([]int64, dim)
 		sc.off = make([]int64, dim)
-		sc.keyBuf = make([]byte, dim*8)
 	}
 	sc.center = sc.center[:dim]
 	sc.cur = sc.cur[:dim]
 	sc.off = sc.off[:dim]
-	sc.keyBuf = sc.keyBuf[:dim*8]
-}
-
-// putKey encodes cell coordinates into buf with the same little-endian
-// layout as key(), so lookups through either path address the same cells.
-func putKey(buf []byte, c []int64) []byte {
-	for i, v := range c {
-		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
-	}
-	return buf
-}
-
-// readCellBuf is readCell keyed by an encoded byte buffer: the maphash runs
-// over the raw bytes (identical to hashing the cellKey string) and the map
-// probe converts in place, so no key string is materialized.
-func (ix *Index) readCellBuf(buf []byte, fn func(pts []geom.Point)) {
-	var h maphash.Hash
-	h.SetSeed(ix.seed)
-	h.Write(buf)
-	sh := &ix.shards[h.Sum64()%uint64(len(ix.shards))]
-	sh.mu.RLock()
-	if c := sh.cells[cellKey(buf)]; c != nil {
-		fn(c.points)
-	}
-	sh.mu.RUnlock()
 }
 
 // ringCellsSc enumerates the cells at exactly Chebyshev distance radius from
@@ -112,6 +83,67 @@ func (sc *CountScratch) ringCellsSc(radius int, fn func(cell []int64)) {
 	}
 }
 
+// cellBeyondR reports whether every point of cell c is farther than r from
+// p — the closest corner of the cell box [cᵢ·side, (cᵢ+1)·side) is already
+// beyond r. Probing such a cell cannot contribute a neighbor (WithinDist is
+// Dist² ≤ r², and every resident of c has Dist² ≥ the box minimum), so the
+// ring walks skip the hash + lock + map probe entirely. In 2D roughly half
+// of the 49-cell L2 neighborhood lies outside the r-disk, so the prune
+// halves the dominant per-point cost of the serving ingest path.
+func (ix *Index) cellBeyondR(p geom.Point, c []int64) bool {
+	var d2 float64
+	for i, v := range p.Coords {
+		lo := float64(c[i]) * ix.side
+		if v < lo {
+			d := lo - v
+			d2 += d * d
+		} else if hi := lo + ix.side; v > hi {
+			d := v - hi
+			d2 += d * d
+		}
+	}
+	return d2 > ix.r*ix.r
+}
+
+// NeighborsScratch is Neighbors with caller-owned buffers: it visits exactly
+// the same points in the same order (ring by ring, lexicographic within a
+// ring) but allocates nothing — the scratch ring walk carries the whole
+// enumeration — and skips ring-2+ cells that lie wholly outside the r-disk.
+// The sliding-window admission and eviction paths call this once per point,
+// so the per-cell allocations of the plain walk dominated the serving-tier
+// ingest profile before this variant existed. One scratch per goroutine.
+func (ix *Index) NeighborsScratch(sc *CountScratch, p geom.Point, fn func(q geom.Point)) error {
+	if err := ix.checkDim(p); err != nil {
+		return err
+	}
+	if ix.met != nil {
+		ix.met.scans.Inc()
+	}
+	sc.grow(ix.dim)
+	for i, v := range p.Coords {
+		sc.center[i] = int64(math.Floor(v / ix.side))
+	}
+	for radius := 0; radius <= ix.l2; radius++ {
+		exact := radius > 1 // L1 block needs no distance checks
+		sc.ringCellsSc(radius, func(c []int64) {
+			if exact && ix.cellBeyondR(p, c) {
+				return
+			}
+			ix.readCellCoords(c, func(pts []geom.Point) {
+				for _, q := range pts {
+					if q.ID == p.ID {
+						continue
+					}
+					if !exact || geom.WithinDist(p, q, ix.r) {
+						fn(q)
+					}
+				}
+			})
+		})
+	}
+	return nil
+}
+
 // NeighborCountScratch is NeighborCount with caller-owned buffers: same
 // arguments, same result for every input (the early-termination bound makes
 // the count order-independent, and the scratch ring walk visits the same
@@ -133,7 +165,7 @@ func (ix *Index) NeighborCountScratch(sc *CountScratch, p geom.Point, limit int)
 	for radius := 0; radius <= 1 && count < limit; radius++ {
 		depth = radius
 		sc.ringCellsSc(radius, func(c []int64) {
-			ix.readCellBuf(putKey(sc.keyBuf, c), func(pts []geom.Point) {
+			ix.readCellCoords(c, func(pts []geom.Point) {
 				for _, q := range pts {
 					if q.ID != p.ID {
 						count++
@@ -146,10 +178,10 @@ func (ix *Index) NeighborCountScratch(sc *CountScratch, p geom.Point, limit int)
 		for radius := 2; radius <= ix.l2 && count < limit; radius++ {
 			depth = radius
 			sc.ringCellsSc(radius, func(c []int64) {
-				if count >= limit {
+				if count >= limit || ix.cellBeyondR(p, c) {
 					return
 				}
-				ix.readCellBuf(putKey(sc.keyBuf, c), func(pts []geom.Point) {
+				ix.readCellCoords(c, func(pts []geom.Point) {
 					for _, q := range pts {
 						if count >= limit {
 							return

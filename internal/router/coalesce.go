@@ -1,0 +1,483 @@
+package router
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"dod/internal/errs"
+	"dod/internal/geom"
+	"dod/internal/httpapi"
+	"dod/internal/index"
+	"dod/internal/retry"
+)
+
+// Coalesced ingest. The per-point protocol costs one shard round trip per
+// point plus one support round trip per (point, peer). This path cuts a
+// batch into SEGMENTS — maximal runs of admissible points with no eviction
+// due between them — and settles each segment in two RPC waves:
+//
+//  1. ONE multi-probe /v1/support (delta +1) per peer shard carries every
+//     segment point's foreign cells for that peer. No segment point has
+//     been admitted anywhere yet, so the returned per-probe counts are the
+//     exact pre-segment foreign neighbor counts, and the applied +1s are
+//     exactly the deltas the per-point protocol would have applied.
+//  2. ONE /v1/shard/ingest_batch per owning shard admits its points with
+//     those counts attached, plus the segment-internal cross-shard pairs
+//     the probes could not see (computed right here from the points in
+//     hand, with the index's own acceptance rule).
+//
+// The verdict stream is byte-identical to the per-point protocol's outside
+// failure modes: within a segment neighbor counts only grow, so folding a
+// point's later-arriving +1s after the run crosses K exactly when the
+// interleaved order did. Under terminal shard failures the coalesced path
+// may leak +1s for points that then fail admission — the same class of
+// partial-application the per-point protocol already accepts when a
+// support call succeeds and the admission after it fails.
+
+// segPoint is one admission staged in the current segment.
+type segPoint struct {
+	pt        geom.Point
+	line      int // index into the batch / output slice
+	cell      []int64
+	owner     string
+	evictions int // evictions charged to this line before staging
+}
+
+// ingestCoalescedLocked runs one ingest batch through the coalesced
+// protocol. Callers hold rt.mu.
+func (rt *Router) ingestCoalescedLocked(ctx context.Context, topo *Topology, now time.Time, reqID string, items []httpapi.BatchItem, out []verdictLine) {
+	var (
+		seg     []segPoint
+		pending = map[uint64]struct{}{}
+		segIdx  int
+	)
+	flush := func() {
+		if len(seg) == 0 {
+			return
+		}
+		rt.flushSegmentLocked(ctx, topo, now, reqID, segIdx, seg, out)
+		segIdx++
+		seg = seg[:0]
+		clear(pending)
+	}
+	horizonNs := int64(0)
+	if rt.cfg.TTL > 0 {
+		horizonNs = now.Add(-rt.cfg.TTL).UnixNano()
+	}
+	// ttlDue reports whether the committed FIFO head has aged out. Staged
+	// points all arrive "now" and can never be due within their own batch.
+	ttlDue := func() bool {
+		return rt.cfg.TTL > 0 && rt.head < len(rt.fifo) &&
+			rt.residents[rt.fifo[rt.head]].arrivedNs < horizonNs
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			out[i] = verdictLine{ID: it.Pt.ID, Error: it.Err.Error()}
+			rt.met.lineErrors.Inc()
+			continue
+		}
+		rt.met.ingestLines.Inc()
+		pt := it.Pt
+		if pt.Dim() != rt.cfg.Dim {
+			err := &errs.DimMismatchError{ID: pt.ID, Got: pt.Dim(), Want: rt.cfg.Dim}
+			out[i] = verdictLine{ID: pt.ID, Error: err.Error()}
+			rt.met.lineErrors.Inc()
+			continue
+		}
+		_, dupResident := rt.residents[pt.ID]
+		_, dupPending := pending[pt.ID]
+		if dupResident || dupPending {
+			err := &errs.DuplicateIDError{ID: pt.ID}
+			out[i] = verdictLine{ID: pt.ID, Error: err.Error()}
+			rt.met.lineErrors.Inc()
+			continue
+		}
+		// An eviction due before this point ends the segment: the staged run
+		// commits (entering rt.residents), then the per-point eviction
+		// discipline runs with this line's key, exactly as processLocked
+		// orders it.
+		evictions := 0
+		evictFailed := false
+		if rt.cfg.Capacity > 0 && len(rt.residents)+len(seg) >= rt.cfg.Capacity {
+			flush()
+			lineKey := fmt.Sprintf("%s|%d", reqID, i)
+			for len(rt.residents) >= rt.cfg.Capacity {
+				if err := rt.evictHeadLocked(ctx, topo, lineKey); err != nil {
+					out[i] = verdictLine{ID: pt.ID, Error: err.Error()}
+					rt.met.lineErrors.Inc()
+					evictFailed = true
+					break
+				}
+				evictions++
+			}
+		}
+		if !evictFailed && ttlDue() {
+			flush()
+			lineKey := fmt.Sprintf("%s|%d", reqID, i)
+			for ttlDue() {
+				if err := rt.evictHeadLocked(ctx, topo, lineKey); err != nil {
+					out[i] = verdictLine{ID: pt.ID, Error: err.Error()}
+					rt.met.lineErrors.Inc()
+					evictFailed = true
+					break
+				}
+				evictions++
+			}
+		}
+		if evictFailed {
+			continue
+		}
+		seg = append(seg, segPoint{pt: pt, line: i, evictions: evictions})
+		pending[pt.ID] = struct{}{}
+	}
+	flush()
+}
+
+// cellKey renders a cell coordinate vector into scratch for map lookups.
+func cellKey(scratch []byte, c []int64) []byte {
+	scratch = scratch[:0]
+	for _, v := range c {
+		scratch = binary.LittleEndian.AppendUint64(scratch, uint64(v))
+	}
+	return scratch
+}
+
+// flushSegmentLocked settles one staged segment: phase one probes every
+// peer once, the pairwise pass counts segment-internal cross-shard
+// neighbors, phase two admits every owner's run in one RPC, and the
+// successes commit to the router's window bookkeeping in arrival order.
+// Callers hold rt.mu.
+func (rt *Router) flushSegmentLocked(ctx context.Context, topo *Topology, now time.Time, reqID string, segIdx int, seg []segPoint, out []verdictLine) {
+	n := len(seg)
+	baseSeq := rt.seq
+	type peerProbes struct {
+		probes []SupportProbe
+		segIxs []int
+	}
+	perPeer := map[string]*peerProbes{}
+	foreign := make([]int, n)
+	failed := make([]bool, n)
+	for j := range seg {
+		sp := &seg[j]
+		sp.cell = topo.CellOf(sp.pt.Coords)
+		sp.owner = topo.Owner(sp.cell)
+		var cellsByPeer map[string][][]int64
+		for radius := 0; radius <= rt.l2; radius++ {
+			index.RingCells(sp.cell, radius, func(c []int64) {
+				o := topo.Owner(c)
+				if o == sp.owner {
+					return // the owning shard splits its own cells locally
+				}
+				if cellsByPeer == nil {
+					cellsByPeer = map[string][][]int64{}
+				}
+				cellsByPeer[o] = append(cellsByPeer[o], append([]int64(nil), c...))
+			})
+		}
+		for o, cells := range cellsByPeer {
+			pp := perPeer[o]
+			if pp == nil {
+				pp = &peerProbes{}
+				perPeer[o] = pp
+			}
+			pp.probes = append(pp.probes, SupportProbe{Point: sp.pt, Cells: cells})
+			pp.segIxs = append(pp.segIxs, j)
+		}
+	}
+
+	// Phase one: one support exchange per peer, probes in point order.
+	peers := make([]string, 0, len(perPeer))
+	for o := range perPeer {
+		peers = append(peers, o)
+	}
+	sort.Strings(peers)
+	failProbes := func(pp *peerProbes, msg string) {
+		for _, j := range pp.segIxs {
+			if failed[j] {
+				continue
+			}
+			failed[j] = true
+			out[seg[j].line] = verdictLine{ID: seg[j].pt.ID, Error: msg}
+			rt.met.lineErrors.Inc()
+		}
+	}
+	for _, o := range peers {
+		pp := perPeer[o]
+		body := EncodeSupportBatch(SupportHeader{Delta: 1}, pp.probes)
+		key := fmt.Sprintf("%s|seg%d|b|%s", reqID, segIdx, o)
+		var resp SupportResponse
+		rt.met.supportRPCs.Inc()
+		if err := rt.callShard(ctx, topo, o, PathSupport, key, body, &resp); err != nil {
+			failProbes(pp, fmt.Sprintf("shard %s unavailable: %v", o, err))
+			continue
+		}
+		if resp.Error != "" {
+			failProbes(pp, resp.Error)
+			continue
+		}
+		if len(resp.Counts) != len(pp.probes) {
+			failProbes(pp, fmt.Sprintf("shard %s: support answered %d counts for %d probes", o, len(resp.Counts), len(pp.probes)))
+			continue
+		}
+		for idx, c := range resp.Counts {
+			foreign[pp.segIxs[idx]] += c
+		}
+	}
+
+	// Pairwise pass: count segment-internal cross-shard neighbor pairs the
+	// pre-segment probes could not see. Buckets key on center cell; the
+	// acceptance rule is the index's own — cells within Chebyshev distance 1
+	// of the probe's cell auto-accept, farther cells get the exact distance
+	// check — so the counts match what live support would have returned.
+	// Failed points are excluded: under the per-point protocol they would
+	// never have been admitted.
+	intraEarlier := make([]int, n)
+	crossLater := make([]int, n)
+	buckets := map[string][]int{}
+	var kscratch []byte
+	for j := range seg {
+		if failed[j] {
+			continue
+		}
+		kscratch = cellKey(kscratch, seg[j].cell)
+		buckets[string(kscratch)] = append(buckets[string(kscratch)], j)
+	}
+	for q := range seg {
+		if failed[q] {
+			continue
+		}
+		sq := &seg[q]
+		for radius := 0; radius <= rt.l2; radius++ {
+			index.RingCells(sq.cell, radius, func(c []int64) {
+				kscratch = cellKey(kscratch, c)
+				for _, i := range buckets[string(kscratch)] {
+					if i == q || seg[i].owner == sq.owner {
+						continue
+					}
+					if radius > 1 && !geom.WithinDist(seg[i].pt, sq.pt, rt.cfg.R) {
+						continue
+					}
+					if i < q {
+						intraEarlier[q]++
+					} else {
+						crossLater[q]++
+					}
+				}
+			})
+		}
+	}
+
+	// Phase two: one batched admission per owning shard, items in arrival
+	// order with their pre-assigned sequence numbers.
+	type ownerRun struct {
+		items  []AdmitItem
+		segIxs []int
+	}
+	perOwner := map[string]*ownerRun{}
+	for j := range seg {
+		if failed[j] {
+			continue
+		}
+		or := perOwner[seg[j].owner]
+		if or == nil {
+			or = &ownerRun{}
+			perOwner[seg[j].owner] = or
+		}
+		or.items = append(or.items, AdmitItem{
+			Point:      seg[j].pt,
+			Seq:        baseSeq + uint64(j) + 1,
+			Foreign:    foreign[j] + intraEarlier[j],
+			CrossLater: crossLater[j],
+		})
+		or.segIxs = append(or.segIxs, j)
+	}
+	owners := make([]string, 0, len(perOwner))
+	for o := range perOwner {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	for _, o := range owners {
+		or := perOwner[o]
+		body := EncodeIngestBatch(IngestBatchHeader{ArrivedNs: now.UnixNano(), Count: len(or.items)}, or.items)
+		key := fmt.Sprintf("%s|seg%d|a|%s", reqID, segIdx, o)
+		var resp IngestBatchResponse
+		failRun := func(msg string) {
+			for _, j := range or.segIxs {
+				failed[j] = true
+				out[seg[j].line] = verdictLine{ID: seg[j].pt.ID, Error: msg}
+				rt.met.lineErrors.Inc()
+			}
+		}
+		if err := rt.callShard(ctx, topo, o, PathShardIngestBatch, key, body, &resp); err != nil {
+			failRun(fmt.Sprintf("shard %s unavailable: %v", o, err))
+			continue
+		}
+		if resp.Error != "" {
+			failRun(resp.Error)
+			continue
+		}
+		if len(resp.Results) != len(or.items) {
+			failRun(fmt.Sprintf("shard %s: %d results for %d admissions", o, len(resp.Results), len(or.items)))
+			continue
+		}
+		for idx, res := range resp.Results {
+			j := or.segIxs[idx]
+			if res.Error != "" {
+				failed[j] = true
+				out[seg[j].line] = verdictLine{ID: seg[j].pt.ID, Error: res.Error}
+				rt.met.lineErrors.Inc()
+				continue
+			}
+			out[seg[j].line] = verdictLine{
+				ID: res.ID, Seq: res.Seq, Neighbors: res.Neighbors,
+				Outlier: res.Outlier, Evicted: seg[j].evictions,
+			}
+		}
+	}
+
+	// Commit successes in arrival order. The whole segment's sequence
+	// numbers are consumed, success or not — they were baked into the
+	// phase-two bodies before any outcome was known, so a failed line
+	// leaves a gap rather than renumbering its successors.
+	arrivedNs := now.UnixNano()
+	for j := range seg {
+		if failed[j] {
+			continue
+		}
+		rt.fifo = append(rt.fifo, seg[j].pt.ID)
+		rt.residents[seg[j].pt.ID] = resident{cell: seg[j].cell, arrivedNs: arrivedNs}
+	}
+	rt.seq = baseSeq + uint64(n)
+}
+
+// scoreChunk scores lines [lo, hi) with one read-only support RPC per
+// owning shard for the whole chunk, then replays the per-line sequential
+// accumulation — sorted owners, stop at K, breaker-open shards skipped —
+// so every line answers exactly what the per-line protocol would have.
+func (rt *Router) scoreChunk(ctx context.Context, items []httpapi.BatchItem, lo, hi int, out []scoreLine) {
+	topo := rt.topology()
+	type probeSet struct {
+		probes []SupportProbe
+		lines  []int
+	}
+	perOwner := map[string]*probeSet{}
+	ownersOf := make([][]string, hi-lo)
+	for i := lo; i < hi; i++ {
+		it := items[i]
+		if it.Err != nil {
+			out[i] = scoreLine{ID: it.Pt.ID, Error: it.Err.Error()}
+			rt.met.lineErrors.Inc()
+			continue
+		}
+		rt.met.scoreLines.Inc()
+		if it.Pt.Dim() != rt.cfg.Dim {
+			err := &errs.DimMismatchError{ID: it.Pt.ID, Got: it.Pt.Dim(), Want: rt.cfg.Dim}
+			out[i] = scoreLine{ID: it.Pt.ID, Error: err.Error()}
+			rt.met.lineErrors.Inc()
+			continue
+		}
+		center := topo.CellOf(it.Pt.Coords)
+		byOwner := map[string][][]int64{}
+		for radius := 0; radius <= rt.l2; radius++ {
+			index.RingCells(center, radius, func(c []int64) {
+				cc := append([]int64(nil), c...)
+				o := topo.Owner(cc)
+				byOwner[o] = append(byOwner[o], cc)
+			})
+		}
+		owners := make([]string, 0, len(byOwner))
+		for o := range byOwner {
+			owners = append(owners, o)
+		}
+		sort.Strings(owners)
+		ownersOf[i-lo] = owners
+		for _, o := range owners {
+			ps := perOwner[o]
+			if ps == nil {
+				ps = &probeSet{}
+				perOwner[o] = ps
+			}
+			ps.probes = append(ps.probes, SupportProbe{Point: it.Pt, Cells: byOwner[o]})
+			ps.lines = append(ps.lines, i)
+		}
+	}
+	type ownerResult struct {
+		open   bool
+		errMsg string
+	}
+	results := map[string]*ownerResult{}
+	lineCounts := make([]map[string]int, hi-lo)
+	allOwners := make([]string, 0, len(perOwner))
+	for o := range perOwner {
+		allOwners = append(allOwners, o)
+	}
+	sort.Strings(allOwners)
+	for _, o := range allOwners {
+		ps := perOwner[o]
+		res := &ownerResult{}
+		results[o] = res
+		if rt.breaker(o).State() == retry.BreakerOpen {
+			res.open = true // degraded: count what the healthy shards can see
+			continue
+		}
+		body := EncodeSupportBatch(SupportHeader{Delta: 0, Limit: rt.cfg.K}, ps.probes)
+		var resp SupportResponse
+		rt.met.supportRPCs.Inc()
+		if err := rt.callShard(ctx, topo, o, PathSupport, "", body, &resp); err != nil {
+			res.errMsg = fmt.Sprintf("shard %s unavailable: %v", o, err)
+			continue
+		}
+		if resp.Error != "" {
+			res.errMsg = resp.Error
+			continue
+		}
+		if len(resp.Counts) != len(ps.probes) {
+			res.errMsg = fmt.Sprintf("shard %s: support answered %d counts for %d probes", o, len(resp.Counts), len(ps.probes))
+			continue
+		}
+		for idx, j := range ps.lines {
+			if lineCounts[j-lo] == nil {
+				lineCounts[j-lo] = map[string]int{}
+			}
+			lineCounts[j-lo][o] = resp.Counts[idx]
+		}
+	}
+	// Replay: each per-owner capped count equals what a per-line call would
+	// have returned, so accumulating them in the same sorted order — with
+	// the same early stop at K — reproduces the per-line verdicts; an
+	// unreachable owner only errors the lines that would have reached it.
+	for i := lo; i < hi; i++ {
+		owners := ownersOf[i-lo]
+		if owners == nil {
+			continue // already answered (parse error or dimension mismatch)
+		}
+		total := 0
+		errMsg := ""
+		for _, o := range owners {
+			res := results[o]
+			if res.open {
+				continue
+			}
+			if res.errMsg != "" {
+				errMsg = res.errMsg
+				break
+			}
+			total += lineCounts[i-lo][o]
+			if total >= rt.cfg.K {
+				break // already an inlier; min(total, K) is decided
+			}
+		}
+		if errMsg != "" {
+			rt.met.lineErrors.Inc()
+			out[i] = scoreLine{ID: items[i].Pt.ID, Error: errMsg}
+			continue
+		}
+		if total > rt.cfg.K {
+			total = rt.cfg.K
+		}
+		out[i] = scoreLine{ID: items[i].Pt.ID, Neighbors: total, Outlier: total < rt.cfg.K}
+	}
+}

@@ -19,6 +19,7 @@ type routerMetrics struct {
 	shardCalls   *obs.Counter
 	shardRetries *obs.Counter
 	shardErrors  *obs.Counter
+	supportRPCs  *obs.Counter
 	probeFails   *obs.Counter
 	failovers    *obs.Counter
 }
@@ -37,6 +38,7 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 		shardCalls:   reg.Counter("dod_route_shard_calls_total", "HTTP calls issued to shards"),
 		shardRetries: reg.Counter("dod_route_shard_retries_total", "shard calls that needed a retry"),
 		shardErrors:  reg.Counter("dod_route_shard_errors_total", "shard calls that exhausted retries"),
+		supportRPCs:  reg.Counter("dod_support_rpc_total", "boundary support round trips issued over the wire"),
 		probeFails:   reg.Counter("dod_route_probe_failures_total", "failed shard health probes"),
 		failovers:    reg.Counter("dod_route_failovers_total", "automatic drain-on-unhealthy failovers"),
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -62,8 +63,19 @@ type Config struct {
 	// Obs is the metrics registry; default a fresh one.
 	Obs *obs.Registry
 	// Transport is the HTTP transport for shard calls — the fault
-	// injection seam. Nil uses http.DefaultTransport.
+	// injection seam. Nil uses httpapi.NewTransport, tuned for persistent
+	// router→shard connection reuse.
 	Transport http.RoundTripper
+	// LegacyWire disables the zero-allocation NDJSON fast path and encodes
+	// responses through encoding/json, as before the wirejson codec. The
+	// two paths are byte-identical on the wire; the knob exists so the
+	// serve bench can measure one against the other on a single build.
+	LegacyWire bool
+	// NoCoalesce disables request coalescing and issues one shard ingest
+	// RPC per point and one support RPC per (point, peer), as before the
+	// batch wire forms. Verdict streams are identical either way; the knob
+	// exists for the same honest before/after benchmarking.
+	NoCoalesce bool
 	// Retry shapes shard-call backoff; zero value takes defaults.
 	Retry retry.Policy
 	// RetryAttempts bounds shard-call attempts; default 8.
@@ -71,6 +83,10 @@ type Config struct {
 	// Breaker tunes the per-shard health breakers (zero value: trip after
 	// 3 consecutive failures, probe again after 5s).
 	Breaker retry.BreakerConfig
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: the profiling endpoints can stall the serving path
+	// and expose internals, so they are opt-in like dodserve's.
+	EnablePprof bool
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -160,13 +176,17 @@ func New(cfg Config) (*Router, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = httpapi.NewTransport()
+	}
 	rt := &Router{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		reg:       cfg.Obs,
 		met:       newRouterMetrics(cfg.Obs),
 		trace:     obs.NewTrace("dodroute"),
-		client:    &http.Client{Transport: cfg.Transport},
+		client:    &http.Client{Transport: transport},
 		limiter:   newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst, cfg.TenantQuota, cfg.now),
 		now:       cfg.now,
 		started:   cfg.now(),
@@ -198,6 +218,13 @@ func New(cfg Config) (*Router, error) {
 		w.Header().Set("Content-Type", obs.TextContentType)
 		rt.reg.WritePrometheus(w)
 	})
+	if cfg.EnablePprof {
+		rt.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		rt.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		rt.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		rt.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		rt.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return rt, nil
 }
 
@@ -395,29 +422,26 @@ func (rt *Router) pushTopology(ctx context.Context, topo *Topology, shards []Sha
 
 // verdictLine answers one ingest line — the same JSON shape, field for
 // field, as the single-process serving tier, because the E2E contract is a
-// byte-identical response stream.
-type verdictLine struct {
-	ID        uint64 `json:"id"`
-	Seq       uint64 `json:"seq,omitempty"`
-	Neighbors int    `json:"neighbors"`
-	Outlier   bool   `json:"outlier"`
-	Evicted   int    `json:"evicted,omitempty"`
-	Error     string `json:"error,omitempty"`
-}
+// byte-identical response stream. The shared httpapi type keeps that shape
+// in one place for both tiers and the wirejson fast encoder.
+type verdictLine = httpapi.VerdictLine
 
 // scoreLine answers one score line.
-type scoreLine struct {
-	ID        uint64 `json:"id"`
-	Neighbors int    `json:"neighbors"`
-	Outlier   bool   `json:"outlier"`
-	Error     string `json:"error,omitempty"`
-}
+type scoreLine = httpapi.ScoreLine
 
 // readBatch parses up to MaxBatch NDJSON point lines via the shared parser,
 // with the same per-line and request-level error behavior as the
-// single-process tier.
-func (rt *Router) readBatch(r *http.Request) ([]httpapi.BatchItem, error) {
-	return httpapi.ReadBatch(r, rt.cfg.MaxBatch)
+// single-process tier. Callers must Release the batch once the response is
+// written.
+func (rt *Router) readBatch(r *http.Request) (*httpapi.Batch, error) {
+	if rt.cfg.LegacyWire {
+		items, err := httpapi.ReadBatch(r, rt.cfg.MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		return &httpapi.Batch{Items: items}, nil
+	}
+	return httpapi.ReadBatchPooled(r, rt.cfg.MaxBatch)
 }
 
 func (rt *Router) writeBatchError(w http.ResponseWriter, r *http.Request, err error) {
@@ -455,11 +479,13 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
-	items, err := rt.readBatch(r)
+	batch, err := rt.readBatch(r)
 	if err != nil {
 		rt.writeBatchError(w, r, err)
 		return
 	}
+	defer batch.Release()
+	items := batch.Items
 	tenant := r.Header.Get(HeaderTenant)
 	if ok, remaining := rt.limiter.chargeQuota(tenant, len(items)); !ok {
 		rt.met.quotaDenied.Inc()
@@ -469,34 +495,43 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqID := r.Header.Get(HeaderRequestID)
-	out := make([]verdictLine, len(items))
+	out := httpapi.GetVerdicts(len(items))
+	defer httpapi.PutVerdicts(out)
 	// One global mutation order: the whole batch runs under the router
-	// mutex, line by line, exactly as the single-process window serializes
-	// Process calls. The topology and arrival timestamp are resolved once
-	// per batch — drain also holds rt.mu, so the topology cannot change
-	// mid-batch, and the shared timestamp matches the single-process tier's
+	// mutex, exactly as the single-process window serializes Process calls.
+	// The topology and arrival timestamp are resolved once per batch —
+	// drain also holds rt.mu, so the topology cannot change mid-batch, and
+	// the shared timestamp matches the single-process tier's
 	// one-ProcessBatch-one-instant semantics.
 	rt.mu.Lock()
 	topo := rt.topology()
 	now := rt.now()
-	for i, it := range items {
-		if it.Err != nil {
-			out[i] = verdictLine{ID: it.Pt.ID, Error: it.Err.Error()}
-			rt.met.lineErrors.Inc()
-			continue
+	if rt.cfg.NoCoalesce {
+		for i, it := range items {
+			if it.Err != nil {
+				out[i] = verdictLine{ID: it.Pt.ID, Error: it.Err.Error()}
+				rt.met.lineErrors.Inc()
+				continue
+			}
+			lineKey := fmt.Sprintf("%s|%d", reqID, i)
+			v, err := rt.processLocked(r.Context(), topo, it.Pt, now, lineKey)
+			rt.met.ingestLines.Inc()
+			if err != nil {
+				out[i] = verdictLine{ID: it.Pt.ID, Error: err.Error()}
+				rt.met.lineErrors.Inc()
+				continue
+			}
+			out[i] = v
 		}
-		lineKey := fmt.Sprintf("%s|%d", reqID, i)
-		v, err := rt.processLocked(r.Context(), topo, it.Pt, now, lineKey)
-		rt.met.ingestLines.Inc()
-		if err != nil {
-			out[i] = verdictLine{ID: it.Pt.ID, Error: err.Error()}
-			rt.met.lineErrors.Inc()
-			continue
-		}
-		out[i] = v
+	} else {
+		rt.ingestCoalescedLocked(r.Context(), topo, now, reqID, items, out)
 	}
 	rt.mu.Unlock()
-	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+	if rt.cfg.LegacyWire {
+		writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+		return
+	}
+	httpapi.WriteVerdicts(w, out)
 }
 
 // processLocked ingests one point with the single-process window's exact
@@ -598,13 +633,18 @@ func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
-	items, err := rt.readBatch(r)
+	batch, err := rt.readBatch(r)
 	if err != nil {
 		rt.writeBatchError(w, r, err)
 		return
 	}
-	out := make([]scoreLine, len(items))
-	// Scoring is read-only: fan the batch out in contiguous chunks.
+	defer batch.Release()
+	items := batch.Items
+	out := httpapi.GetScores(len(items))
+	defer httpapi.PutScores(out)
+	// Scoring is read-only: fan the batch out in contiguous chunks. Each
+	// chunk coalesces its probes into one support RPC per owning shard
+	// (scoreChunk) unless NoCoalesce asks for the per-line protocol.
 	const chunk = 64
 	var wg sync.WaitGroup
 	for lo := 0; lo < len(items); lo += chunk {
@@ -615,6 +655,10 @@ func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			if !rt.cfg.NoCoalesce {
+				rt.scoreChunk(r.Context(), items, lo, hi, out)
+				return
+			}
 			for i := lo; i < hi; i++ {
 				it := items[i]
 				if it.Err != nil {
@@ -628,7 +672,11 @@ func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
 		}(lo, hi)
 	}
 	wg.Wait()
-	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+	if rt.cfg.LegacyWire {
+		writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+		return
+	}
+	httpapi.WriteScores(w, out)
 }
 
 // scoreOne scores one probe point: its neighborhood cells are grouped by
@@ -664,6 +712,7 @@ func (rt *Router) scoreOne(ctx context.Context, pt geom.Point) scoreLine {
 		}
 		body := EncodeSupport(SupportHeader{Delta: 0, Limit: rt.cfg.K}, pt, byOwner[o])
 		var resp SupportResponse
+		rt.met.supportRPCs.Inc()
 		if err := rt.callShard(ctx, topo, o, PathSupport, "", body, &resp); err != nil {
 			rt.met.lineErrors.Inc()
 			return scoreLine{ID: pt.ID, Error: fmt.Sprintf("shard %s unavailable: %v", o, err)}

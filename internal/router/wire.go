@@ -63,9 +63,12 @@ type SupportHeader struct {
 }
 
 // SupportResponse answers a support call with the neighbor count found in
-// the requested cells.
+// the requested cells. Multi-probe bodies (EncodeSupportBatch) are answered
+// with one count per probe in Counts, probe order, alongside the summed
+// Count.
 type SupportResponse struct {
 	Count     int    `json:"count"`
+	Counts    []int  `json:"counts,omitempty"`
 	Error     string `json:"error,omitempty"`
 	RequestID string `json:"request_id,omitempty"`
 }
@@ -318,6 +321,7 @@ type wireFrames struct {
 	points    [][]byte
 	cells     [][]byte
 	entries   [][]byte
+	admits    [][]byte
 }
 
 // decodeSealed strips the integrity frame and sorts the remaining frames
@@ -344,6 +348,8 @@ func decodeSealed(body []byte) (*wireFrames, error) {
 			f.cells = append(f.cells, payload)
 		case frameEntry:
 			f.entries = append(f.entries, payload)
+		case frameAdmit:
+			f.admits = append(f.admits, payload)
 		default:
 			return nil, codec.WireErrorf("router: unknown frame kind %d", kind)
 		}

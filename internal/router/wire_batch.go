@@ -1,0 +1,159 @@
+package router
+
+import (
+	"encoding/binary"
+
+	"dod/internal/codec"
+	"dod/internal/geom"
+)
+
+// Coalesced data plane. A router ingest batch used to cost one shard round
+// trip per point plus one shard→shard support hop per peer per point. The
+// batch wire forms below collapse that: the router groups a run of
+// admissions (a "segment") and issues ONE multi-probe /v1/support exchange
+// per peer shard — every segment point's foreign cells in one sealed body —
+// followed by ONE /v1/shard/ingest_batch per owning shard carrying each
+// point with its already-settled foreign neighbor count. Frame kinds and
+// sealing are shared with the per-point protocol.
+
+// PathShardIngestBatch admits a run of points on their owning shard in one
+// exchange; see EncodeIngestBatch.
+const PathShardIngestBatch = "/v1/shard/ingest_batch"
+
+// frameAdmit is one batched admission: a codec point record followed by
+// uvarint sequence number, uvarint settled foreign neighbor count, and
+// uvarint count of later cross-shard segment arrivals to fold in after the
+// whole segment is admitted.
+const frameAdmit byte = 5
+
+// SupportProbe is one (point, cells) pair of a multi-probe support body.
+type SupportProbe struct {
+	Point geom.Point
+	Cells [][]int64
+}
+
+// AdmitItem is one point of a batched shard ingest. Foreign is the point's
+// cross-shard neighbor count at its admission instant — pre-segment support
+// (counted by the phase-one probes) plus earlier same-segment arrivals on
+// other shards — so the owning shard can produce the exact sequential
+// verdict without issuing any support call of its own. CrossLater is how
+// many later same-segment arrivals on other shards neighbor this point;
+// the shard folds those +1s in after admitting the whole run, which lands
+// the identical flip decisions the per-point protocol would have made
+// (counts only grow during a segment, so each entry crosses K at most once
+// and the order of the +1s cannot change the outcome).
+type AdmitItem struct {
+	Point      geom.Point
+	Seq        uint64
+	Foreign    int
+	CrossLater int
+}
+
+// IngestBatchHeader is the control header of a batched shard ingest.
+type IngestBatchHeader struct {
+	ArrivedNs int64 `json:"arrivedNs"`
+	Count     int   `json:"count"`
+}
+
+// IngestBatchResponse answers a batched shard ingest with one result per
+// admitted item, in item order. Error reports a whole-batch failure (e.g. a
+// corrupt body); per-item failures live in their Results slot.
+type IngestBatchResponse struct {
+	Results   []IngestResponse `json:"results,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	RequestID string           `json:"request_id,omitempty"`
+}
+
+// EncodeSupportBatch builds a sealed multi-probe support body: the header,
+// then one (point, cells) frame pair per probe, paired by order. A
+// single-probe body is byte-compatible with EncodeSupport.
+func EncodeSupportBatch(hdr SupportHeader, probes []SupportProbe) []byte {
+	body := appendJSONHeader(nil, hdr)
+	for _, pr := range probes {
+		body = codec.AppendFrame(body, framePoint, codec.AppendPoint(nil, pr.Point))
+		body = appendCells(body, pr.Point.Dim(), pr.Cells)
+	}
+	return codec.AppendSumFrame(body)
+}
+
+// DecodeSupportBatch parses a sealed support body into its probes. Bodies
+// from EncodeSupport decode as exactly one probe.
+func DecodeSupportBatch(body []byte) (SupportHeader, []SupportProbe, error) {
+	var hdr SupportHeader
+	frames, err := decodeSealed(body)
+	if err != nil {
+		return hdr, nil, err
+	}
+	if err := frames.header(&hdr); err != nil {
+		return hdr, nil, err
+	}
+	if len(frames.points) == 0 || len(frames.points) != len(frames.cells) {
+		return hdr, nil, codec.WireErrorf("router: support body has %d point and %d cell frames",
+			len(frames.points), len(frames.cells))
+	}
+	probes := make([]SupportProbe, len(frames.points))
+	for i := range frames.points {
+		pt, _, err := codec.DecodePoint(frames.points[i])
+		if err != nil {
+			return hdr, nil, err
+		}
+		cells, err := decodeCells(frames.cells[i])
+		if err != nil {
+			return hdr, nil, err
+		}
+		probes[i] = SupportProbe{Point: pt, Cells: cells}
+	}
+	return hdr, probes, nil
+}
+
+// EncodeIngestBatch builds a sealed batched-ingest body.
+func EncodeIngestBatch(hdr IngestBatchHeader, items []AdmitItem) []byte {
+	body := appendJSONHeader(nil, hdr)
+	for _, it := range items {
+		payload := codec.AppendPoint(nil, it.Point)
+		payload = binary.AppendUvarint(payload, it.Seq)
+		payload = binary.AppendUvarint(payload, uint64(it.Foreign))
+		payload = binary.AppendUvarint(payload, uint64(it.CrossLater))
+		body = codec.AppendFrame(body, frameAdmit, payload)
+	}
+	return codec.AppendSumFrame(body)
+}
+
+// DecodeIngestBatch parses a sealed batched-ingest body.
+func DecodeIngestBatch(body []byte) (IngestBatchHeader, []AdmitItem, error) {
+	var hdr IngestBatchHeader
+	frames, err := decodeSealed(body)
+	if err != nil {
+		return hdr, nil, err
+	}
+	if err := frames.header(&hdr); err != nil {
+		return hdr, nil, err
+	}
+	items := make([]AdmitItem, 0, len(frames.admits))
+	for _, raw := range frames.admits {
+		pt, n, err := codec.DecodePoint(raw)
+		if err != nil {
+			return hdr, nil, err
+		}
+		off := n
+		seq, n := binary.Uvarint(raw[off:])
+		if n <= 0 {
+			return hdr, nil, codec.WireErrorf("router: truncated admit seq")
+		}
+		off += n
+		foreign, n := binary.Uvarint(raw[off:])
+		if n <= 0 {
+			return hdr, nil, codec.WireErrorf("router: truncated admit foreign count")
+		}
+		off += n
+		later, n := binary.Uvarint(raw[off:])
+		if n <= 0 {
+			return hdr, nil, codec.WireErrorf("router: truncated admit cross-later count")
+		}
+		items = append(items, AdmitItem{Point: pt, Seq: seq, Foreign: int(foreign), CrossLater: int(later)})
+	}
+	if len(items) != hdr.Count {
+		return hdr, nil, codec.WireErrorf("router: admit count %d != header %d", len(items), hdr.Count)
+	}
+	return hdr, items, nil
+}

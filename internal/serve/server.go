@@ -85,6 +85,12 @@ type Config struct {
 	// MaxBodyBytes caps one request body; default DefaultMaxBodyBytes.
 	// Oversize uploads get a structured 413.
 	MaxBodyBytes int64
+	// LegacyWire routes NDJSON parsing and response encoding through
+	// reflection-based encoding/json instead of the pooled wirejson fast
+	// path. The two paths are byte-identical on the wire; this knob exists
+	// so dodbench can measure the fast path against the pre-optimization
+	// codec on the same build.
+	LegacyWire bool
 	// Remote, when set, is preferred for /v1/score, behind a circuit
 	// breaker that falls back to the in-process window on repeated
 	// failures. See RemoteScorer.
@@ -310,29 +316,48 @@ func (s *Server) evictLoop(interval time.Duration) {
 	}
 }
 
-// verdictLine answers one ingest line.
-type verdictLine struct {
-	ID        uint64 `json:"id"`
-	Seq       uint64 `json:"seq,omitempty"`
-	Neighbors int    `json:"neighbors"`
-	Outlier   bool   `json:"outlier"`
-	Evicted   int    `json:"evicted,omitempty"`
-	Error     string `json:"error,omitempty"`
-}
+// verdictLine answers one ingest line; the shape lives in httpapi because
+// the sharded tier must emit it byte-identically.
+type verdictLine = httpapi.VerdictLine
 
 // scoreLine answers one score line.
-type scoreLine struct {
-	ID        uint64 `json:"id"`
-	Neighbors int    `json:"neighbors"`
-	Outlier   bool   `json:"outlier"`
-	Error     string `json:"error,omitempty"`
-}
+type scoreLine = httpapi.ScoreLine
 
 // readBatch parses up to MaxBatch NDJSON point lines from the request via
-// the shared parser. A parse failure on line i is returned as a per-line
-// error at index i, keeping request-level failures for oversize input.
-func (s *Server) readBatch(r *http.Request) ([]httpapi.BatchItem, error) {
-	return httpapi.ReadBatch(r, s.cfg.MaxBatch)
+// the shared parser — the pooled wirejson fast path by default, the
+// encoding/json legacy path under Config.LegacyWire. A parse failure on
+// line i is returned as a per-line error at index i, keeping request-level
+// failures for oversize input.
+func (s *Server) readBatch(r *http.Request) (*httpapi.Batch, error) {
+	if s.cfg.LegacyWire {
+		items, err := httpapi.ReadBatch(r, s.cfg.MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		return &httpapi.Batch{Items: items}, nil
+	}
+	return httpapi.ReadBatchPooled(r, s.cfg.MaxBatch)
+}
+
+// wireScratch stages the parseable lines of one batch (points plus their
+// request-line indices) so the hot loop reuses the slices across requests.
+type wireScratch struct {
+	pts    []geom.Point
+	lineOf []int
+}
+
+var wireScratchPool = sync.Pool{New: func() any { return &wireScratch{} }}
+
+func getWireScratch() *wireScratch {
+	scr := wireScratchPool.Get().(*wireScratch)
+	scr.pts = scr.pts[:0]
+	scr.lineOf = scr.lineOf[:0]
+	return scr
+}
+
+func (scr *wireScratch) put() {
+	clear(scr.pts) // points alias pooled batch arenas; drop the references
+	wireScratchPool.Put(scr)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -349,13 +374,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	readStart := s.now()
-	items, err := s.readBatch(r)
+	batch, err := s.readBatch(r)
 	s.observeSince(s.met.ingestStage[stageRead], readStart)
 	if err != nil {
 		s.writeBatchError(w, r, err)
 		return
 	}
-	out := make([]verdictLine, len(items))
+	defer batch.Release()
+	items := batch.Items
+	out := httpapi.GetVerdicts(len(items))
+	defer httpapi.PutVerdicts(out)
 	procStart := s.now()
 	// One pool job per batch: ingest is serialized by the window lock and
 	// must preserve line order for sequence numbers, so there is nothing
@@ -364,32 +392,32 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// acquisition and one arrival timestamp for the whole batch, with
 	// per-line error slots mapped back to their request line.
 	s.pool.do(func() {
-		pts := make([]geom.Point, 0, len(items))
-		lineOf := make([]int, 0, len(items))
+		scr := getWireScratch()
+		defer scr.put()
 		for i, it := range items {
 			if it.Err != nil {
 				out[i] = verdictLine{ID: it.Pt.ID, Error: it.Err.Error()}
 				s.met.lineErrors.Inc()
 				continue
 			}
-			pts = append(pts, it.Pt)
-			lineOf = append(lineOf, i)
+			scr.pts = append(scr.pts, it.Pt)
+			scr.lineOf = append(scr.lineOf, i)
 		}
 		batchStart := s.now()
-		verdicts, procErrs := s.win.ProcessBatch(pts, batchStart)
+		verdicts, procErrs := s.win.ProcessBatch(scr.pts, batchStart)
 		// Per-line latency is amortized over the batch: one observation per
 		// ingested line, each the batch's mean, so counts still tally lines.
 		perLine := 0.0
-		if n := len(pts); n > 0 {
+		if n := len(scr.pts); n > 0 {
 			if d := s.now().Sub(batchStart); d > 0 {
 				perLine = d.Seconds() / float64(n)
 			}
 		}
-		for j, i := range lineOf {
+		for j, i := range scr.lineOf {
 			s.met.ingestLatency.Observe(perLine)
 			s.met.ingestLines.Inc()
 			if procErrs[j] != nil {
-				out[i] = verdictLine{ID: pts[j].ID, Error: procErrs[j].Error()}
+				out[i] = verdictLine{ID: scr.pts[j].ID, Error: procErrs[j].Error()}
 				s.met.lineErrors.Inc()
 				continue
 			}
@@ -399,7 +427,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 	s.observeSince(s.met.ingestStage[stageProcess], procStart)
 	writeStart := s.now()
-	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+	if s.cfg.LegacyWire {
+		writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+	} else {
+		httpapi.WriteVerdicts(w, out)
+	}
 	s.observeSince(s.met.ingestStage[stageWrite], writeStart)
 }
 
@@ -417,13 +449,16 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	readStart := s.now()
-	items, err := s.readBatch(r)
+	batch, err := s.readBatch(r)
 	s.observeSince(s.met.scoreStage[stageRead], readStart)
 	if err != nil {
 		s.writeBatchError(w, r, err)
 		return
 	}
-	out := make([]scoreLine, len(items))
+	defer batch.Release()
+	items := batch.Items
+	out := httpapi.GetScores(len(items))
+	defer httpapi.PutScores(out)
 	procStart := s.now()
 	// Scoring is read-only and lock-striped, so fan the batch out across
 	// the pool in contiguous chunks; results land at their line index.
@@ -467,7 +502,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 	s.observeSince(s.met.scoreStage[stageProcess], procStart)
 	writeStart := s.now()
-	writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+	if s.cfg.LegacyWire {
+		writeNDJSON(w, len(out), func(enc *json.Encoder, i int) error { return enc.Encode(out[i]) })
+	} else {
+		httpapi.WriteScores(w, out)
+	}
 	s.observeSince(s.met.scoreStage[stageWrite], writeStart)
 }
 
@@ -476,30 +515,30 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 // results back to their line indices with the same metrics accounting as the
 // per-point path (one latency observation per scored line, amortized).
 func (s *Server) scoreChunkLocal(items []httpapi.BatchItem, out []scoreLine, lo, hi int) {
-	pts := make([]geom.Point, 0, hi-lo)
-	lineOf := make([]int, 0, hi-lo)
+	scr := getWireScratch()
+	defer scr.put()
 	for i := lo; i < hi; i++ {
 		if items[i].Err != nil {
 			out[i] = scoreLine{ID: items[i].Pt.ID, Error: items[i].Err.Error()}
 			s.met.lineErrors.Inc()
 			continue
 		}
-		pts = append(pts, items[i].Pt)
-		lineOf = append(lineOf, i)
+		scr.pts = append(scr.pts, items[i].Pt)
+		scr.lineOf = append(scr.lineOf, i)
 	}
 	start := s.now()
-	scores, scoreErrs := s.win.ScoreBatch(pts, 1)
+	scores, scoreErrs := s.win.ScoreBatch(scr.pts, 1)
 	perLine := 0.0
-	if n := len(pts); n > 0 {
+	if n := len(scr.pts); n > 0 {
 		if d := s.now().Sub(start); d > 0 {
 			perLine = d.Seconds() / float64(n)
 		}
 	}
-	for j, i := range lineOf {
+	for j, i := range scr.lineOf {
 		s.met.scoreLatency.Observe(perLine)
 		s.met.scoreLines.Inc()
 		if scoreErrs[j] != nil {
-			out[i] = scoreLine{ID: pts[j].ID, Error: scoreErrs[j].Error()}
+			out[i] = scoreLine{ID: scr.pts[j].ID, Error: scoreErrs[j].Error()}
 			s.met.lineErrors.Inc()
 			continue
 		}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dod/internal/geom"
+	"dod/internal/httpapi"
 	"dod/internal/obs"
 	"dod/internal/retry"
 	"dod/internal/router"
@@ -81,7 +82,8 @@ type ShardServerConfig struct {
 	// Obs is the metrics registry; default a fresh one.
 	Obs *obs.Registry
 	// Transport is the HTTP transport for peer support calls — the fault
-	// injection seam. Nil uses http.DefaultTransport.
+	// injection seam. Nil uses httpapi.NewTransport, tuned for the dense
+	// shard↔shard connection graph (high per-host idle connection reuse).
 	Transport http.RoundTripper
 	// Retry shapes peer-call backoff; zero value takes defaults.
 	Retry retry.Policy
@@ -95,6 +97,7 @@ type shardMetrics struct {
 	evicts        *obs.Counter
 	supportServed *obs.Counter
 	supportIssued *obs.Counter
+	supportRPCs   *obs.Counter
 	peerRetries   *obs.Counter
 	dedupeHits    *obs.Counter
 	imports       *obs.Counter
@@ -121,12 +124,16 @@ func NewShard(cfg ShardServerConfig) (*ShardServer, error) {
 	if err != nil {
 		return nil, err
 	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = httpapi.NewTransport()
+	}
 	s := &ShardServer{
 		cfg:     cfg,
 		sw:      sw,
 		mux:     http.NewServeMux(),
 		reg:     cfg.Obs,
-		client:  &http.Client{Transport: cfg.Transport},
+		client:  &http.Client{Transport: transport},
 		dedupe:  newDedupeCache(4096),
 		started: time.Now(),
 	}
@@ -135,6 +142,7 @@ func NewShard(cfg ShardServerConfig) (*ShardServer, error) {
 		evicts:        s.reg.Counter("dod_shard_evicts_total", "router-commanded evictions applied"),
 		supportServed: s.reg.Counter("dod_shard_support_total", "boundary support calls", obs.L("dir", "served")),
 		supportIssued: s.reg.Counter("dod_shard_support_total", "boundary support calls", obs.L("dir", "issued")),
+		supportRPCs:   s.reg.Counter("dod_support_rpc_total", "boundary support round trips issued over the wire"),
 		peerRetries:   s.reg.Counter("dod_shard_peer_retries_total", "retried peer support calls"),
 		dedupeHits:    s.reg.Counter("dod_shard_dedupe_hits_total", "mutating requests answered from the idempotency cache"),
 		imports:       s.reg.Counter("dod_shard_imports_total", "entries adopted during drain/handoff"),
@@ -152,6 +160,7 @@ func NewShard(cfg ShardServerConfig) (*ShardServer, error) {
 			return float64(s.topo.Epoch)
 		})
 	s.mux.HandleFunc(router.PathShardIngest, s.handleShardIngest)
+	s.mux.HandleFunc(router.PathShardIngestBatch, s.handleShardIngestBatch)
 	s.mux.HandleFunc(router.PathShardEvict, s.handleShardEvict)
 	s.mux.HandleFunc(router.PathSupport, s.handleSupport)
 	s.mux.HandleFunc(router.PathShardExport, s.handleShardExport)
@@ -224,6 +233,7 @@ func (s *ShardServer) supportFunc(ctx context.Context, topo *router.Topology, re
 			body := router.EncodeSupport(router.SupportHeader{Delta: delta, Limit: limit}, p, byOwner[o])
 			var resp router.SupportResponse
 			key := fmt.Sprintf("%s|sup|%s|%d", reqID, o, delta)
+			s.met.supportRPCs.Inc()
 			if err := s.postPeer(ctx, topo.ShardURL(o), router.PathSupport, key, body, &resp); err != nil {
 				return 0, fmt.Errorf("support from %s: %w", o, err)
 			}
@@ -376,6 +386,53 @@ func (s *ShardServer) handleShardIngest(w http.ResponseWriter, r *http.Request) 
 	s.writeRaw(w, status, resp)
 }
 
+// handleShardIngestBatch admits a router-coalesced run of points in one
+// exchange. Foreign neighbor counts arrive precomputed (the router settled
+// them with one multi-probe support call per peer), so no support fan-out
+// happens here — the whole run commits under one window lock.
+func (s *ShardServer) handleShardIngestBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	topo := s.requireTopology(w, r)
+	if topo == nil {
+		return
+	}
+	body, err := s.readWireBody(w, r)
+	if err != nil {
+		s.writeBatchError(w, r, err)
+		return
+	}
+	reqID := r.Header.Get(router.HeaderRequestID)
+	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
+		hdr, items, err := router.DecodeIngestBatch(body)
+		if err != nil {
+			s.met.wireErrors.Inc()
+			return http.StatusBadRequest, marshalJSON(router.IngestBatchResponse{Error: err.Error(), RequestID: reqID})
+		}
+		in := make([]stream.PrecountedAdmission, len(items))
+		for i, it := range items {
+			in[i] = stream.PrecountedAdmission{
+				Point: it.Point, Seq: it.Seq, Foreign: it.Foreign, CrossLater: it.CrossLater,
+			}
+		}
+		verdicts, admitErrs := s.sw.AdmitBatch(in, time.Unix(0, hdr.ArrivedNs), s.owns(topo))
+		out := router.IngestBatchResponse{Results: make([]router.IngestResponse, len(items)), RequestID: reqID}
+		for i := range items {
+			if admitErrs[i] != nil {
+				out.Results[i] = router.IngestResponse{ID: items[i].Point.ID, Error: admitErrs[i].Error()}
+				continue
+			}
+			v := verdicts[i]
+			out.Results[i] = router.IngestResponse{ID: v.ID, Seq: v.Seq, Neighbors: v.Neighbors, Outlier: v.Outlier}
+			s.met.ingests.Inc()
+		}
+		return http.StatusOK, marshalJSON(out)
+	})
+	s.writeRaw(w, status, resp)
+}
+
 func (s *ShardServer) handleShardEvict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -417,17 +474,29 @@ func (s *ShardServer) handleSupport(w http.ResponseWriter, r *http.Request) {
 	}
 	reqID := r.Header.Get(router.HeaderRequestID)
 	serve := func() (int, []byte) {
-		hdr, pt, cells, err := router.DecodeSupport(body)
+		// DecodeSupportBatch subsumes the per-point form: a body from
+		// EncodeSupport parses as exactly one probe. Multi-probe bodies
+		// (coalesced segment support, chunked scoring) answer one count per
+		// probe plus the sum, in one round trip per peer instead of one per
+		// point. Probes against one shard are independent, so applying them
+		// in order equals applying them one RPC at a time.
+		hdr, probes, err := router.DecodeSupportBatch(body)
 		if err != nil {
 			s.met.wireErrors.Inc()
 			return http.StatusBadRequest, marshalJSON(router.SupportResponse{Error: err.Error(), RequestID: reqID})
 		}
-		n, err := s.sw.ApplySupport(pt, cells, hdr.Delta, hdr.Limit)
-		if err != nil {
-			return http.StatusOK, marshalJSON(router.SupportResponse{Error: err.Error(), RequestID: reqID})
+		total := 0
+		counts := make([]int, len(probes))
+		for i, pr := range probes {
+			n, err := s.sw.ApplySupport(pr.Point, pr.Cells, hdr.Delta, hdr.Limit)
+			if err != nil {
+				return http.StatusOK, marshalJSON(router.SupportResponse{Error: err.Error(), RequestID: reqID})
+			}
+			counts[i] = n
+			total += n
 		}
 		s.met.supportServed.Inc()
-		return http.StatusOK, marshalJSON(router.SupportResponse{Count: n, RequestID: reqID})
+		return http.StatusOK, marshalJSON(router.SupportResponse{Count: total, Counts: counts, RequestID: reqID})
 	}
 	// Read-only support (scoring) skips the idempotency cache; only
 	// delta-applying calls need exactly-once semantics. The delta lives in

@@ -130,24 +130,30 @@ func (sw *ShardWindow) applyLocalDelta(p geom.Point, cells [][]int64, delta int)
 		if e == nil {
 			return // the probe point itself is not yet (or no longer) resident
 		}
-		e.count += delta
-		switch {
-		case delta > 0 && e.outlier && e.count >= sw.cfg.K:
-			e.outlier = false
-			sw.outliers--
-			sw.flipIn++
-			if sw.met != nil {
-				sw.met.flipIn.Inc()
-			}
-		case delta < 0 && !e.outlier && e.count < sw.cfg.K:
-			e.outlier = true
-			sw.outliers++
-			sw.flipOut++
-			if sw.met != nil {
-				sw.met.flipOut.Inc()
-			}
-		}
+		sw.bump(e, delta)
 	})
+}
+
+// bump adjusts one resident entry's neighbor count by delta with the flip
+// rules Window.Process and Window.evictOldest apply. Callers hold sw.mu.
+func (sw *ShardWindow) bump(e *entry, delta int) {
+	e.count += delta
+	switch {
+	case delta > 0 && e.outlier && e.count >= sw.cfg.K:
+		e.outlier = false
+		sw.outliers--
+		sw.flipIn++
+		if sw.met != nil {
+			sw.met.flipIn.Inc()
+		}
+	case delta < 0 && !e.outlier && e.count < sw.cfg.K:
+		e.outlier = true
+		sw.outliers++
+		sw.flipOut++
+		if sw.met != nil {
+			sw.met.flipOut.Inc()
+		}
+	}
 }
 
 // Admit ingests p as the global window's seq-th point. The router has
@@ -176,19 +182,94 @@ func (sw *ShardWindow) Admit(p geom.Point, seq uint64, now time.Time, owns OwnsF
 		}
 		n += rn
 	}
-	if err := sw.ix.Insert(p.Clone()); err != nil {
+	// One clone serves both the index and the entry: neither mutates
+	// coordinates, and Export clones again before anything leaves the lock.
+	pc := p.Clone()
+	if err := sw.ix.Insert(pc); err != nil {
 		return Verdict{}, err
 	}
 	sw.ingested++
 	if sw.met != nil {
 		sw.met.ingested.Inc()
 	}
-	e := &entry{pt: p.Clone(), seq: seq, arrived: now, count: n, outlier: n < sw.cfg.K}
+	e := &entry{pt: pc, seq: seq, arrived: now, count: n, outlier: n < sw.cfg.K}
 	if e.outlier {
 		sw.outliers++
 	}
 	sw.entries[p.ID] = e
 	return Verdict{ID: p.ID, Seq: seq, Neighbors: n, Outlier: e.outlier}, nil
+}
+
+// PrecountedAdmission is one admission of an AdmitBatch: the point, its
+// router-assigned global sequence number, its cross-shard neighbor count at
+// the admission instant (already settled by the router's coalesced support
+// probes), and how many LATER same-segment arrivals on other shards
+// neighbor it.
+type PrecountedAdmission struct {
+	Point      geom.Point
+	Seq        uint64
+	Foreign    int
+	CrossLater int
+}
+
+// AdmitBatch admits a run of points under one lock without issuing any
+// support calls: each point's foreign neighbor count arrives precomputed,
+// and the cross-shard +1s owed to a point by later same-segment arrivals
+// are folded in after the run. The result is bit-identical to admitting
+// the run through Admit with live support — local counts see earlier
+// same-owner arrivals because they are already in the index, foreign
+// counts arrive via Foreign, and the deferred +1s reproduce the exact flip
+// decisions because counts only grow within a run (each entry crosses K at
+// most once, whatever the order). Per-item failures leave their slot's
+// error set and the run continues, matching the router's per-line error
+// discipline.
+func (sw *ShardWindow) AdmitBatch(items []PrecountedAdmission, now time.Time, owns OwnsFunc) ([]Verdict, []error) {
+	verdicts := make([]Verdict, len(items))
+	errsOut := make([]error, len(items))
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for i, it := range items {
+		if it.Point.Dim() != sw.cfg.Dim {
+			errsOut[i] = &errs.DimMismatchError{ID: it.Point.ID, Got: it.Point.Dim(), Want: sw.cfg.Dim}
+			continue
+		}
+		if _, dup := sw.entries[it.Point.ID]; dup {
+			errsOut[i] = &errs.DuplicateIDError{ID: it.Point.ID}
+			continue
+		}
+		local, _ := sw.splitCells(it.Point, owns)
+		n, err := sw.applyLocalDelta(it.Point, local, +1)
+		if err != nil {
+			errsOut[i] = err
+			continue
+		}
+		n += it.Foreign
+		pc := it.Point.Clone()
+		if err := sw.ix.Insert(pc); err != nil {
+			errsOut[i] = err
+			continue
+		}
+		sw.ingested++
+		if sw.met != nil {
+			sw.met.ingested.Inc()
+		}
+		e := &entry{pt: pc, seq: it.Seq, arrived: now, count: n, outlier: n < sw.cfg.K}
+		if e.outlier {
+			sw.outliers++
+		}
+		sw.entries[it.Point.ID] = e
+		verdicts[i] = Verdict{ID: it.Point.ID, Seq: it.Seq, Neighbors: n, Outlier: e.outlier}
+	}
+	for i, it := range items {
+		if errsOut[i] != nil || it.CrossLater == 0 {
+			continue
+		}
+		e := sw.entries[it.Point.ID]
+		for k := 0; k < it.CrossLater; k++ {
+			sw.bump(e, +1)
+		}
+	}
+	return verdicts, errsOut
 }
 
 // EvictByID expires the resident point with the given ID: its local

@@ -125,7 +125,8 @@ type Window struct {
 
 	closed atomic.Bool // set by Close; checked lock-free by Process/Score
 
-	mu       sync.Mutex // serializes mutation and snapshotting
+	mu       sync.Mutex          // serializes mutation and snapshotting
+	sc       *index.CountScratch // neighbor-walk buffers; guarded by mu
 	entries  map[uint64]*entry
 	fifo     []*entry // arrival order; fifo[head:] are resident
 	head     int
@@ -159,6 +160,7 @@ func NewWindow(cfg Config) (*Window, error) {
 	w := &Window{
 		cfg:     cfg,
 		ix:      ix,
+		sc:      index.NewCountScratch(),
 		entries: make(map[uint64]*entry),
 	}
 	if reg := cfg.Obs; reg != nil {
@@ -217,7 +219,7 @@ func (w *Window) processLocked(p geom.Point, now time.Time) (Verdict, error) {
 	// Enumerate p's neighbors once: p's exact admission count, and a
 	// +1 for each of them (arrivals can only flip outliers to inliers).
 	n := 0
-	err := w.ix.Neighbors(p, func(q geom.Point) {
+	err := w.ix.NeighborsScratch(w.sc, p, func(q geom.Point) {
 		n++
 		e := w.entries[q.ID]
 		e.count++
@@ -233,7 +235,10 @@ func (w *Window) processLocked(p geom.Point, now time.Time) (Verdict, error) {
 	if err != nil {
 		return Verdict{}, err
 	}
-	if err := w.ix.Insert(p.Clone()); err != nil {
+	// One clone serves both the index and the entry: neither mutates
+	// coordinates, and snapshots clone again before leaving the lock.
+	pc := p.Clone()
+	if err := w.ix.Insert(pc); err != nil {
 		return Verdict{}, err
 	}
 	w.seq++
@@ -241,7 +246,7 @@ func (w *Window) processLocked(p geom.Point, now time.Time) (Verdict, error) {
 	if w.met != nil {
 		w.met.ingested.Inc()
 	}
-	e := &entry{pt: p.Clone(), seq: w.seq, arrived: now, count: n, outlier: n < w.cfg.K}
+	e := &entry{pt: pc, seq: w.seq, arrived: now, count: n, outlier: n < w.cfg.K}
 	if e.outlier {
 		w.outliers++
 	}
@@ -283,7 +288,7 @@ func (w *Window) evictOldest() {
 	w.head++
 	// The victim is older than every remaining point, so its departure
 	// never affects its own bookkeeping — it is leaving anyway.
-	w.ix.Neighbors(victim.pt, func(q geom.Point) {
+	w.ix.NeighborsScratch(w.sc, victim.pt, func(q geom.Point) {
 		e := w.entries[q.ID]
 		e.count--
 		if !e.outlier && e.count < w.cfg.K {

@@ -1,0 +1,276 @@
+// Package wirejson is the zero-allocation NDJSON fast path for the serving
+// tiers' wire format. The serving hot loop spends a measurable fraction of
+// its time in reflection-based encoding/json for two fixed shapes: the
+// ingest/score request line
+//
+//	{"id":7,"coords":[1.5,-2.25]}
+//
+// and the verdict/score response lines. This package hand-rolls both
+// directions:
+//
+//   - ParsePoint recognizes exactly the canonical request-line shape above
+//     (strict JSON grammar, no whitespace, fields in order) and parses it
+//     with zero heap allocations, appending coords into a caller-owned
+//     buffer. Any line it does not recognize — reordered fields, extra
+//     whitespace, trailing garbage, numbers outside the JSON grammar,
+//     overflowing ids, NaN/Inf spellings — is answered ok=false WITHOUT
+//     judging validity, and the caller falls back to the encoding/json
+//     oracle. The fallback keeps accept/reject behavior, parsed values, and
+//     error strings bit-identical to the oracle by construction: the fast
+//     path only ever accepts a subset of what the oracle accepts, with the
+//     same values (both defer to strconv.ParseFloat, which is what
+//     encoding/json uses for float64).
+//
+//   - AppendVerdict/AppendScore/AppendString reproduce encoding/json's
+//     output for the response-line structs byte for byte, including
+//     omitempty semantics, HTML escaping (backslash-u escapes for <, >, &
+//     and U+2028/U+2029), the � replacement of invalid UTF-8, and the
+//     json.Encoder trailing newline.
+//
+// FuzzWireJSON pins both directions against the encoding/json oracle.
+package wirejson
+
+import (
+	"strconv"
+	"unicode/utf8"
+	"unsafe"
+)
+
+// ParsePoint parses the canonical point line {"id":N,"coords":[...]} with
+// zero allocations. Coords are appended to dst (pass a pooled buffer, or
+// nil); the returned slice aliases dst's backing array. ok=false means the
+// fast path does not recognize the line — not that the line is invalid —
+// and the caller must re-parse with encoding/json so that values and error
+// text stay oracle-identical.
+func ParsePoint(line []byte, dst []float64) (id uint64, coords []float64, ok bool) {
+	const idPrefix = `{"id":`
+	const coordsPrefix = `,"coords":[`
+	if len(line) < len(idPrefix)+len(coordsPrefix)+2 || string(line[:len(idPrefix)]) != idPrefix {
+		return 0, dst, false
+	}
+	i := len(idPrefix)
+	id, i, ok = parseUint(line, i)
+	if !ok || i+len(coordsPrefix) > len(line) || string(line[i:i+len(coordsPrefix)]) != coordsPrefix {
+		return 0, dst, false
+	}
+	i += len(coordsPrefix)
+	coords = dst
+	if i < len(line) && line[i] == ']' {
+		i++ // empty coords array
+	} else {
+		for {
+			var f float64
+			f, i, ok = parseFloat(line, i)
+			if !ok {
+				return 0, dst, false
+			}
+			coords = append(coords, f)
+			if i >= len(line) {
+				return 0, dst, false
+			}
+			if line[i] == ',' {
+				i++
+				continue
+			}
+			if line[i] == ']' {
+				i++
+				break
+			}
+			return 0, dst, false
+		}
+	}
+	// Exactly "}" must remain: anything after it (even whitespace the
+	// oracle would tolerate) punts to the fallback.
+	if i+1 != len(line) || line[i] != '}' {
+		return 0, dst, false
+	}
+	return id, coords, true
+}
+
+// parseUint consumes a JSON-grammar unsigned integer (no sign, no leading
+// zero, no exponent) that fits uint64. Overflow or any other spelling the
+// grammar allows elsewhere (1e3, 0x..) is ok=false so the oracle's error
+// text is authoritative.
+func parseUint(b []byte, i int) (uint64, int, bool) {
+	start := i
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		i++
+	}
+	n := i - start
+	if n == 0 || n > 20 || (n > 1 && b[start] == '0') {
+		return 0, i, false
+	}
+	v, err := strconv.ParseUint(bstr(b[start:i]), 10, 64)
+	if err != nil {
+		return 0, i, false
+	}
+	return v, i, true
+}
+
+// parseFloat consumes one number token matching the strict JSON grammar
+//
+//	-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+//
+// and converts it with strconv.ParseFloat — the same conversion
+// encoding/json performs for float64 targets, so accepted values are
+// bit-identical. Out-of-range numbers (1e999) are ok=false: the oracle
+// rejects them with its own error text.
+func parseFloat(b []byte, i int) (float64, int, bool) {
+	start := i
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	// Integer part: 0, or nonzero digit followed by digits.
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		i++
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return 0, i, false
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, i, false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, i, false
+		}
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	f, err := strconv.ParseFloat(bstr(b[start:i]), 64)
+	if err != nil {
+		return 0, i, false
+	}
+	return f, i, true
+}
+
+// bstr views a byte slice as a string without copying. The string is only
+// passed to strconv parsers, which do not retain it past the call.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// AppendVerdict appends one ingest-verdict response line, byte-identical to
+// json.Encoder on the serving tiers' verdict struct (field order id, seq,
+// neighbors, outlier, evicted, error; seq/evicted/error omitempty) plus the
+// encoder's trailing newline.
+func AppendVerdict(dst []byte, id, seq uint64, neighbors int, outlier bool, evicted int, errMsg string) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendUint(dst, id, 10)
+	if seq != 0 {
+		dst = append(dst, `,"seq":`...)
+		dst = strconv.AppendUint(dst, seq, 10)
+	}
+	dst = appendNeighborsOutlier(dst, neighbors, outlier)
+	if evicted != 0 {
+		dst = append(dst, `,"evicted":`...)
+		dst = strconv.AppendInt(dst, int64(evicted), 10)
+	}
+	dst = appendErrField(dst, errMsg)
+	return append(dst, '}', '\n')
+}
+
+// AppendScore appends one score response line, byte-identical to
+// json.Encoder on the serving tiers' score struct.
+func AppendScore(dst []byte, id uint64, neighbors int, outlier bool, errMsg string) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendUint(dst, id, 10)
+	dst = appendNeighborsOutlier(dst, neighbors, outlier)
+	dst = appendErrField(dst, errMsg)
+	return append(dst, '}', '\n')
+}
+
+func appendNeighborsOutlier(dst []byte, neighbors int, outlier bool) []byte {
+	dst = append(dst, `,"neighbors":`...)
+	dst = strconv.AppendInt(dst, int64(neighbors), 10)
+	if outlier {
+		return append(dst, `,"outlier":true`...)
+	}
+	return append(dst, `,"outlier":false`...)
+}
+
+func appendErrField(dst []byte, errMsg string) []byte {
+	if errMsg == "" {
+		return dst
+	}
+	dst = append(dst, `,"error":`...)
+	return AppendString(dst, errMsg)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// AppendString appends a JSON string literal exactly as encoding/json with
+// its default escapeHTML=true: short escapes for quote, backslash, \b \f
+// \n \r \t; \u00XX for other control bytes and for < > &; � for
+// invalid UTF-8;   and   escaped. Error messages can carry
+// arbitrary client bytes (parse errors quote the input), so this must
+// cover everything.
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				dst = append(dst, '\\', c)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

@@ -1,0 +1,217 @@
+package wirejson
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// pointLine mirrors httpapi.PointLine; redeclared here so the package's
+// oracle tests do not depend on the serving tiers.
+type pointLine struct {
+	ID     uint64    `json:"id"`
+	Coords []float64 `json:"coords"`
+}
+
+// verdictLine / scoreLine mirror the serving tiers' response structs; the
+// append encoders must reproduce json.Encoder on these byte for byte.
+type verdictLine struct {
+	ID        uint64 `json:"id"`
+	Seq       uint64 `json:"seq,omitempty"`
+	Neighbors int    `json:"neighbors"`
+	Outlier   bool   `json:"outlier"`
+	Evicted   int    `json:"evicted,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+type scoreLine struct {
+	ID        uint64 `json:"id"`
+	Neighbors int    `json:"neighbors"`
+	Outlier   bool   `json:"outlier"`
+	Error     string `json:"error,omitempty"`
+}
+
+// checkParseParity asserts the fast-path/oracle contract on one line: if
+// the fast path accepts, the oracle must accept with bit-identical values.
+// (The fast path rejecting is always fine — production falls back.)
+func checkParseParity(t *testing.T, line []byte) {
+	t.Helper()
+	id, coords, ok := ParsePoint(line, nil)
+	if !ok {
+		return
+	}
+	var pl pointLine
+	if err := json.Unmarshal(line, &pl); err != nil {
+		t.Fatalf("fast path accepted %q but oracle rejects: %v", line, err)
+	}
+	if id != pl.ID {
+		t.Fatalf("line %q: fast id %d, oracle %d", line, id, pl.ID)
+	}
+	if len(coords) != len(pl.Coords) {
+		t.Fatalf("line %q: fast %d coords, oracle %d", line, len(coords), len(pl.Coords))
+	}
+	for i := range coords {
+		if math.Float64bits(coords[i]) != math.Float64bits(pl.Coords[i]) {
+			t.Fatalf("line %q coord %d: fast %v (%x), oracle %v (%x)",
+				line, i, coords[i], math.Float64bits(coords[i]), pl.Coords[i], math.Float64bits(pl.Coords[i]))
+		}
+	}
+}
+
+func TestParsePointAcceptsCanonical(t *testing.T) {
+	cases := []struct {
+		line   string
+		id     uint64
+		coords []float64
+	}{
+		{`{"id":0,"coords":[]}`, 0, nil},
+		{`{"id":7,"coords":[1.5,-2.25]}`, 7, []float64{1.5, -2.25}},
+		{`{"id":18446744073709551615,"coords":[0]}`, math.MaxUint64, []float64{0}},
+		{`{"id":3,"coords":[-0]}`, 3, []float64{math.Copysign(0, -1)}},
+		{`{"id":3,"coords":[1e3,2E-2,0.125,-0.5e+1]}`, 3, []float64{1000, 0.02, 0.125, -5}},
+		{`{"id":1,"coords":[2.2250738585072014e-308]}`, 1, []float64{2.2250738585072014e-308}},
+	}
+	for _, c := range cases {
+		id, coords, ok := ParsePoint([]byte(c.line), nil)
+		if !ok {
+			t.Fatalf("fast path rejected canonical line %q", c.line)
+		}
+		if id != c.id || len(coords) != len(c.coords) {
+			t.Fatalf("line %q: got id=%d coords=%v", c.line, id, coords)
+		}
+		for i := range coords {
+			if math.Float64bits(coords[i]) != math.Float64bits(c.coords[i]) {
+				t.Fatalf("line %q coord %d: got %v", c.line, i, coords[i])
+			}
+		}
+		checkParseParity(t, []byte(c.line))
+	}
+}
+
+func TestParsePointFallsBack(t *testing.T) {
+	// Lines the fast path must punt on: either invalid JSON (the oracle's
+	// error text is the contract) or valid but non-canonical spellings.
+	lines := []string{
+		``,
+		`{}`,
+		`{"coords":[1],"id":2}`,       // reordered fields
+		`{"id": 7,"coords":[1]}`,      // whitespace
+		`{"id":7,"coords":[1]} `,      // trailing space
+		`{"id":7,"coords":[1],"x":2}`, // extra field
+		`{"id":-1,"coords":[1]}`,      // negative id
+		`{"id":01,"coords":[1]}`,      // leading zero
+		`{"id":1e2,"coords":[1]}`,     // exponent id
+		`{"id":18446744073709551616,"coords":[1]}`, // uint64 overflow
+		`{"id":7,"coords":[1e999]}`,                // float overflow
+		`{"id":7,"coords":[NaN]}`,                  // not JSON
+		`{"id":7,"coords":[Infinity]}`,
+		`{"id":7,"coords":[+1]}`,
+		`{"id":7,"coords":[.5]}`,
+		`{"id":7,"coords":[1.]}`,
+		`{"id":7,"coords":[01]}`,
+		`{"id":7,"coords":[1,]}`,
+		`{"id":7,"coords":[1]`,
+		`{"id":7,"coords":null}`,
+		`{"id":7}`,
+		`not json at all`,
+	}
+	for _, line := range lines {
+		if _, _, ok := ParsePoint([]byte(line), nil); ok {
+			t.Fatalf("fast path accepted non-canonical line %q", line)
+		}
+	}
+}
+
+func encodeOracle(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func checkVerdictParity(t *testing.T, id, seq uint64, neighbors int, outlier bool, evicted int, errMsg string) {
+	t.Helper()
+	got := AppendVerdict(nil, id, seq, neighbors, outlier, evicted, errMsg)
+	want := encodeOracle(t, verdictLine{ID: id, Seq: seq, Neighbors: neighbors, Outlier: outlier, Evicted: evicted, Error: errMsg})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("verdict mismatch:\nfast   %q\noracle %q", got, want)
+	}
+}
+
+func checkScoreParity(t *testing.T, id uint64, neighbors int, outlier bool, errMsg string) {
+	t.Helper()
+	got := AppendScore(nil, id, neighbors, outlier, errMsg)
+	want := encodeOracle(t, scoreLine{ID: id, Neighbors: neighbors, Outlier: outlier, Error: errMsg})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("score mismatch:\nfast   %q\noracle %q", got, want)
+	}
+}
+
+func TestAppendMatchesEncoder(t *testing.T) {
+	msgs := []string{
+		"",
+		"duplicate id 7 in window",
+		`malformed point line: invalid character 'x' looking for beginning of value`,
+		"quote \" backslash \\ slash /",
+		"html <b>&amp;</b>",
+		"controls \x00\x01\x1f\b\f\n\r\t",
+		"unicode précis 世界   ",
+		"invalid utf8 \x80\xfe mixed",
+		"trailing high surrogate \xed\xa0\x80",
+	}
+	for _, msg := range msgs {
+		checkVerdictParity(t, 1, 0, 3, true, 0, msg)
+		checkVerdictParity(t, 42, 99, 0, false, 2, msg)
+		checkScoreParity(t, 7, 12, false, msg)
+	}
+	checkVerdictParity(t, 0, 0, 0, false, 0, "")
+	checkVerdictParity(t, math.MaxUint64, math.MaxUint64, math.MaxInt, true, math.MaxInt, "")
+	checkScoreParity(t, math.MaxUint64, -1, true, "")
+}
+
+// FuzzWireJSON pins both directions of the fast path to the encoding/json
+// oracle: any line the parser accepts must be oracle-accepted with
+// bit-identical values, and the append encoders must produce oracle bytes
+// for arbitrary field contents (the raw input doubles as the error string,
+// exercising escaping on invalid UTF-8 and control bytes).
+func FuzzWireJSON(f *testing.F) {
+	f.Add([]byte(`{"id":7,"coords":[1.5,-2.25]}`), uint64(1), 3, true)
+	f.Add([]byte(`{"id":0,"coords":[]}`), uint64(0), 0, false)
+	f.Add([]byte(`{"id":7,"coords":[1e999]}`), uint64(9), -4, true)
+	f.Add([]byte(`{"id":18446744073709551615,"coords":[-0,0.5e-3]}`), uint64(1<<63), 1, false)
+	f.Add([]byte("<html> \x80\xff&"), uint64(3), 2, true)
+	f.Fuzz(func(t *testing.T, line []byte, seq uint64, neighbors int, outlier bool) {
+		checkParseParity(t, line)
+		msg := string(line)
+		evicted := neighbors / 2
+		checkVerdictParity(t, seq, seq>>1, neighbors, outlier, evicted, msg)
+		checkScoreParity(t, seq, neighbors, outlier, msg)
+	})
+}
+
+// The whole point: steady-state parse and encode must not allocate.
+func TestZeroAllocs(t *testing.T) {
+	line := []byte(`{"id":12345,"coords":[1.5,-2.25,3.75,100.125]}`)
+	coords := make([]float64, 0, 16)
+	if n := testing.AllocsPerRun(200, func() {
+		_, c, ok := ParsePoint(line, coords[:0])
+		if !ok || len(c) != 4 {
+			t.Fatal("parse failed")
+		}
+	}); n != 0 {
+		t.Fatalf("ParsePoint allocates %v per run, want 0", n)
+	}
+	buf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(200, func() {
+		b := AppendVerdict(buf[:0], 12345, 99, 7, false, 1, "")
+		b = AppendScore(b, 12345, 7, true, "window full")
+		if len(b) == 0 {
+			t.Fatal("empty encode")
+		}
+	}); n != 0 {
+		t.Fatalf("Append encoders allocate %v per run, want 0", n)
+	}
+}
