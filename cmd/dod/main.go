@@ -27,7 +27,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"text/tabwriter"
 	"time"
 
 	"dod"
@@ -46,6 +48,8 @@ func main() {
 		sample   = flag.Float64("sample", 0.05, "preprocessing sampling rate Υ")
 		seed     = flag.Int64("seed", 1, "random seed")
 		stats    = flag.Bool("stats", false, "print an execution report and stage trace to stderr")
+		explain  = flag.Bool("explain", false, "print a per-partition table (tactic, estimated vs. actual cost) to stderr")
+		approx   = flag.Bool("approx", false, "allow approximate detectors (e.g. Sens-Sample)")
 		planOut  = flag.String("plan", "", "write the generated partition plan as JSON to this file")
 
 		engine     = flag.String("engine", "local", "execution engine: local | cluster")
@@ -55,13 +59,13 @@ func main() {
 		journal    = flag.String("journal", "", "cluster engine: checkpoint journal path; a restarted run replays settled tasks from it")
 	)
 	flag.Var(&strategy, "strategy", "partitioning strategy: Domain | uniSpace | DDriven | CDriven | DMT")
-	flag.Var(&detector, "detector", "detector for single-tactic strategies: NestedLoop | CellBased | CellBasedL2 | KDTree | BruteForce")
+	flag.Var(&detector, "detector", "detector for single-tactic strategies: NestedLoop | CellBased | CellBasedL2 | KDTree | BruteForce | Prox-Graph | Sens-Sample")
 	flag.Parse()
 
 	if err := run(runOpts{
 		r: *r, k: *k, strategy: strategy, detector: detector,
 		reducers: *reducers, sample: *sample, seed: *seed,
-		stats: *stats, planOut: *planOut,
+		stats: *stats, explain: *explain, approx: *approx, planOut: *planOut,
 		engine: *engine, listen: *listen, workers: *workers, workerWait: *workerWait,
 		journal: *journal,
 		args:    flag.Args(),
@@ -82,6 +86,8 @@ type runOpts struct {
 	sample   float64
 	seed     int64
 	stats    bool
+	explain  bool
+	approx   bool
 	planOut  string
 
 	engine     string
@@ -119,6 +125,7 @@ func run(o runOpts) error {
 		NumReducers: o.reducers,
 		SampleRate:  o.sample,
 		Seed:        o.seed,
+		AllowApprox: o.approx,
 	}
 	switch o.engine {
 	case "", "local":
@@ -168,5 +175,32 @@ func run(o runOpts) error {
 			rep.ShuffleRecords, rep.ShuffleBytes, rep.SupportRecords, rep.DistComps, rep.ReduceImbalance)
 		fmt.Fprint(os.Stderr, rep.Trace.String())
 	}
+	if o.explain {
+		printExplain(os.Stderr, res)
+	}
 	return nil
+}
+
+// printExplain renders the per-partition plan-versus-actual table: the
+// tactic the planner assigned, what it expected the partition to cost,
+// and the distance computations the run actually spent there.
+func printExplain(w io.Writer, res *dod.Result) {
+	details := res.PartitionDetails()
+	if len(details) == 0 {
+		fmt.Fprintln(w, "explain: no plan recorded for this run")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "PART\tALGO\tREDUCER\tEST-COUNT\tEST-COST\tCORE\tSUPPORT\tDIST-COMPS\tOUTLIERS\t")
+	var estCost float64
+	var distComps, outliers int64
+	for _, d := range details {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%.0f\t%.3g\t%d\t%d\t%d\t%d\t\n",
+			d.ID, d.Algo, d.Reducer, d.EstCount, d.EstCost, d.Core, d.Support, d.DistComps, d.Outliers)
+		estCost += d.EstCost
+		distComps += d.DistComps
+		outliers += d.Outliers
+	}
+	fmt.Fprintf(tw, "total\t\t\t\t%.3g\t\t\t%d\t%d\t\n", estCost, distComps, outliers)
+	tw.Flush()
 }

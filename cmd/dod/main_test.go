@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dod"
@@ -22,6 +24,10 @@ func TestParseDetector(t *testing.T) {
 		"KDTree":        dod.KDTree,
 		"KD-Tree":       dod.KDTree,
 		"BruteForce":    dod.BruteForce,
+		"Prox-Graph":    dod.ProxGraph,
+		"proxgraph":     dod.ProxGraph,
+		"Sens-Sample":   dod.SensSample,
+		"senssample":    dod.SensSample,
 	}
 	for name, want := range cases {
 		got, err := dod.ParseDetector(name)
@@ -115,6 +121,59 @@ func TestRunWritesPlanJSON(t *testing.T) {
 	}
 	if decoded.Name != "DMT" || len(decoded.Partitions) == 0 {
 		t.Errorf("plan dump: name=%q partitions=%d", decoded.Name, len(decoded.Partitions))
+	}
+}
+
+// TestRunExplain drives the -explain path end to end and checks the table
+// renders one row per plan partition plus the totals line.
+func TestRunExplain(t *testing.T) {
+	path := writeTestCSV(t)
+	o := baseOpts(path)
+	o.explain = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	points, err := synth.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dod.Detect(points, dod.Config{R: 5, K: 4, SampleRate: 1, Seed: 1, Strategy: dod.StrategyDMT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	printExplain(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "ALGO") || !strings.Contains(out, "DIST-COMPS") {
+		t.Errorf("explain table missing header:\n%s", out)
+	}
+	rows := strings.Count(out, "\n")
+	// header + one row per partition + totals
+	if want := len(res.Report.Plan.Partitions) + 2; rows != want {
+		t.Errorf("explain table has %d lines, want %d:\n%s", rows, want, out)
+	}
+	printExplain(&buf, &dod.Result{}) // no plan: must not panic
+}
+
+// TestRunApproxGate: -detector Sens-Sample is refused without -approx and
+// accepted with it.
+func TestRunApproxGate(t *testing.T) {
+	path := writeTestCSV(t)
+	o := baseOpts(path)
+	o.strategy = dod.StrategyCDriven
+	o.detector = dod.SensSample
+	if err := run(o); err == nil {
+		t.Error("Sens-Sample accepted without -approx")
+	}
+	o.approx = true
+	if err := run(o); err != nil {
+		t.Errorf("Sens-Sample with -approx failed: %v", err)
 	}
 }
 

@@ -48,6 +48,10 @@ type benchFile struct {
 	// sharded — so the committed baseline documents the wire-path speedup
 	// and the support-RPC coalescing factor.
 	Serve serveSection `json:"serve"`
+	// HighDim measures the detector tactics on a clustered 32-dimensional
+	// workload — the regime where grid enumeration and kd-tree pruning
+	// collapse — and records which tactic the DMT planner routes to there.
+	HighDim highDimSection `json:"highdim"`
 }
 
 type benchParams struct {
@@ -120,6 +124,45 @@ type distRecord struct {
 	Match          bool    `json:"match"` // cluster outliers byte-identical to local
 }
 
+// highDimSection documents the high-dimensional tactic comparison: one
+// detection pass per tactic over the same planted-outlier workload, plus
+// the DMT planner's routing decision on it.
+type highDimSection struct {
+	N       int     `json:"n"`
+	Dim     int     `json:"dim"`
+	R       float64 `json:"r"`
+	K       int     `json:"k"`
+	Planted int     `json:"planted_outliers"`
+	// Tactics holds one record per exact detector; MatchBrute asserts the
+	// tactic reproduced BruteForce's outlier set bit-for-bit.
+	Tactics []highDimTactic `json:"tactics"`
+	Planner highDimPlanner  `json:"planner"`
+}
+
+type highDimTactic struct {
+	Detector   string  `json:"detector"`
+	DistComps  int64   `json:"dist_comps"`
+	Outliers   int     `json:"outliers"`
+	MatchBrute bool    `json:"match_brute"`
+	WallMs     float64 `json:"wall_ms"`
+}
+
+// highDimPlanner records the DMT run over the same workload: which tactic
+// the planner assigned per partition and whether the routed plan beat the
+// best single-tactic alternative on distance computations.
+type highDimPlanner struct {
+	Candidates  []string       `json:"candidates"`
+	PicksByAlgo map[string]int `json:"picks_by_algo"`
+	DistComps   int64          `json:"dist_comps"`
+	Outliers    int            `json:"outliers"`
+	// Single-tactic runs of the same pipeline, for the routing payoff.
+	NestedLoopComps int64 `json:"nestedloop_dist_comps"`
+	KDTreeComps     int64 `json:"kdtree_dist_comps"`
+	// Wins: the DMT-routed plan spent fewer distance computations than
+	// the best of the single-tactic alternatives.
+	Wins bool `json:"wins"`
+}
+
 // benchCases mirrors internal/detect/bench_test.go so the committed JSON
 // trajectory and `go test -bench` measure the same kernels.
 type benchCase struct {
@@ -146,6 +189,7 @@ func jsonBenchCases() []benchCase {
 		{"KDTree2D/n=8000", detect.KDTree, ma(8000), 8000, 2},
 		{"Pivot2D/n=8000", detect.Pivot, ma(8000), 8000, 2},
 		{"CellBased3D/n=8000", detect.CellBased, cloud3(8000), 8000, 3},
+		{"ProxGraph2D/n=8000", detect.PGraph, ma(8000), 8000, 2},
 	}
 }
 
@@ -190,7 +234,7 @@ func parallelBenchCases() []benchCase {
 	var out []benchCase
 	for _, c := range jsonBenchCases() {
 		switch c.kind {
-		case detect.BruteForce, detect.NestedLoop, detect.CellBased, detect.CellBasedL2:
+		case detect.BruteForce, detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.PGraph:
 			out = append(out, c)
 		}
 	}
@@ -281,6 +325,161 @@ func runParCheck(n int, min float64) error {
 		workers, n, time.Duration(seq.NsPerOp()), time.Duration(par.NsPerOp()), ratio, min)
 	if ratio < min {
 		return fmt.Errorf("parcheck: parallel/sequential ratio %.2f below minimum %.2f at GOMAXPROCS=%d", ratio, min, workers)
+	}
+	return nil
+}
+
+// measureHighDim runs the 32-dimensional planted-outlier sphere workload
+// (synth.HighDimUniform — unit-norm embedding geometry, where no
+// axis-aligned box can prune a query ball) through every exact tactic
+// that survives high dimension (Cell-Based's 3^d cell enumeration
+// overflows at d=32, so it is excluded) and through the DMT pipeline
+// with the proximity graph in the candidate set. The committed record is
+// the evidence that the planner routes high-dimensional partitions to
+// the graph tactic and that the routing pays off.
+func measureHighDim(cfg benchRunConfig) (highDimSection, error) {
+	const n, dim = 16000, 32
+	params := detect.Params{R: 4, K: 4}
+	pts, planted := synth.HighDimUniform(n, dim, params.R, 0.005, 3)
+	set := geom.PointSetOf(pts)
+
+	sec := highDimSection{N: n, Dim: dim, R: params.R, K: params.K, Planted: len(planted)}
+
+	var bruteIDs []uint64
+	for _, kind := range []detect.Kind{detect.BruteForce, detect.NestedLoop, detect.KDTree, detect.PGraph} {
+		fmt.Fprintf(os.Stderr, "dodbench: highdim %s (n=%d d=%d)\n", kind, n, dim)
+		start := time.Now()
+		res := detect.DetectSet(detect.New(kind, 7), set, set.Len(), params)
+		wall := time.Since(start)
+		if kind == detect.BruteForce {
+			bruteIDs = res.OutlierIDs
+		}
+		match := len(res.OutlierIDs) == len(bruteIDs)
+		for i := 0; match && i < len(bruteIDs); i++ {
+			match = res.OutlierIDs[i] == bruteIDs[i]
+		}
+		if !match {
+			return sec, fmt.Errorf("highdim: %s diverged from BruteForce (%d vs %d outliers)",
+				kind, len(res.OutlierIDs), len(bruteIDs))
+		}
+		sec.Tactics = append(sec.Tactics, highDimTactic{
+			Detector:   kind.String(),
+			DistComps:  res.Stats.DistComps,
+			Outliers:   len(res.OutlierIDs),
+			MatchBrute: match,
+			WallMs:     float64(wall) / float64(time.Millisecond),
+		})
+	}
+
+	input, err := core.InputFromPoints(pts, 8192)
+	if err != nil {
+		return sec, err
+	}
+	// On the sphere workload r spans the whole domain in every coordinate,
+	// so each partition's supporting area covers essentially all of it:
+	// every partition ships ~n points regardless of the split. Fine
+	// partitioning therefore buys no locality and multiplies per-partition
+	// index build cost, so the pipeline runs with a deliberately coarse
+	// two-partition plan.
+	runWith := func(cands []detect.Kind) (*core.Report, error) {
+		return core.Run(context.Background(), input, core.Config{
+			Params:  params,
+			Planner: plan.DMT,
+			PlanOpts: plan.Options{
+				NumReducers:   2,
+				NumPartitions: 2,
+				Candidates:    cands,
+			},
+			SampleRate:  1,
+			Seed:        cfg.seed,
+			Parallelism: cfg.parallelism,
+		})
+	}
+	cands := []detect.Kind{detect.NestedLoop, detect.KDTree, detect.PGraph}
+	fmt.Fprintf(os.Stderr, "dodbench: highdim DMT pipeline (candidates %v)\n", cands)
+	dmtRep, err := runWith(cands)
+	if err != nil {
+		return sec, err
+	}
+	nlRep, err := runWith([]detect.Kind{detect.NestedLoop})
+	if err != nil {
+		return sec, err
+	}
+	kdRep, err := runWith([]detect.Kind{detect.KDTree})
+	if err != nil {
+		return sec, err
+	}
+
+	pl := highDimPlanner{
+		PicksByAlgo:     map[string]int{},
+		DistComps:       dmtRep.DistComps,
+		Outliers:        len(dmtRep.Outliers),
+		NestedLoopComps: nlRep.DistComps,
+		KDTreeComps:     kdRep.DistComps,
+	}
+	for _, k := range cands {
+		pl.Candidates = append(pl.Candidates, k.String())
+	}
+	for _, p := range dmtRep.Plan.Partitions {
+		pl.PicksByAlgo[p.Algo.String()]++
+	}
+	best := pl.NestedLoopComps
+	if pl.KDTreeComps < best {
+		best = pl.KDTreeComps
+	}
+	pl.Wins = pl.DistComps < best
+	sec.Planner = pl
+	return sec, nil
+}
+
+// runGraphCheck is the CI exactness gate for the proximity-graph tactic:
+// on fixed seeds it compares Prox-Graph against BruteForce on a low- and a
+// high-dimensional workload, sequential and tiled, and fails on the first
+// byte that differs. The certification fallback makes the graph walk
+// exact by construction; this gate catches any regression in that
+// argument at the kernel boundary.
+func runGraphCheck(n int) error {
+	seeds := []int64{1, 7, 42, 1000003}
+	workers := runtime.GOMAXPROCS(0)
+	type workload struct {
+		name   string
+		pts    []geom.Point
+		params detect.Params
+	}
+	workloads := []workload{
+		{"segment2d", synth.Segment(synth.Massachusetts, n, 3), detect.Params{R: 5, K: 4}},
+	}
+	hd, _ := synth.HighDimPlanted(n/2, 32, 4, 0.02, 11)
+	workloads = append(workloads, workload{"planted32d", hd, detect.Params{R: 4, K: 4}})
+
+	for _, w := range workloads {
+		set := geom.PointSetOf(w.pts)
+		for _, seed := range seeds {
+			brute := detect.DetectSet(detect.New(detect.BruteForce, seed), set, set.Len(), w.params)
+			seq := detect.DetectSet(detect.New(detect.PGraph, seed), set, set.Len(), w.params)
+			if len(seq.OutlierIDs) != len(brute.OutlierIDs) {
+				return fmt.Errorf("graphcheck %s seed %d: %d outliers, brute %d",
+					w.name, seed, len(seq.OutlierIDs), len(brute.OutlierIDs))
+			}
+			for i := range brute.OutlierIDs {
+				if seq.OutlierIDs[i] != brute.OutlierIDs[i] {
+					return fmt.Errorf("graphcheck %s seed %d: outlier %d differs: graph %d, brute %d",
+						w.name, seed, i, seq.OutlierIDs[i], brute.OutlierIDs[i])
+				}
+			}
+			par := detect.DetectSetParallel(detect.New(detect.PGraph, seed), set, set.Len(), w.params, workers)
+			if par.Stats != seq.Stats || len(par.OutlierIDs) != len(seq.OutlierIDs) {
+				return fmt.Errorf("graphcheck %s seed %d: parallel diverged (seq %+v, par %+v)",
+					w.name, seed, seq.Stats, par.Stats)
+			}
+			for i := range seq.OutlierIDs {
+				if par.OutlierIDs[i] != seq.OutlierIDs[i] {
+					return fmt.Errorf("graphcheck %s seed %d: parallel outlier %d differs", w.name, seed, i)
+				}
+			}
+			fmt.Printf("dodbench: graphcheck %s seed=%d ok (%d outliers, graph %d comps vs brute %d)\n",
+				w.name, seed, len(seq.OutlierIDs), seq.Stats.DistComps, brute.Stats.DistComps)
+		}
 	}
 	return nil
 }
@@ -467,6 +666,12 @@ func runJSONBench(cfg benchRunConfig, path string) error {
 		return err
 	}
 	doc.Serve = serveSec
+	fmt.Fprintf(os.Stderr, "dodbench: measuring high-dimensional tactics\n")
+	hd, err := measureHighDim(cfg)
+	if err != nil {
+		return err
+	}
+	doc.HighDim = hd
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

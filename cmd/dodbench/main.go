@@ -81,6 +81,9 @@ func main() {
 	serveCheckMin := flag.Float64("servecheck-min", 0, "minimum fast/legacy ingest throughput ratio for -servecheck")
 	serveCheckAllocs := flag.Float64("servecheck-allocs", 0, "maximum whole-process allocations per ingested line for -servecheck (0 disables)")
 	serveCheckN := flag.Int("servecheck-n", 6000, "dataset size for -servecheck")
+	graphCheck := flag.Bool("graphcheck", false, "verify the Prox-Graph tactic answers byte-identically to BruteForce on fixed seeds (low- and high-dimensional, sequential and tiled) and exit nonzero on the first divergence")
+	graphCheckN := flag.Int("graphcheck-n", 2500, "dataset size for -graphcheck")
+	approx := flag.Bool("approx", false, "allow approximate detector candidates (e.g. Sens-Sample) in figure runs")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Var(&figs, "fig", "figure to run (4, 5, 7a, 7b, 8a, 8b, 9a, 9b, 10a, 10b, g=generality); repeatable; default all")
@@ -130,6 +133,13 @@ func main() {
 		return
 	}
 
+	if *graphCheck {
+		if err := runGraphCheck(*graphCheckN); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *jsonOut != "" {
 		if err := runJSONBench(benchRunConfig{
 			points:      *segmentN,
@@ -151,6 +161,7 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallelism,
 		Candidates:  candidates,
+		AllowApprox: *approx,
 	}
 	if err := run(cfg, figs, *csvOut); err != nil {
 		fail(err)

@@ -101,3 +101,54 @@ func TestFigListFlag(t *testing.T) {
 		t.Errorf("String() = %q", f.String())
 	}
 }
+
+// TestRunGraphCheck runs the exactness gate at test scale: every fixed
+// seed must answer byte-identically to BruteForce on both workloads.
+func TestRunGraphCheck(t *testing.T) {
+	if err := runGraphCheck(800); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeasureHighDim runs the 32-dimensional tactic comparison and checks
+// the committed-record invariants: every exact tactic matches BruteForce,
+// the planner routes at least one partition to the graph tactic, and the
+// routed plan beats the single-tactic alternatives on distance
+// computations.
+func TestMeasureHighDim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("high-dimensional workload is seconds-scale")
+	}
+	sec, err := measureHighDim(benchRunConfig{reducers: 4, seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.Dim < 32 {
+		t.Errorf("dim = %d, want >= 32", sec.Dim)
+	}
+	var graphComps, bruteComps int64 = -1, -1
+	for _, tac := range sec.Tactics {
+		if !tac.MatchBrute {
+			t.Errorf("%s diverged from BruteForce", tac.Detector)
+		}
+		switch tac.Detector {
+		case "Prox-Graph":
+			graphComps = tac.DistComps
+		case "BruteForce":
+			bruteComps = tac.DistComps
+		}
+	}
+	if graphComps < 0 || bruteComps < 0 {
+		t.Fatalf("missing tactic records: %+v", sec.Tactics)
+	}
+	if graphComps >= bruteComps {
+		t.Errorf("graph tactic did not beat brute force: %d vs %d", graphComps, bruteComps)
+	}
+	if sec.Planner.PicksByAlgo["Prox-Graph"] == 0 {
+		t.Errorf("planner never picked the graph tactic: %+v", sec.Planner.PicksByAlgo)
+	}
+	if !sec.Planner.Wins {
+		t.Errorf("DMT routing did not win: dmt=%d nl=%d kd=%d",
+			sec.Planner.DistComps, sec.Planner.NestedLoopComps, sec.Planner.KDTreeComps)
+	}
+}

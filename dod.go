@@ -26,6 +26,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -58,6 +59,15 @@ const (
 	// CellBasedL2 is an optimized Cell-Based variant (beyond the paper)
 	// that restricts undecided-cell scans to the L1–L2 cell ring.
 	CellBasedL2 = detect.CellBasedL2
+	// ProxGraph is the exact proximity-graph tactic: a navigable neighbor
+	// graph built once per partition answers threshold queries by graph
+	// walk, falling back to verified scans so results stay bit-identical
+	// to BruteForce. The grid-free structure survives high dimension.
+	ProxGraph = detect.PGraph
+	// SensSample is the approximate sensitivity-sampling tactic: verdicts
+	// are estimated from a weighted sample in linear time. It requires
+	// Config.AllowApprox.
+	SensSample = detect.SSample
 )
 
 // Strategy names a partitioning strategy (Sec. VI-A). It implements
@@ -115,6 +125,13 @@ type Config struct {
 	// Candidates overrides DMT's algorithm candidate set; default
 	// {NestedLoop, CellBased}.
 	Candidates []Detector
+	// AllowApprox opts in to approximate detectors (those whose
+	// Detector.Approximate() reports true, currently SensSample): without
+	// it, an approximate Detector is rejected and approximate Candidates
+	// are dropped from DMT's choice set, so every default-configured run
+	// remains bit-identical to the exact reference. With it, verdicts may
+	// differ from the exact answer within the sampling error bound.
+	AllowApprox bool
 
 	// NumReducers is the number of reduce tasks; default 8.
 	NumReducers int
@@ -215,6 +232,65 @@ func (r *Result) Trace() []TraceSpan {
 			}
 		}
 		out[i] = ts
+	}
+	return out
+}
+
+// PartitionDetail pairs one partition's plan entry (what the planner
+// predicted) with its trace record (what detection actually cost),
+// making planner picks auditable: a partition whose actual DistComps dwarfs
+// its EstCost is a model miss.
+type PartitionDetail struct {
+	ID        int      // partition id
+	Algo      Detector // the tactic the plan assigned
+	Reducer   int      // the reducer the allocation assigned
+	EstCount  float64  // estimated cardinality (from the sample histogram)
+	EstCost   float64  // modeled detection cost under Algo
+	Core      int64    // actual core points detected over
+	Support   int64    // actual support points shipped
+	DistComps int64    // actual distance computations spent
+	Outliers  int64    // outliers found in this partition
+}
+
+// PartitionDetails merges the run's plan with its per-partition trace
+// spans into one auditable table, sorted by partition ID. Partitions never
+// executed (empty core) keep zeroed actuals. Returns nil if the run kept
+// no plan.
+func (r *Result) PartitionDetails() []PartitionDetail {
+	if r.Report == nil || r.Report.Plan == nil {
+		return nil
+	}
+	byID := make(map[int]*PartitionDetail, len(r.Report.Plan.Partitions))
+	out := make([]PartitionDetail, 0, len(r.Report.Plan.Partitions))
+	for _, p := range r.Report.Plan.Partitions {
+		out = append(out, PartitionDetail{
+			ID:       p.ID,
+			Algo:     p.Algo,
+			Reducer:  p.Reducer,
+			EstCount: p.EstCount,
+			EstCost:  p.EstCost,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	for i := range out {
+		byID[out[i].ID] = &out[i]
+	}
+	for _, s := range r.Trace() {
+		if s.Name != "partition.detect" {
+			continue
+		}
+		id, err := strconv.Atoi(s.Attrs["partition"])
+		if err != nil {
+			continue
+		}
+		d, ok := byID[id]
+		if !ok {
+			continue
+		}
+		d.Core, _ = strconv.ParseInt(s.Attrs["core"], 10, 64)
+		d.Support, _ = strconv.ParseInt(s.Attrs["support"], 10, 64)
+		d.DistComps, _ = strconv.ParseInt(s.Attrs["distcomps"], 10, 64)
+		d.Outliers, _ = strconv.ParseInt(s.Attrs["outliers"], 10, 64)
 	}
 	return out
 }
@@ -352,6 +428,9 @@ func (cfg Config) toCore() (core.Config, error) {
 	if detector == detect.Unspecified {
 		detector = CellBased
 	}
+	if detector.Approximate() && !cfg.AllowApprox {
+		return core.Config{}, errs.BadParams("detector %v is approximate; set Config.AllowApprox to opt in", detector)
+	}
 	reducers := cfg.NumReducers
 	if reducers < 1 {
 		reducers = 8
@@ -391,6 +470,7 @@ func (cfg Config) toCore() (core.Config, error) {
 			Candidates:    candidates,
 			DSHC:          dshc.Params{Tdiff: cfg.Tdiff},
 			ExactSupport:  cfg.ExactSupport,
+			AllowApprox:   cfg.AllowApprox,
 		},
 		SampleRate:    cfg.SampleRate,
 		BucketsPerDim: cfg.BucketsPerDim,

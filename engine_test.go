@@ -117,3 +117,41 @@ func TestEngineClusterClosedCoordinator(t *testing.T) {
 		t.Errorf("Detect on closed coordinator = %v, want ErrJobAborted", err)
 	}
 }
+
+// TestClusterProxGraphIdentity: the proximity-graph tactic must stay
+// bit-identical to BruteForce when the detection job runs on the loopback
+// cluster — the certification fallback makes the graph walk exact, and
+// the plan encoding must carry the new kind across the wire.
+func TestClusterProxGraphIdentity(t *testing.T) {
+	pts := testDataset(1500, 9)
+	base := Config{R: 5, K: 4, SampleRate: 1, Seed: 3, Strategy: StrategyCDriven, Detector: ProxGraph}
+
+	truth, err := Detect(pts, Config{R: 5, K: 4, SampleRate: 1, Seed: 3, Strategy: StrategyCDriven, Detector: BruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Detect(pts, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(local.OutlierIDs, truth.OutlierIDs) {
+		t.Fatalf("local Prox-Graph diverged from BruteForce: %d vs %d outliers",
+			len(local.OutlierIDs), len(truth.OutlierIDs))
+	}
+
+	coord := startTestCluster(t, 3)
+	clustered := base
+	clustered.Engine = EngineCluster
+	clustered.Coordinator = coord
+	res, err := Detect(pts, clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.OutlierIDs, local.OutlierIDs) {
+		t.Errorf("cluster Prox-Graph diverged from local: %d vs %d outliers",
+			len(res.OutlierIDs), len(local.OutlierIDs))
+	}
+	if res.Report.DistComps != local.Report.DistComps {
+		t.Errorf("cluster DistComps %d != local %d", res.Report.DistComps, local.Report.DistComps)
+	}
+}

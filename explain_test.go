@@ -1,0 +1,57 @@
+package dod
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestPartitionDetails: the explain accessor must line the plan up with
+// the per-partition trace — every partition present exactly once, core
+// counts covering the whole dataset, and the actual detection work
+// (dist comps, outliers) adding up to the run's totals.
+func TestPartitionDetails(t *testing.T) {
+	pts := testDataset(1500, 5)
+	res, err := Detect(pts, Config{R: 5, K: 4, SampleRate: 1, Seed: 2, Strategy: StrategyDMT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	details := res.PartitionDetails()
+	if len(details) == 0 {
+		t.Fatal("no partition details")
+	}
+	if got, want := len(details), len(res.Report.Plan.Partitions); got != want {
+		t.Fatalf("details for %d partitions, plan has %d", got, want)
+	}
+	if !sort.SliceIsSorted(details, func(i, j int) bool { return details[i].ID < details[j].ID }) {
+		t.Error("details not sorted by partition ID")
+	}
+	var core, outliers, comps int64
+	for _, d := range details {
+		if d.Algo == Detector(0) {
+			t.Errorf("partition %d: unspecified algo", d.ID)
+		}
+		if d.EstCost < 0 || d.EstCount < 0 {
+			t.Errorf("partition %d: negative estimate %g/%g", d.ID, d.EstCount, d.EstCost)
+		}
+		core += d.Core
+		outliers += d.Outliers
+		comps += d.DistComps
+	}
+	if core != int64(len(pts)) {
+		t.Errorf("core counts sum to %d, want %d", core, len(pts))
+	}
+	if outliers != int64(len(res.OutlierIDs)) {
+		t.Errorf("partition outliers sum to %d, want %d", outliers, len(res.OutlierIDs))
+	}
+	if comps <= 0 || comps > res.Report.DistComps {
+		t.Errorf("partition dist comps %d out of range (report total %d)", comps, res.Report.DistComps)
+	}
+}
+
+// A run without a recorded plan yields no details rather than panicking.
+func TestPartitionDetailsNilPlan(t *testing.T) {
+	r := &Result{}
+	if d := r.PartitionDetails(); d != nil {
+		t.Errorf("expected nil details, got %v", d)
+	}
+}

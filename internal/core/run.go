@@ -272,12 +272,10 @@ func Run(ctx context.Context, input *Input, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// dimsFor delegates to sample.DimsFor so the manual-histogram path caps
+// high-dimensional grids exactly like the sampling job does.
 func dimsFor(d, perDim int) []int {
-	out := make([]int, d)
-	for i := range out {
-		out[i] = perDim
-	}
-	return out
+	return sample.DimsFor(d, perDim)
 }
 
 // jobBreakdown is the simulated stage cost of one MapReduce job.

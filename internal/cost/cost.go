@@ -11,6 +11,8 @@ import (
 	"math"
 
 	"dod/internal/detect"
+	"dod/internal/pgraph"
+	"dod/internal/ssample"
 )
 
 // PartitionProfile is the statistical summary of a data partition the cost
@@ -24,10 +26,17 @@ type PartitionProfile struct {
 
 // Density returns the partition's density measure: cardinality per unit of
 // domain volume (the "ratio of data cardinality to the domain area" of
-// Sec. IV-A).
+// Sec. IV-A). Degenerate rects (zero area around a single point or a
+// coordinate-aligned sliver) return MaxFloat64 rather than +Inf: the models
+// multiply density by vanishing cell volumes, and Inf·0 = NaN would poison
+// every downstream cost comparison, whereas MaxFloat64·0 = 0 keeps the
+// pricing total. An empty degenerate rect has density 0.
 func (p PartitionProfile) Density() float64 {
 	if p.Area <= 0 {
-		return math.Inf(1)
+		if p.Cardinality == 0 {
+			return 0
+		}
+		return math.MaxFloat64
 	}
 	return p.Cardinality / p.Area
 }
@@ -209,7 +218,10 @@ func PerPointTrials(localDensity, poolCount float64, dim int, params detect.Para
 		return 0
 	}
 	neighbors := localDensity * ballVolume(dim, params.R)
-	if neighbors <= 0 {
+	// Negated comparison also catches NaN (e.g. MaxFloat64 density times a
+	// denormal-flushed cell volume): treat any non-positive or undefined
+	// neighbor expectation as "scan the pool".
+	if !(neighbors > 0) {
 		return poolCount
 	}
 	trials := float64(params.K) * poolCount / neighbors
@@ -225,6 +237,107 @@ func ballVolume(d int, r float64) float64 {
 	return math.Pow(math.Pi, float64(d)/2) / math.Gamma(float64(d)/2+1) * math.Pow(r, float64(d))
 }
 
+// GridEnumExcess is the per-point neighborhood-enumeration overhead the
+// grid detectors pay in high dimension: an undecided point's L1 block
+// walk steps through 3^d cell ordinals whether or not the cells hold
+// data. In low dimension that walk is negligible next to the point scans
+// (and Lemma 4.2 rightly ignores it), so the penalty is structurally zero
+// while 3^d stays within max(pool, 3^6); past that the odometer itself
+// dominates, growing exponentially until the grid tactics price
+// themselves out — which is exactly what happens when they run.
+func GridEnumExcess(dim int, poolCount float64) float64 {
+	l1 := math.Pow(3, float64(dim))
+	floor := poolCount
+	if floor < 729 { // 3^6: below d=7 the walk never exceeds the scan term
+		floor = 729
+	}
+	if l1 <= floor {
+		return 0
+	}
+	return (l1 - floor) / 8
+}
+
+// KDPerQuery models one KD-Tree range-count against a pool of n points:
+// logarithmic in low dimension but degrading by 2^(d-6) as the curse of
+// dimensionality forces the backtracking search toward a full traversal,
+// capped at the pool size (a traversal cannot visit more points than
+// exist).
+func KDPerQuery(n float64, dim int, params detect.Params) float64 {
+	if n < 2 {
+		return 1
+	}
+	per := math.Log2(n) * float64(params.K)
+	if dim > 6 {
+		per *= math.Pow(2, float64(dim-6))
+	}
+	if per > n {
+		per = n
+	}
+	return per
+}
+
+// GraphBuildPerPoint is the modeled per-point construction cost of the
+// proximity graph, in units of distance computations: one EfBuild-beam
+// search plus the overflow re-selection that diversity pruning performs
+// on reverse links. The ×5 factor over the beam's nominal EfBuild·Degree
+// expansions is calibrated against measured build counters on clustered
+// and sphere workloads (≈430–480 comps/point at the current constants).
+const GraphBuildPerPoint = float64(pgraph.EfBuild * pgraph.Degree * 5)
+
+// ExpectedNeighbors is the mean neighbor count at radius r of a point in
+// a region of the given density — density times the r-ball volume. In
+// high dimension the ball volume underflows any realistic density;
+// callers holding an empirical neighbor statistic (sample.Histogram's
+// AvgNeighbors) should prefer it when larger.
+func ExpectedNeighbors(density float64, dim int, r float64) float64 {
+	return density * ballVolume(dim, r)
+}
+
+// ProxGraphPerPoint prices the proximity-graph tactic for one point with
+// expected neighbor count lambda in a pool of poolCount points:
+// amortized construction, a certification walk that stops after ~k
+// verified neighbors plus adjacency overhead, and — for the fraction of
+// points the walk cannot certify, vanishing as lambda outgrows k — the
+// full verified fallback scan.
+func ProxGraphPerPoint(lambda, poolCount float64, params detect.Params) float64 {
+	walk := float64(params.K + pgraph.Degree)
+	frac := 1.0
+	if lambda > 0 { // negated form would hide a NaN lambda; frac stays 1 then
+		frac = math.Exp(-lambda / (2 * float64(params.K)))
+	}
+	return GraphBuildPerPoint + walk + frac*poolCount
+}
+
+// ProxGraph returns the modeled cost of the proximity-graph tactic
+// (internal/pgraph) on a uniform partition. The density-based lambda
+// underflows in high dimension; mixed-cost pricing substitutes the
+// histogram's empirical neighbor statistic there.
+func ProxGraph(p PartitionProfile, params detect.Params) float64 {
+	n := p.Cardinality
+	if n < 2 {
+		return n
+	}
+	lambda := ExpectedNeighbors(p.Density(), p.Dim, params.R)
+	return n * ProxGraphPerPoint(lambda, n, params)
+}
+
+// SensSample returns the modeled cost of the sensitivity-sampling tactic
+// (internal/ssample): every pool point is scanned against the uniform
+// pilot, then every core point against the m weighted draws — linear in
+// the pool either way.
+func SensSample(p PartitionProfile, params detect.Params) float64 {
+	n := p.Cardinality
+	if n < 1 {
+		return 0
+	}
+	pilot := float64(ssample.PilotSize)
+	if n < pilot {
+		pilot = n
+	}
+	m := float64(ssample.SampleSize(int(math.Ceil(n)), ssample.DefaultEps, ssample.DefaultDelta))
+	return n * (pilot + m)
+}
+
 // Estimate returns the modeled cost of running the given detector kind on
 // the partition. BruteForce is modeled as the full quadratic scan; KDTree
 // as index build plus logarithmic queries.
@@ -236,7 +349,7 @@ func Estimate(kind detect.Kind, p PartitionProfile, params detect.Params) float6
 	case detect.NestedLoop:
 		return NestedLoop(p, params)
 	case detect.CellBased:
-		return CellBased(p, params)
+		return CellBased(p, params) + p.Cardinality*GridEnumExcess(p.Dim, p.Cardinality)
 	case detect.BruteForce:
 		return p.Cardinality * p.Cardinality
 	case detect.KDTree:
@@ -244,9 +357,13 @@ func Estimate(kind detect.Kind, p PartitionProfile, params detect.Params) float6
 		if n < 2 {
 			return n
 		}
-		return n * math.Log2(n) * float64(params.K)
+		return n * KDPerQuery(n, p.Dim, params)
 	case detect.CellBasedL2:
-		return CellBasedL2(p, params)
+		return CellBasedL2(p, params) + p.Cardinality*GridEnumExcess(p.Dim, p.Cardinality)
+	case detect.PGraph:
+		return ProxGraph(p, params)
+	case detect.SSample:
+		return SensSample(p, params)
 	case detect.Pivot:
 		// Pivot precompute (n·m distances) plus the filtered random scan;
 		// the filter passes candidates within an r-slab of every pivot, a

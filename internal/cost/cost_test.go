@@ -20,9 +20,15 @@ func TestDensity(t *testing.T) {
 	if got := p.Density(); got != 10 {
 		t.Errorf("Density = %g, want 10", got)
 	}
+	// Degenerate rects must stay finite: +Inf would turn into NaN when the
+	// models multiply density by a vanishing cell volume, making every
+	// downstream cost comparison undefined.
 	degenerate := profile2D(10, 0)
-	if !math.IsInf(degenerate.Density(), 1) {
-		t.Errorf("zero-area density should be +Inf")
+	if got := degenerate.Density(); got != math.MaxFloat64 {
+		t.Errorf("zero-area density = %g, want MaxFloat64", got)
+	}
+	if got := profile2D(0, 0).Density(); got != 0 {
+		t.Errorf("empty degenerate density = %g, want 0", got)
 	}
 }
 

@@ -32,6 +32,8 @@ const (
 	KDTree
 	CellBasedL2
 	Pivot
+	PGraph
+	SSample
 )
 
 // String returns the canonical detector name.
@@ -51,10 +53,20 @@ func (k Kind) String() string {
 		return "Cell-Based-L2"
 	case Pivot:
 		return "Pivot"
+	case PGraph:
+		return "Prox-Graph"
+	case SSample:
+		return "Sens-Sample"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
+
+// Approximate reports whether the kind may return verdicts that differ
+// from the exact (brute-force) answer. Approximate kinds are only eligible
+// for planning when the caller opts in (Config.AllowApprox at the public
+// API); every other kind is exact and bit-identical to BruteForce.
+func (k Kind) Approximate() bool { return k == SSample }
 
 // ParseKind resolves a detector name back to its Kind — the inverse of
 // String. Matching is case-insensitive and ignores hyphens, so
@@ -62,7 +74,7 @@ func (k Kind) String() string {
 // errs.ErrBadParams.
 func ParseKind(name string) (Kind, error) {
 	norm := strings.ToLower(strings.ReplaceAll(name, "-", ""))
-	for _, k := range []Kind{BruteForce, NestedLoop, CellBased, KDTree, CellBasedL2, Pivot} {
+	for _, k := range []Kind{BruteForce, NestedLoop, CellBased, KDTree, CellBasedL2, Pivot, PGraph, SSample} {
 		if norm == strings.ToLower(strings.ReplaceAll(k.String(), "-", "")) {
 			return k, nil
 		}
@@ -200,6 +212,10 @@ func New(kind Kind, seed int64) Detector {
 		return cellBasedL2Detector{}
 	case Pivot:
 		return pivotDetector{seed: seed}
+	case PGraph:
+		return pgraphDetector{seed: seed}
+	case SSample:
+		return ssampleDetector{seed: seed}
 	default:
 		panic(fmt.Sprintf("detect: unknown kind %d", int(kind)))
 	}

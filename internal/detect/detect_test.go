@@ -8,7 +8,7 @@ import (
 	"dod/internal/geom"
 )
 
-var allKinds = []Kind{BruteForce, NestedLoop, CellBased, KDTree, CellBasedL2, Pivot}
+var allKinds = []Kind{BruteForce, NestedLoop, CellBased, KDTree, CellBasedL2, Pivot, PGraph}
 
 func sortedIDs(ids []uint64) []uint64 {
 	out := append([]uint64(nil), ids...)

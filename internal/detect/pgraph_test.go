@@ -1,0 +1,110 @@
+package detect
+
+import (
+	"fmt"
+	"testing"
+
+	"dod/internal/geom"
+	"dod/internal/synth"
+)
+
+// toSet lays out core points first, then support, matching the columnar
+// contract of DetectSet.
+func toPointSet(core, support []geom.Point) (*geom.PointSet, int) {
+	all := geom.NewPointSet(core[0].Dim(), len(core)+len(support))
+	for _, p := range core {
+		all.Append(p)
+	}
+	for _, p := range support {
+		all.Append(p)
+	}
+	return all, len(core)
+}
+
+// TestPGraphBitIdenticalToBruteForce is the exactness property of the
+// proximity-graph tactic: across seeds × datasets (low- and high-dim,
+// with and without support points) × sequential/parallel paths, the
+// outlier set must equal BruteForce's byte for byte. Run under -race in CI
+// to also catch sharing bugs in the tiled walk path.
+func TestPGraphBitIdenticalToBruteForce(t *testing.T) {
+	type dataset struct {
+		name    string
+		core    []geom.Point
+		support []geom.Point
+		params  Params
+	}
+	var datasets []dataset
+
+	for _, seed := range []int64{1, 2, 3, 4, 17} {
+		seg := synth.Segment(synth.Massachusetts, 1200, seed)
+		datasets = append(datasets, dataset{
+			name:    fmt.Sprintf("ma2d/seed=%d", seed),
+			core:    seg[:900],
+			support: seg[900:],
+			params:  Params{R: 5, K: 4},
+		})
+		hd, _ := synth.HighDimPlanted(800, 32, 4, 0.02, seed)
+		datasets = append(datasets, dataset{
+			name:   fmt.Sprintf("planted32d/seed=%d", seed),
+			core:   hd,
+			params: Params{R: 4, K: 4},
+		})
+		cloud := synth.GaussianCloud(700, 8, seed)
+		datasets = append(datasets, dataset{
+			name:    fmt.Sprintf("cloud8d/seed=%d", seed),
+			core:    cloud[:500],
+			support: cloud[500:],
+			params:  Params{R: 12, K: 6},
+		})
+	}
+
+	for _, ds := range datasets {
+		for _, detSeed := range []int64{1, 7, 42, 1000003} {
+			all, nCore := toPointSet(ds.core, ds.support)
+			want := DetectSet(New(BruteForce, 0), all, nCore, ds.params)
+			got := DetectSet(New(PGraph, detSeed), all, nCore, ds.params)
+			if !equalIDs(got.OutlierIDs, want.OutlierIDs) {
+				t.Fatalf("%s seed=%d: sequential outliers diverge from BruteForce: got %d, want %d",
+					ds.name, detSeed, len(got.OutlierIDs), len(want.OutlierIDs))
+			}
+			gotPar := DetectSetParallel(New(PGraph, detSeed), all, nCore, ds.params, 4)
+			if !equalIDs(gotPar.OutlierIDs, got.OutlierIDs) {
+				t.Fatalf("%s seed=%d: parallel outliers diverge from sequential", ds.name, detSeed)
+			}
+			if gotPar.Stats != got.Stats {
+				t.Fatalf("%s seed=%d: parallel stats %+v != sequential %+v",
+					ds.name, detSeed, gotPar.Stats, got.Stats)
+			}
+		}
+	}
+}
+
+// TestPGraphDeterministicForSeed: same (input, seed) must give identical
+// results including DistComps — the deterministic replay contract every
+// tactic honors.
+func TestPGraphDeterministicForSeed(t *testing.T) {
+	pts, _ := synth.HighDimPlanted(600, 16, 4, 0.05, 9)
+	all, nCore := toPointSet(pts, nil)
+	params := Params{R: 4, K: 4}
+	a := DetectSet(New(PGraph, 5), all, nCore, params)
+	b := DetectSet(New(PGraph, 5), all, nCore, params)
+	if !equalIDs(a.OutlierIDs, b.OutlierIDs) || a.Stats != b.Stats {
+		t.Fatalf("same seed, different results: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestPGraphCheaperThanBruteForceOnClusteredHighDim: on a clustered
+// high-dim workload most points certify after a short walk, so the graph
+// tactic must beat the quadratic scan on distance computations even after
+// paying for construction.
+func TestPGraphCheaperThanBruteForceOnClusteredHighDim(t *testing.T) {
+	pts, _ := synth.HighDimPlanted(4000, 32, 4, 0.01, 3)
+	all, nCore := toPointSet(pts, nil)
+	params := Params{R: 4, K: 4}
+	brute := DetectSet(New(BruteForce, 0), all, nCore, params)
+	graph := DetectSet(New(PGraph, 1), all, nCore, params)
+	if graph.Stats.DistComps >= brute.Stats.DistComps {
+		t.Fatalf("graph tactic no cheaper than brute force: %d >= %d",
+			graph.Stats.DistComps, brute.Stats.DistComps)
+	}
+}

@@ -132,6 +132,10 @@ type Config struct {
 	// Candidates overrides the DMT planner's detector candidate set
 	// (default NestedLoop + CellBased); single-tactic planners ignore it.
 	Candidates []detect.Kind
+	// AllowApprox opts in to approximate detectors among the Candidates
+	// (e.g. Sens-Sample); without it they are filtered out of the
+	// planner's choice set.
+	AllowApprox bool
 }
 
 func (c Config) withDefaults() Config {

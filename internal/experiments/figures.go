@@ -59,6 +59,7 @@ func runCase(cfg Config, pts []geom.Point, planner plan.Planner, det detect.Kind
 			NumPartitions: cfg.Partitions,
 			Detector:      det,
 			Candidates:    cfg.Candidates,
+			AllowApprox:   cfg.AllowApprox,
 		},
 		SampleRate:    sampleRate(len(pts)),
 		BucketsPerDim: bucketsPerDim(len(pts)),

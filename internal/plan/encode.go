@@ -44,6 +44,7 @@ func init() {
 	for _, k := range []detect.Kind{
 		detect.Unspecified, detect.BruteForce, detect.NestedLoop,
 		detect.CellBased, detect.KDTree, detect.CellBasedL2, detect.Pivot,
+		detect.PGraph, detect.SSample,
 	} {
 		algoNames[k.String()] = k
 	}

@@ -20,6 +20,7 @@ import (
 	"dod/internal/cost"
 	"dod/internal/detect"
 	"dod/internal/geom"
+	"dod/internal/sample"
 )
 
 // Partition is one element of a partition plan.
@@ -233,10 +234,9 @@ func (pl *Plan) buildIndex() *overlayIndex {
 	if perDim > 256 {
 		perDim = 256
 	}
-	dims := make([]int, pl.Domain.Dim())
-	for i := range dims {
-		dims[i] = perDim
-	}
+	// High dimension: perDim^d cells overflows past a handful of
+	// dimensions, so lower the resolution until the total fits.
+	dims := sample.DimsFor(pl.Domain.Dim(), perDim)
 	grid := geom.NewGrid(pl.Domain, dims)
 	idx := &overlayIndex{
 		grid:    grid,

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dod/internal/cost"
 	"dod/internal/detect"
 	"dod/internal/geom"
 	"dod/internal/sample"
@@ -116,7 +117,7 @@ func TestLocateTotalityQuick(t *testing.T) {
 // TestMixedCostNonNegativeQuick: the mixed-density pricing is finite and
 // non-negative for every detector on random histograms and rects.
 func TestMixedCostNonNegativeQuick(t *testing.T) {
-	kinds := []detect.Kind{detect.BruteForce, detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.KDTree, detect.Pivot}
+	kinds := []detect.Kind{detect.BruteForce, detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.KDTree, detect.Pivot, detect.PGraph, detect.SSample}
 	f := func(seed int64) bool {
 		h := randomHistogram(seed)
 		rng := rand.New(rand.NewSource(seed ^ 0xc057))
@@ -135,6 +136,75 @@ func TestMixedCostNonNegativeQuick(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMixedCostTotalOnDegenerateRectsQuick: planner pricing must stay
+// total — finite (or +Inf, but never NaN) and non-negative — on the
+// degenerate rects bisection can produce: zero-area slivers, single-point
+// rects, and rects collapsed onto a histogram cell boundary. The
+// zero-area density edge used to surface as Inf·0 = NaN inside the model
+// comparisons, making the plan depend on NaN ordering.
+func TestMixedCostTotalOnDegenerateRectsQuick(t *testing.T) {
+	kinds := []detect.Kind{detect.BruteForce, detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.KDTree, detect.Pivot, detect.PGraph, detect.SSample}
+	f := func(seed int64) bool {
+		h := randomHistogram(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0xdead))
+		params := detect.Params{R: 0.5 + rng.Float64()*10, K: 1 + rng.Intn(6)}
+		side := h.Grid.Domain.Max[0]
+		x := rng.Float64() * side
+		y := rng.Float64() * side
+		degenerate := []geom.Rect{
+			geom.NewRect([]float64{x, y}, []float64{x, y}),       // single point
+			geom.NewRect([]float64{x, 0}, []float64{x, side}),    // zero-width sliver
+			geom.NewRect([]float64{0, y}, []float64{side, y}),    // zero-height sliver
+			geom.NewRect([]float64{0, 0}, []float64{side, side}), // full domain (control)
+			geom.NewRect([]float64{x, y}, []float64{x + 1e-12, y + 1e-12}),
+		}
+		for _, rect := range degenerate {
+			for _, kind := range kinds {
+				c := mixedCost(h, rect, kind, params)
+				if c < 0 || math.IsNaN(c) {
+					t.Logf("seed %d: %v on %v cost %g", seed, kind, rect, c)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEstimateTotalOnDegenerateProfilesQuick mirrors the rect property at
+// the profile level: zero-area and single-point partitions must price to
+// a non-negative, non-NaN number for every kind.
+func TestEstimateTotalOnDegenerateProfilesQuick(t *testing.T) {
+	kinds := []detect.Kind{detect.BruteForce, detect.NestedLoop, detect.CellBased, detect.CellBasedL2, detect.KDTree, detect.Pivot, detect.PGraph, detect.SSample}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		params := detect.Params{R: 0.5 + rng.Float64()*10, K: 1 + rng.Intn(6)}
+		profiles := []cost.PartitionProfile{
+			{Cardinality: 0, Area: 0, Dim: 2},
+			{Cardinality: 1, Area: 0, Dim: 2},
+			{Cardinality: float64(1 + rng.Intn(10000)), Area: 0, Dim: 2},
+			{Cardinality: 1, Area: rng.Float64() * 1e6, Dim: 2},
+			{Cardinality: float64(rng.Intn(10000)), Area: 0, Dim: 32},
+		}
+		for _, p := range profiles {
+			for _, kind := range kinds {
+				c := cost.Estimate(kind, p, params)
+				if c < 0 || math.IsNaN(c) {
+					t.Logf("seed %d: %v on %+v cost %g", seed, kind, p, c)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
 }

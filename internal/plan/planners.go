@@ -29,6 +29,12 @@ type Options struct {
 	// ExactSupport selects the exact Def. 3.2 supporting-area criterion
 	// instead of the default Def. 3.3 rectangular expansion.
 	ExactSupport bool
+	// AllowApprox admits approximate detector kinds (Kind.Approximate) into
+	// the candidate set. Default off: unless the caller opts in, every
+	// tactic a plan can carry is exact, and whole-run byte-identity against
+	// BruteForce is preserved. Approximate candidates are silently dropped
+	// when unset.
+	AllowApprox bool
 }
 
 func (o Options) withDefaults() Options {
@@ -40,6 +46,19 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Candidates) == 0 {
 		o.Candidates = []detect.Kind{detect.NestedLoop, detect.CellBased}
+	}
+	if !o.AllowApprox {
+		// Copy-on-filter: the caller's slice is never mutated.
+		exact := make([]detect.Kind, 0, len(o.Candidates))
+		for _, k := range o.Candidates {
+			if !k.Approximate() {
+				exact = append(exact, k)
+			}
+		}
+		if len(exact) == 0 {
+			exact = []detect.Kind{detect.NestedLoop, detect.CellBased}
+		}
+		o.Candidates = exact
 	}
 	return o
 }
@@ -437,13 +456,15 @@ func mixedCost(hist *sample.Histogram, rect geom.Rect, kind detect.Kind, params 
 			perPoint = cost.PerPointTrials(density, poolCount, dim, params)
 		case detect.CellBased:
 			// Indexing plus, for intermediate-regime buckets, the
-			// full-pool Nested-Loop fallback of Lemma 4.2 Eq. (3).
-			perPoint = 1
+			// full-pool Nested-Loop fallback of Lemma 4.2 Eq. (3); plus the
+			// high-dimensional neighborhood-enumeration overhead (zero in
+			// low dimension, where Lemma 4.2 is exact).
+			perPoint = 1 + cost.GridEnumExcess(dim, poolCount)
 			if regime(density) == 2 {
 				perPoint += cost.PerPointTrials(density, poolCount, dim, params)
 			}
 		case detect.CellBasedL2:
-			perPoint = 1
+			perPoint = 1 + cost.GridEnumExcess(dim, poolCount)
 			if regime(density) == 2 {
 				ring := ringPopulation(dim, params, density)
 				trials := cost.PerPointTrials(density, poolCount, dim, params)
@@ -455,10 +476,21 @@ func mixedCost(hist *sample.Histogram, rect geom.Rect, kind detect.Kind, params 
 		case detect.BruteForce:
 			perPoint = poolCount
 		case detect.KDTree:
-			perPoint = 1
-			if poolCount > 2 {
-				perPoint = math.Log2(poolCount) * float64(params.K)
+			perPoint = cost.KDPerQuery(poolCount, dim, params)
+		case detect.PGraph:
+			// The geometric lambda underflows in high dimension; the
+			// histogram's empirical pair statistic, rescaled from the
+			// global average to this bucket's density, recovers the true
+			// clumping at radius r. Take whichever is larger.
+			lambda := cost.ExpectedNeighbors(density, dim, params.R)
+			if emp, ok := hist.AvgNeighbors(params.R); ok {
+				if g := globalDensity(hist); g > 0 {
+					if scaled := emp * (density / g); scaled > lambda {
+						lambda = scaled
+					}
+				}
 			}
+			perPoint = cost.ProxGraphPerPoint(lambda, poolCount, params)
 		default:
 			perPoint = cost.Estimate(kind, cost.PartitionProfile{
 				Cardinality: poolCount, Area: rect.AreaEps(1e-12), Dim: dim,
@@ -467,6 +499,16 @@ func mixedCost(hist *sample.Histogram, rect geom.Rect, kind detect.Kind, params 
 		total += c * perPoint
 	}
 	return total
+}
+
+// globalDensity is the histogram's whole-domain average density, the
+// baseline the empirical neighbor statistic is rescaled from.
+func globalDensity(hist *sample.Histogram) float64 {
+	vol := hist.Grid.Domain.AreaEps(1e-12)
+	if vol <= 0 {
+		return 0
+	}
+	return hist.EstimatedTotal() / vol
 }
 
 // ringPopulation is the expected point count of the L2 block around a cell

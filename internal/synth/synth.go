@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"dod/internal/geom"
 )
@@ -307,4 +308,149 @@ func GaussianCloud(n, d int, seed int64) []geom.Point {
 		pts[i] = geom.Point{ID: uint64(i), Coords: coords}
 	}
 	return pts
+}
+
+// HighDimPlanted generates an n-point d-dimensional clustered workload
+// with planted outliers — the high-dimensional regime where the grid
+// detectors collapse (cell side r/(2√d) makes the L1/L2 neighborhood
+// enumeration explode with 3^d cells) and a grid-free tactic must take
+// over.
+//
+// Points are drawn around ⌈n/500⌉+4 cluster centers placed uniformly in
+// [0, 50r]^d, with per-coordinate spread σ = r/(2√(2d)) so a typical
+// same-cluster pair sits at distance ≈ r/2 — comfortably inside the
+// threshold, making cluster members dense inliers. A planted fraction is
+// instead drawn uniformly over the whole box; in high dimension such
+// points are isolated from every cluster with overwhelming probability.
+// The planted points take the highest IDs and are returned as outlierIDs
+// so tests can check them against detector output (callers should still
+// verify against an exact detector: a cluster straggler can occasionally
+// be a true outlier too). Deterministic for a fixed seed.
+func HighDimPlanted(n, d int, r, outlierFrac float64, seed int64) (pts []geom.Point, outlierIDs []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	nOut := int(float64(n) * outlierFrac)
+	if nOut < 1 {
+		nOut = 1
+	}
+	if nOut > n {
+		nOut = n
+	}
+	nIn := n - nOut
+	side := 50 * r
+	sigma := r / (2 * math.Sqrt(2*float64(d)))
+
+	nCenters := n/500 + 4
+	centers := make([][]float64, nCenters)
+	for c := range centers {
+		coords := make([]float64, d)
+		for j := range coords {
+			coords[j] = rng.Float64() * side
+		}
+		centers[c] = coords
+	}
+
+	pts = make([]geom.Point, 0, n)
+	for i := 0; i < nIn; i++ {
+		center := centers[rng.Intn(nCenters)]
+		coords := make([]float64, d)
+		for j := range coords {
+			coords[j] = center[j] + rng.NormFloat64()*sigma
+		}
+		pts = append(pts, geom.Point{ID: uint64(i), Coords: coords})
+	}
+	for i := nIn; i < n; i++ {
+		coords := make([]float64, d)
+		for j := range coords {
+			coords[j] = rng.Float64() * side
+		}
+		pts = append(pts, geom.Point{ID: uint64(i), Coords: coords})
+		outlierIDs = append(outlierIDs, uint64(i))
+	}
+	return pts, outlierIDs
+}
+
+// HighDimUniform generates an n-point d-dimensional workload of points
+// uniform on a hypersphere — the geometry of unit-norm embedding vectors,
+// and the adversarial regime for spatial indexes. The sphere radius is
+// calibrated so a typical point has ≈20 neighbors within r: comfortably
+// above any small k, so core points are inliers, and — because the
+// sphere is homogeneous — the neighbor count concentrates sharply, so
+// essentially no core point is a natural outlier. But the neighbor
+// fraction is so low (20/n), and r such a large fraction of the data's
+// extent in every coordinate, that no axis-aligned cell or kd-box inside
+// the bounding box can ever be pruned against a query ball: any detector
+// without a distance-aware structure must scan ~k·n/20 candidates per
+// query. Planted outliers sit on a concentric sphere at 4× the radius,
+// far outside r of every core point; they take the highest IDs and are
+// returned as outlierIDs in ascending order.
+func HighDimUniform(n, d int, r, outlierFrac float64, seed int64) (pts []geom.Point, outlierIDs []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	nOut := int(float64(n) * outlierFrac)
+	if nOut > n {
+		nOut = n
+	}
+	nIn := n - nOut
+
+	sphere := func(radius float64) []float64 {
+		coords := make([]float64, d)
+		var norm float64
+		for j := range coords {
+			coords[j] = rng.NormFloat64()
+			norm += coords[j] * coords[j]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			norm = 1
+		}
+		for j := range coords {
+			coords[j] *= radius / norm
+		}
+		return coords
+	}
+
+	// Generate core points on the unit sphere, then rescale so that
+	// E[#neighbors within r] ≈ 20: the scale is r over the empirical
+	// (20/n)-quantile of sampled pairwise distances. The left tail of
+	// the high-dimensional distance distribution is far lighter than its
+	// normal approximation, so the quantile is estimated by Monte Carlo
+	// (deterministic given the seed) rather than a CLT formula.
+	const targetNeighbors = 20
+	pts = make([]geom.Point, 0, n)
+	for i := 0; i < nIn; i++ {
+		pts = append(pts, geom.Point{ID: uint64(i), Coords: sphere(1)})
+	}
+	frac := targetNeighbors / float64(max(nIn, 2))
+	if frac > 1 {
+		frac = 1
+	}
+	const pairSample = 200_000
+	d2s := make([]float64, pairSample)
+	for t := range d2s {
+		a, b := pts[rng.Intn(nIn)].Coords, pts[rng.Intn(nIn)].Coords
+		var s float64
+		for j := 0; j < d; j++ {
+			diff := a[j] - b[j]
+			s += diff * diff
+		}
+		d2s[t] = s
+	}
+	sort.Float64s(d2s)
+	q := d2s[int(frac*(pairSample-1))]
+	if q <= 0 {
+		q = d2s[pairSample-1]
+	}
+	if q <= 0 {
+		q = 1
+	}
+	scale := r / math.Sqrt(q)
+	for i := range pts {
+		for j := range pts[i].Coords {
+			pts[i].Coords[j] *= scale
+		}
+	}
+	for i := nIn; i < n; i++ {
+		pts = append(pts, geom.Point{ID: uint64(i), Coords: sphere(4 * scale)})
+		outlierIDs = append(outlierIDs, uint64(i))
+	}
+	return pts, outlierIDs
 }

@@ -1,0 +1,87 @@
+package dod
+
+import (
+	"strings"
+	"testing"
+
+	"dod/internal/detect"
+)
+
+// enumerateKinds walks the Kind enum by probing String() until it falls
+// off the end — reflection over an iota enum. Any kind added to the enum
+// is picked up automatically, so parse/String round-trip coverage cannot
+// silently lag behind new detectors (the gap this test exists to close:
+// earlier PRs added kinds without registering their names).
+func enumerateKinds() []detect.Kind {
+	var kinds []detect.Kind
+	for k := detect.Kind(1); ; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			return kinds
+		}
+		kinds = append(kinds, k)
+	}
+}
+
+func TestEveryDetectorKindRoundTrips(t *testing.T) {
+	kinds := enumerateKinds()
+	// Guard against the probe itself breaking: the enum currently holds 8
+	// named kinds past Unspecified and may only grow.
+	if len(kinds) < 8 {
+		t.Fatalf("enumerated only %d kinds; String() probe broken?", len(kinds))
+	}
+	for _, k := range kinds {
+		parsed, err := ParseDetector(k.String())
+		if err != nil {
+			t.Errorf("ParseDetector(%q): %v — kind %d missing from the parse registry", k.String(), err, int(k))
+			continue
+		}
+		if parsed != k {
+			t.Errorf("ParseDetector(%q) = %v, want %v", k.String(), parsed, k)
+		}
+		// Every named kind must also be constructible.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("New(%v, 1) panicked: %v — kind missing from the constructor switch", k, r)
+				}
+			}()
+			if d := detect.New(k, 1); d.Kind() != k {
+				t.Errorf("New(%v).Kind() = %v", k, d.Kind())
+			}
+		}()
+	}
+}
+
+func TestEveryStrategyRoundTrips(t *testing.T) {
+	for _, s := range []Strategy{StrategyDomain, StrategyUniSpace, StrategyDDriven, StrategyCDriven, StrategyDMT} {
+		parsed, err := ParseStrategy(s.String())
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", s.String(), err)
+			continue
+		}
+		if parsed != s {
+			t.Errorf("ParseStrategy(%q) = %v, want %v", s.String(), parsed, s)
+		}
+		// Case-insensitive variant.
+		if parsed, err = ParseStrategy(strings.ToUpper(s.String())); err != nil || parsed != s {
+			t.Errorf("ParseStrategy(upper %q) = %v, %v", s.String(), parsed, err)
+		}
+	}
+}
+
+// TestApproximateGate: an approximate detector must be rejected without
+// the explicit opt-in and accepted with it.
+func TestApproximateGate(t *testing.T) {
+	pts := testDataset(400, 3)
+	_, err := Detect(pts, Config{R: 5, K: 4, Strategy: StrategyCDriven, Detector: SensSample, SampleRate: 1})
+	if err == nil {
+		t.Fatal("approximate detector accepted without AllowApprox")
+	}
+	res, err := Detect(pts, Config{R: 5, K: 4, Strategy: StrategyCDriven, Detector: SensSample, SampleRate: 1, AllowApprox: true})
+	if err != nil {
+		t.Fatalf("AllowApprox run failed: %v", err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}
