@@ -21,10 +21,19 @@
 //	                           window slice, re-ring ownership, replay the
 //	                           entries to their new owners. ?force=1
 //	                           proceeds even if the shard is unreachable
-//	                           (failover; its entries are lost).
+//	                           (failover; its entries are lost, and the
+//	                           response reports lost_entries/lost_cells).
+//	POST /v1/promote?shard=NAME  fail the shard over to its warm standby
+//	                           (see -standbys); refused with 409 if the
+//	                           standby lags beyond -promote-lag.
 //	GET  /v1/topology          the current ownership view.
 //	GET  /v1/snapshot          the aggregated global window.
 //	GET  /healthz /readyz /statsz /metrics as usual.
+//
+// -standbys attaches warm standbys (dodserve -shard -standby processes,
+// started with the same shard names) to shards by name. When a primary's
+// health-probe breaker opens and it has a standby, the router promotes the
+// standby automatically — the same lag-bounded transaction as /v1/promote.
 //
 // -pprof additionally mounts the net/http/pprof profiling handlers under
 // /debug/pprof/, same as dodserve's flag — profile the router and a shard
@@ -69,6 +78,8 @@ func main() {
 		tenantQuota   = flag.Int64("tenant-quota", 0, "per-tenant lifetime ingested-line quota (0 = unlimited)")
 		probeInterval = flag.Duration("probe-interval", time.Second, "shard health-probe period")
 		retries       = flag.Int("shard-retries", 0, "max attempts per shard call (0 = default 8)")
+		standbys      = flag.String("standbys", "", "comma-separated name=url warm-standby list, attached to -shards entries by name")
+		promoteLag    = flag.Uint64("promote-lag", 0, "max unreplicated ops a standby may be missing and still be promoted (0 = must be fully caught up)")
 		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
@@ -78,16 +89,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dodroute:", err)
 		os.Exit(2)
 	}
+	if err := attachStandbys(infos, *standbys); err != nil {
+		fmt.Fprintln(os.Stderr, "dodroute:", err)
+		os.Exit(2)
+	}
 	cfg := router.Config{
 		R: *r, K: *k, Dim: *dim,
 		Capacity: *window, TTL: *ttl,
 		Shards: infos, Block: *block, Vnodes: *vnodes,
 		MaxBatch: *maxBatch, MaxBodyBytes: *maxBody,
 		TenantRPS: *tenantRPS, TenantBurst: *tenantBurst, TenantQuota: *tenantQuota,
-		ProbeInterval: *probeInterval,
-		RetryAttempts: *retries,
-		Retry:         retry.Policy{Base: 50 * time.Millisecond},
-		EnablePprof:   *pprofOn,
+		ProbeInterval:   *probeInterval,
+		RetryAttempts:   *retries,
+		PromoteLagBound: *promoteLag,
+		Retry:           retry.Policy{Base: 50 * time.Millisecond},
+		EnablePprof:     *pprofOn,
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dodroute:", err)
@@ -113,6 +129,36 @@ func parseShards(s string) ([]router.ShardInfo, error) {
 		infos = append(infos, router.ShardInfo{Name: fmt.Sprintf("s%d", i), URL: part})
 	}
 	return infos, nil
+}
+
+// attachStandbys wires "name=url" warm-standby entries onto the matching
+// shards. A standby for an unknown shard is a configuration error.
+func attachStandbys(infos []router.ShardInfo, s string) error {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("-standbys entries must be name=url, got %q", part)
+		}
+		found := false
+		for i := range infos {
+			if infos[i].Name == name {
+				infos[i].Standby = url
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-standbys names shard %q, which is not in -shards", name)
+		}
+	}
+	return nil
 }
 
 func run(addr string, cfg router.Config) error {

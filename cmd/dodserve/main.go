@@ -30,7 +30,19 @@
 // protocol (/v1/shard/*, /v1/support) and holds only the window slice whose
 // grid cells it owns under the router-pushed topology. -shard-name sets its
 // cluster-unique name; -window and -ttl are ignored (the router owns the
-// global eviction discipline).
+// global eviction discipline). -dedupe sizes the idempotency replay cache.
+//
+// A shard can be paired with a warm standby for failover:
+//
+//	-replica URL   makes this shard a replicating primary: every window
+//	               mutation is appended to a sequence-numbered op log and
+//	               shipped asynchronously to the standby at URL.
+//	-standby       runs this process as the warm standby itself: it serves
+//	               the /v1/replica endpoints, answers 503 on /readyz until
+//	               it has bootstrapped and caught up, and treats a router
+//	               topology push as its promotion to primary. Start it with
+//	               the SAME -shard-name as its primary — a standby IS its
+//	               primary, one promotion away.
 //
 // With -addr :0 the actual bound address is printed on stdout as
 // "dodserve: listening on HOST:PORT", so harnesses can discover the port.
@@ -67,6 +79,9 @@ func main() {
 		maxBatch = flag.Int("max-batch", 0, "max NDJSON lines per request; beyond it the whole request is rejected with 400 batch_too_large (0 = default)")
 		inflight = flag.Int("max-inflight", 0, "max concurrently admitted batch requests before 429 shedding (0 = 2x workers)")
 		maxBody  = flag.Int64("max-body-bytes", 0, "max request body bytes before 413 (0 = default 64 MiB)")
+		dedupe   = flag.Int("dedupe", 0, "idempotency replay cache capacity in entries (0 = default 4096; shard mode only)")
+		repl     = flag.String("replica", "", "warm standby base URL to replicate this shard's window to (shard mode only)")
+		standby  = flag.Bool("standby", false, "run as a warm standby: replay a primary's op log, refuse readiness until caught up (shard mode only)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
@@ -78,8 +93,11 @@ func main() {
 		}
 		scfg := serve.ShardServerConfig{
 			Name: *name, R: *r, K: *k, Dim: *dim,
-			IndexShards:  *shards,
-			MaxBodyBytes: *maxBody,
+			IndexShards:    *shards,
+			MaxBodyBytes:   *maxBody,
+			DedupeCapacity: *dedupe,
+			Replica:        *repl,
+			Standby:        *standby,
 		}
 		if err := runShard(*addr, scfg); err != nil {
 			fmt.Fprintln(os.Stderr, "dodserve:", err)
@@ -167,7 +185,15 @@ func runShard(addr string, cfg serve.ShardServerConfig) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "dodserve: starting shard %q (r=%g k=%d dim=%d)\n",
-		cfg.Name, cfg.R, cfg.K, cfg.Dim)
+	defer srv.Close()
+	role := "shard"
+	switch {
+	case cfg.Standby:
+		role = "standby shard"
+	case cfg.Replica != "":
+		role = fmt.Sprintf("shard (replicating to %s)", cfg.Replica)
+	}
+	fmt.Fprintf(os.Stderr, "dodserve: starting %s %q (r=%g k=%d dim=%d)\n",
+		role, cfg.Name, cfg.R, cfg.K, cfg.Dim)
 	return serveListener(addr, srv.Handler(), srv.SetDraining)
 }

@@ -1,0 +1,111 @@
+package replica
+
+import (
+	"sync"
+
+	"dod/internal/obs"
+)
+
+// Log is the primary-side op log: an in-memory, sequence-numbered tail of
+// encoded ops between the standby's acked position and the primary's head.
+// Append assigns the next sequence number and encodes the op immediately
+// (callers record under the window mutex, so log order IS mutation order);
+// Ack trims everything the standby has durably applied. The log therefore
+// holds only the unshipped window — its size is the replication lag.
+type Log struct {
+	mu    sync.Mutex
+	ops   [][]byte // encoded; ops[i] has seq floor+1+i
+	floor uint64   // highest trimmed seq (== acked)
+	head  uint64   // highest appended seq
+	acked uint64   // highest seq the standby has applied
+
+	notify chan struct{}
+}
+
+// NewLog builds an empty log. A non-nil registry gets the replication-lag
+// gauge (head minus acked — the ops a failover at this instant would lose).
+func NewLog(reg *obs.Registry) *Log {
+	l := &Log{notify: make(chan struct{}, 1)}
+	if reg != nil {
+		reg.GaugeFunc("dod_replica_lag_seq", "ops recorded but not yet acked by the standby",
+			func() float64 {
+				l.mu.Lock()
+				defer l.mu.Unlock()
+				return float64(l.head - l.acked)
+			})
+	}
+	return l
+}
+
+// Append assigns op the next sequence number, stores its encoding, and
+// returns the assigned seq. The shipper is nudged without blocking.
+func (l *Log) Append(op *Op) uint64 {
+	l.mu.Lock()
+	l.head++
+	op.Seq = l.head
+	l.ops = append(l.ops, encodeOp(nil, op))
+	seq := l.head
+	l.mu.Unlock()
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+	return seq
+}
+
+// Window returns up to max encoded ops starting at seq from. ok is false
+// when from has already been trimmed (the caller must fall back to a
+// snapshot). from past the head returns an empty, ok window.
+func (l *Log) Window(from uint64, max int) (ops [][]byte, head uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from <= l.floor {
+		return nil, l.head, false
+	}
+	if from > l.head {
+		return nil, l.head, true
+	}
+	lo := int(from - l.floor - 1)
+	hi := len(l.ops)
+	if max > 0 && hi-lo > max {
+		hi = lo + max
+	}
+	return l.ops[lo:hi], l.head, true
+}
+
+// Ack records that the standby has applied every op up to seq, trimming
+// the log below it. Acks never regress.
+func (l *Log) Ack(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.acked {
+		return
+	}
+	if seq > l.head {
+		seq = l.head
+	}
+	l.acked = seq
+	drop := int(seq - l.floor)
+	if drop > len(l.ops) {
+		drop = len(l.ops)
+	}
+	l.ops = append([][]byte(nil), l.ops[drop:]...)
+	l.floor = seq
+}
+
+// Head returns the highest appended sequence number.
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// Acked returns the highest standby-applied sequence number.
+func (l *Log) Acked() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acked
+}
+
+// Notify returns the append-nudge channel the shipper selects on.
+func (l *Log) Notify() <-chan struct{} { return l.notify }

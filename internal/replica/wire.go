@@ -1,0 +1,212 @@
+package replica
+
+import (
+	"encoding/json"
+
+	"dod/internal/codec"
+	"dod/internal/stream"
+)
+
+// Replication endpoints served by a standby shard (apply, snapshot) and by
+// every shard (status, digest). The digest path lives here rather than in
+// the router wire tables because it belongs to the replication layer: a
+// deterministic hash of window contents for anti-entropy checks.
+const (
+	PathApply    = "/v1/replica/apply"
+	PathSnapshot = "/v1/replica/snapshot"
+	PathStatus   = "/v1/replica/status"
+	PathDigest   = "/v1/shard/digest"
+)
+
+// Replication frame kinds (bodies are sealed with codec.FrameSum).
+const (
+	frameHeader byte = 1 // JSON control header
+	frameOp     byte = 2 // one encoded op
+	frameEntry  byte = 3 // one snapshot window entry
+)
+
+// ApplyHeader is the control header of an op-shipment body.
+type ApplyHeader struct {
+	// From is the primary shard's name; the standby adopts it as its own
+	// identity for ownership decisions (a standby IS its primary, one
+	// promotion away).
+	From string `json:"from"`
+	// Count is the number of op frames in the body.
+	Count int `json:"count"`
+	// Head is the primary's log head at send time, so the standby can
+	// tell "applied everything shipped so far" from "caught up".
+	Head uint64 `json:"head"`
+}
+
+// ApplyResponse acknowledges an op shipment.
+type ApplyResponse struct {
+	// Applied is the standby's highest applied sequence number — the
+	// primary trims its log below it.
+	Applied uint64 `json:"applied"`
+	// Synced reports the standby has applied everything up to the
+	// shipped head (readiness for promotion).
+	Synced bool `json:"synced"`
+	// NeedSnapshot asks the primary to bootstrap: the shipment started
+	// past the standby's next expected seq (fresh standby, or one that
+	// fell behind a trim).
+	NeedSnapshot bool   `json:"need_snapshot,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// EncodeApply builds a sealed op-shipment body from pre-encoded ops.
+func EncodeApply(hdr ApplyHeader, ops [][]byte) []byte {
+	payload, err := json.Marshal(hdr)
+	if err != nil {
+		panic("replica: marshal apply header: " + err.Error())
+	}
+	body := codec.AppendFrame(nil, frameHeader, payload)
+	for _, op := range ops {
+		body = codec.AppendFrame(body, frameOp, op)
+	}
+	return codec.AppendSumFrame(body)
+}
+
+// DecodeApply parses a sealed op-shipment body.
+func DecodeApply(body []byte) (ApplyHeader, []*Op, error) {
+	var hdr ApplyHeader
+	data, err := codec.StripSumFrame(body)
+	if err != nil {
+		return hdr, nil, err
+	}
+	var ops []*Op
+	sawHeader := false
+	off := 0
+	for off < len(data) {
+		kind, payload, n, err := codec.DecodeFrame(data[off:])
+		if err != nil {
+			return hdr, nil, err
+		}
+		off += n
+		switch kind {
+		case frameHeader:
+			if err := json.Unmarshal(payload, &hdr); err != nil {
+				return hdr, nil, codec.WireErrorf("replica: bad apply header: %v", err)
+			}
+			sawHeader = true
+		case frameOp:
+			op, err := DecodeOp(payload)
+			if err != nil {
+				return hdr, nil, err
+			}
+			ops = append(ops, op)
+		default:
+			return hdr, nil, codec.WireErrorf("replica: unknown apply frame kind %d", kind)
+		}
+	}
+	if !sawHeader {
+		return hdr, nil, codec.WireErrorf("replica: apply body lacks header frame")
+	}
+	if len(ops) != hdr.Count {
+		return hdr, nil, codec.WireErrorf("replica: apply op count %d != header %d", len(ops), hdr.Count)
+	}
+	return hdr, ops, nil
+}
+
+// Snapshot is the bootstrap payload: the primary's full window slice at
+// log position Seq, plus the topology the standby should hold.
+type Snapshot struct {
+	From     string
+	Seq      uint64
+	Topology []byte // raw topology JSON; nil before the first push
+	Entries  []stream.ExportedEntry
+}
+
+// snapshotHeader is the JSON header frame of a snapshot body.
+type snapshotHeader struct {
+	From     string          `json:"from"`
+	Seq      uint64          `json:"seq"`
+	Count    int             `json:"count"`
+	Topology json.RawMessage `json:"topology,omitempty"`
+}
+
+// SnapshotResponse acknowledges a bootstrap snapshot.
+type SnapshotResponse struct {
+	Applied uint64 `json:"applied"`
+	Error   string `json:"error,omitempty"`
+}
+
+// EncodeSnapshot builds a sealed bootstrap body.
+func EncodeSnapshot(s *Snapshot) []byte {
+	payload, err := json.Marshal(snapshotHeader{
+		From: s.From, Seq: s.Seq, Count: len(s.Entries), Topology: s.Topology,
+	})
+	if err != nil {
+		panic("replica: marshal snapshot header: " + err.Error())
+	}
+	body := codec.AppendFrame(nil, frameHeader, payload)
+	for _, e := range s.Entries {
+		body = codec.AppendFrame(body, frameEntry, appendEntry(nil, e))
+	}
+	return codec.AppendSumFrame(body)
+}
+
+// DecodeSnapshot parses a sealed bootstrap body.
+func DecodeSnapshot(body []byte) (*Snapshot, error) {
+	data, err := codec.StripSumFrame(body)
+	if err != nil {
+		return nil, err
+	}
+	var hdr snapshotHeader
+	sawHeader := false
+	s := &Snapshot{}
+	off := 0
+	for off < len(data) {
+		kind, payload, n, err := codec.DecodeFrame(data[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		switch kind {
+		case frameHeader:
+			if err := json.Unmarshal(payload, &hdr); err != nil {
+				return nil, codec.WireErrorf("replica: bad snapshot header: %v", err)
+			}
+			sawHeader = true
+		case frameEntry:
+			e, _, err := decodeEntry(payload)
+			if err != nil {
+				return nil, err
+			}
+			s.Entries = append(s.Entries, e)
+		default:
+			return nil, codec.WireErrorf("replica: unknown snapshot frame kind %d", kind)
+		}
+	}
+	if !sawHeader {
+		return nil, codec.WireErrorf("replica: snapshot body lacks header frame")
+	}
+	if len(s.Entries) != hdr.Count {
+		return nil, codec.WireErrorf("replica: snapshot entry count %d != header %d", len(s.Entries), hdr.Count)
+	}
+	s.From, s.Seq = hdr.From, hdr.Seq
+	s.Topology = append([]byte(nil), hdr.Topology...)
+	return s, nil
+}
+
+// StatusResponse answers GET /v1/replica/status on either role.
+type StatusResponse struct {
+	Role string `json:"role"` // "primary", "standby" or "none"
+	// Primary side: log head and the standby's acked position.
+	Head  uint64 `json:"head,omitempty"`
+	Acked uint64 `json:"acked,omitempty"`
+	// Standby side: applied position, catch-up and promotion state.
+	Applied  uint64 `json:"applied"`
+	Synced   bool   `json:"synced"`
+	Promoted bool   `json:"promoted,omitempty"`
+}
+
+// DigestResponse answers GET /v1/shard/digest: a deterministic FNV-64a
+// hash over the window contents in canonical (global-sequence) order. Two
+// windows with equal digests hold bit-identical verdict state; Seq anchors
+// the digest to a log position (primary: head; standby: applied).
+type DigestResponse struct {
+	Shard  string `json:"shard"`
+	Digest string `json:"digest"`
+	Seq    uint64 `json:"seq"`
+	Points int    `json:"points"`
+}

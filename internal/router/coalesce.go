@@ -105,26 +105,32 @@ func (rt *Router) ingestCoalescedLocked(ctx context.Context, topo *Topology, now
 			flush()
 			lineKey := fmt.Sprintf("%s|%d", reqID, i)
 			for len(rt.residents) >= rt.cfg.Capacity {
-				if err := rt.evictHeadLocked(ctx, topo, lineKey); err != nil {
+				evicted, err := rt.evictHeadLocked(ctx, topo, lineKey)
+				if err != nil {
 					out[i] = verdictLine{ID: pt.ID, Error: err.Error()}
 					rt.met.lineErrors.Inc()
 					evictFailed = true
 					break
 				}
-				evictions++
+				if evicted {
+					evictions++
+				}
 			}
 		}
 		if !evictFailed && ttlDue() {
 			flush()
 			lineKey := fmt.Sprintf("%s|%d", reqID, i)
 			for ttlDue() {
-				if err := rt.evictHeadLocked(ctx, topo, lineKey); err != nil {
+				evicted, err := rt.evictHeadLocked(ctx, topo, lineKey)
+				if err != nil {
 					out[i] = verdictLine{ID: pt.ID, Error: err.Error()}
 					rt.met.lineErrors.Inc()
 					evictFailed = true
 					break
 				}
-				evictions++
+				if evicted {
+					evictions++
+				}
 			}
 		}
 		if evictFailed {

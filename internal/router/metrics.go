@@ -22,6 +22,9 @@ type routerMetrics struct {
 	supportRPCs  *obs.Counter
 	probeFails   *obs.Counter
 	failovers    *obs.Counter
+	promotes     *obs.Counter
+	replicaLost  *obs.Counter
+	forcedLoss   *obs.Counter
 }
 
 func newRouterMetrics(reg *obs.Registry) *routerMetrics {
@@ -41,5 +44,8 @@ func newRouterMetrics(reg *obs.Registry) *routerMetrics {
 		supportRPCs:  reg.Counter("dod_support_rpc_total", "boundary support round trips issued over the wire"),
 		probeFails:   reg.Counter("dod_route_probe_failures_total", "failed shard health probes"),
 		failovers:    reg.Counter("dod_route_failovers_total", "automatic drain-on-unhealthy failovers"),
+		promotes:     reg.Counter("dod_promote_total", "standby promotions committed"),
+		replicaLost:  reg.Counter("dod_replica_lost_total", "ops known lost to replication lag at promotion decisions"),
+		forcedLoss:   reg.Counter("dod_route_forced_loss_total", "window entries dropped by forced drains"),
 	}
 }

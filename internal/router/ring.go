@@ -40,9 +40,13 @@ const DefaultBlock = 16
 
 // ShardInfo identifies one dodserve shard: its cluster-unique name (the
 // ring hashes names, so renaming a shard moves its blocks) and base URL.
+// Standby, when set, is the base URL of a warm standby replicating this
+// shard's window — promotion swaps it into URL without touching the name,
+// so ownership (which hashes names only) never moves.
 type ShardInfo struct {
-	Name string `json:"name"`
-	URL  string `json:"url"`
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Standby string `json:"standby,omitempty"`
 }
 
 // Topology is the cell-ownership contract shared by the router and every
@@ -222,6 +226,37 @@ func (t *Topology) ShardURL(name string) string {
 		}
 	}
 	return ""
+}
+
+// Standby returns the standby URL registered for a shard name, or "".
+func (t *Topology) Standby(name string) string {
+	for _, s := range t.Shards {
+		if s.Name == name {
+			return s.Standby
+		}
+	}
+	return ""
+}
+
+// Promote returns a copy of the topology with the named shard served by
+// its standby URL and the epoch advanced — the ownership view after a
+// failover. The shard keeps its name, so no blocks move; only the address
+// behind the name changes.
+func (t *Topology) Promote(name string) (*Topology, error) {
+	nt := t.Clone()
+	nt.Epoch = t.Epoch + 1
+	for i := range nt.Shards {
+		if nt.Shards[i].Name != name {
+			continue
+		}
+		if nt.Shards[i].Standby == "" {
+			return nil, errs.BadParams("shard %q has no standby to promote", name)
+		}
+		nt.Shards[i].URL = nt.Shards[i].Standby
+		nt.Shards[i].Standby = ""
+		return nt, nil
+	}
+	return nil, errs.BadParams("shard %q not in topology", name)
 }
 
 // Without returns a copy of the topology with the named shard removed and

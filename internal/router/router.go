@@ -83,6 +83,12 @@ type Config struct {
 	// Breaker tunes the per-shard health breakers (zero value: trip after
 	// 3 consecutive failures, probe again after 5s).
 	Breaker retry.BreakerConfig
+	// PromoteLagBound is the largest number of unreplicated ops a standby
+	// may be missing — measured against the primary's last probed log
+	// head — and still be promoted. 0 demands a fully caught-up standby.
+	// A promotion refused for lag leaves the shard degraded and counts the
+	// gap in dod_replica_lost_total.
+	PromoteLagBound uint64
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
 	// Off by default: the profiling endpoints can stall the serving path
 	// and expose internals, so they are opt-in like dodserve's.
@@ -124,6 +130,14 @@ type Router struct {
 
 	breakMu  sync.Mutex
 	breakers map[string]*retry.Breaker
+
+	// replicaHeads is the last log head each primary reported on /healthz —
+	// the promotion-time yardstick for how far a standby may lag. Guarded
+	// by replicaMu; promoteMu serializes whole promotion transactions.
+	replicaMu    sync.Mutex
+	replicaHeads map[string]uint64
+	promoteMu    sync.Mutex
+	promoting    map[string]bool
 
 	// mu serializes all window mutation (ingest batches, evictions,
 	// drains), exactly as the single-process window mutex does — the global
@@ -181,20 +195,22 @@ func New(cfg Config) (*Router, error) {
 		transport = httpapi.NewTransport()
 	}
 	rt := &Router{
-		cfg:       cfg,
-		mux:       http.NewServeMux(),
-		reg:       cfg.Obs,
-		met:       newRouterMetrics(cfg.Obs),
-		trace:     obs.NewTrace("dodroute"),
-		client:    &http.Client{Transport: transport},
-		limiter:   newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst, cfg.TenantQuota, cfg.now),
-		now:       cfg.now,
-		started:   cfg.now(),
-		l2:        detect.L2Radius(cfg.Dim),
-		topo:      topo,
-		breakers:  make(map[string]*retry.Breaker),
-		residents: make(map[uint64]resident),
-		stopProbe: make(chan struct{}),
+		cfg:          cfg,
+		mux:          http.NewServeMux(),
+		reg:          cfg.Obs,
+		met:          newRouterMetrics(cfg.Obs),
+		trace:        obs.NewTrace("dodroute"),
+		client:       &http.Client{Transport: transport},
+		limiter:      newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst, cfg.TenantQuota, cfg.now),
+		now:          cfg.now,
+		started:      cfg.now(),
+		l2:           detect.L2Radius(cfg.Dim),
+		topo:         topo,
+		breakers:     make(map[string]*retry.Breaker),
+		replicaHeads: make(map[string]uint64),
+		promoting:    make(map[string]bool),
+		residents:    make(map[uint64]resident),
+		stopProbe:    make(chan struct{}),
 	}
 	for _, s := range cfg.Shards {
 		rt.breakers[s.Name] = retry.NewBreaker(cfg.Breaker)
@@ -209,6 +225,7 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/v1/ingest", rt.handleIngest)
 	rt.mux.HandleFunc("/v1/score", rt.handleScore)
 	rt.mux.HandleFunc("/v1/drain", rt.handleDrain)
+	rt.mux.HandleFunc("/v1/promote", rt.handlePromote)
 	rt.mux.HandleFunc("/v1/topology", rt.handleTopology)
 	rt.mux.HandleFunc("/v1/snapshot", rt.handleSnapshot)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
@@ -317,22 +334,56 @@ func (rt *Router) probeLoop() {
 func (rt *Router) probeShard(s ShardInfo) {
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeInterval)
 	defer cancel()
+	var raw []byte
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.URL+"/healthz", nil)
 	if err != nil {
 		return
 	}
 	resp, err := rt.client.Do(req)
 	if err == nil {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		raw, _ = io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 	}
 	b := rt.breaker(s.Name)
 	if err != nil || resp.StatusCode/100 != 2 {
 		rt.met.probeFails.Inc()
 		b.Failure()
+		// A tripped breaker on a shard with a warm standby starts the
+		// failover: promotion runs off the probe loop so one slow standby
+		// status call cannot stall probing of the other shards.
+		if b.State() == retry.BreakerOpen && s.Standby != "" {
+			go rt.autoPromote(s.Name)
+		}
 		return
 	}
 	b.Success()
+	// A replicating primary reports its op-log head on /healthz; remember
+	// it as the promotion-time yardstick for standby lag.
+	var hb struct {
+		Replica struct {
+			Role string `json:"role"`
+			Head uint64 `json:"head"`
+		} `json:"replica"`
+	}
+	if json.Unmarshal(raw, &hb) == nil && hb.Replica.Role == "primary" {
+		rt.replicaMu.Lock()
+		if hb.Replica.Head > rt.replicaHeads[s.Name] {
+			rt.replicaHeads[s.Name] = hb.Replica.Head
+		}
+		rt.replicaMu.Unlock()
+	}
+}
+
+// autoPromote attempts a breaker-driven promotion, swallowing failures (a
+// refused or raced promotion leaves the shard degraded; the next failed
+// probe tries again).
+func (rt *Router) autoPromote(name string) {
+	if !rt.ready.Load() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rt.Promote(ctx, name) //nolint:errcheck
 }
 
 // callURL POSTs body to base+path with bounded retries and per-shard
@@ -340,6 +391,11 @@ func (rt *Router) probeShard(s ShardInfo) {
 // by reqKey; pass reqKey "" for read-only calls to skip shard-side
 // deduplication.
 func (rt *Router) callURL(ctx context.Context, shard, base, path, reqKey string, body []byte, out any) error {
+	return rt.callURLResolved(ctx, shard, func() string { return base }, path, reqKey, body, out)
+}
+
+// callURLResolved is callURL with the target URL re-resolved per attempt.
+func (rt *Router) callURLResolved(ctx context.Context, shard string, resolve func() string, path, reqKey string, body []byte, out any) error {
 	b := rt.breaker(shard)
 	var lastErr error
 	for attempt := 0; attempt < rt.cfg.RetryAttempts; attempt++ {
@@ -350,7 +406,7 @@ func (rt *Router) callURL(ctx context.Context, shard, base, path, reqKey string,
 			}
 		}
 		rt.met.shardCalls.Inc()
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, resolve()+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
@@ -392,13 +448,24 @@ func (rt *Router) callURL(ctx context.Context, shard, base, path, reqKey string,
 	return lastErr
 }
 
-// callShard resolves the shard's URL from the current topology, then calls.
+// callShard calls the named shard, re-resolving its URL from the LIVE
+// topology on every attempt (falling back to the caller's captured view):
+// ownership is pinned by the captured topology, but the address behind a
+// shard name can change mid-call when a standby is promoted, and the retry
+// loop must follow it — that is how a request in flight across a failover
+// replays against the promoted standby, where the replicated idempotency
+// cache makes the replay exactly-once.
 func (rt *Router) callShard(ctx context.Context, topo *Topology, shard, path, reqKey string, body []byte, out any) error {
-	base := topo.ShardURL(shard)
-	if base == "" {
+	resolve := func() string {
+		if base := rt.topology().ShardURL(shard); base != "" {
+			return base
+		}
+		return topo.ShardURL(shard)
+	}
+	if resolve() == "" {
 		return fmt.Errorf("no URL for shard %q in epoch %d", shard, topo.Epoch)
 	}
-	return rt.callURL(ctx, shard, base, path, reqKey, body, out)
+	return rt.callURLResolved(ctx, shard, resolve, path, reqKey, body, out)
 }
 
 // pushTopology installs topo on each given shard, retrying each until
@@ -549,23 +616,30 @@ func (rt *Router) processLocked(ctx context.Context, topo *Topology, pt geom.Poi
 	evictions := 0
 	if rt.cfg.Capacity > 0 {
 		for len(rt.residents) >= rt.cfg.Capacity {
-			if err := rt.evictHeadLocked(ctx, topo, lineKey); err != nil {
+			evicted, err := rt.evictHeadLocked(ctx, topo, lineKey)
+			if err != nil {
 				return verdictLine{}, err
 			}
-			evictions++
+			if evicted {
+				evictions++
+			}
 		}
 	}
 	if rt.cfg.TTL > 0 {
 		horizonNs := now.Add(-rt.cfg.TTL).UnixNano()
 		for rt.head < len(rt.fifo) {
 			id := rt.fifo[rt.head]
-			if rt.residents[id].arrivedNs >= horizonNs {
+			res, ok := rt.residents[id]
+			if ok && res.arrivedNs >= horizonNs {
 				break
 			}
-			if err := rt.evictHeadLocked(ctx, topo, lineKey); err != nil {
+			evicted, err := rt.evictHeadLocked(ctx, topo, lineKey)
+			if err != nil {
 				return verdictLine{}, err
 			}
-			evictions++
+			if evicted {
+				evictions++
+			}
 		}
 	}
 	cell := topo.CellOf(pt.Coords)
@@ -587,40 +661,49 @@ func (rt *Router) processLocked(ctx context.Context, topo *Topology, pt geom.Poi
 
 // evictHeadLocked expires the globally oldest point: the owning shard
 // applies the eviction (and its cross-shard count deltas); the router
-// retires the FIFO slot. Callers hold rt.mu.
-func (rt *Router) evictHeadLocked(ctx context.Context, topo *Topology, lineKey string) error {
+// retires the FIFO slot. It reports whether a live resident was actually
+// evicted — a FIFO slot whose resident was purged by a forced drain is
+// skipped for free and must not count toward the verdict's Evicted field.
+// Callers hold rt.mu.
+func (rt *Router) evictHeadLocked(ctx context.Context, topo *Topology, lineKey string) (bool, error) {
 	id := rt.fifo[rt.head]
 	res, ok := rt.residents[id]
 	if !ok {
-		// Unreachable by construction: fifo and residents move together.
+		// A ghost slot: its resident was dropped by a forced drain.
 		rt.head++
-		return nil
+		rt.reclaimFifoLocked()
+		return false, nil
 	}
 	owner := topo.Owner(res.cell)
 	body, err := json.Marshal(EvictRequest{ID: id})
 	if err != nil {
-		return err
+		return false, err
 	}
 	var resp EvictResponse
 	key := lineKey + "|evict|" + strconv.FormatUint(id, 10)
 	if err := rt.callShard(ctx, topo, owner, PathShardEvict, key, body, &resp); err != nil {
-		return fmt.Errorf("evicting %d from shard %s: %v", id, owner, err)
+		return false, fmt.Errorf("evicting %d from shard %s: %v", id, owner, err)
 	}
 	if resp.Error != "" {
-		return fmt.Errorf("evicting %d from shard %s: %s", id, owner, resp.Error)
+		return false, fmt.Errorf("evicting %d from shard %s: %s", id, owner, resp.Error)
 	}
 	if !resp.Evicted {
-		return fmt.Errorf("evicting %d: shard %s does not hold it (ownership drift)", id, owner)
+		return false, fmt.Errorf("evicting %d: shard %s does not hold it (ownership drift)", id, owner)
 	}
 	rt.head++
 	delete(rt.residents, id)
 	rt.met.evictions.Inc()
-	// Reclaim the drained prefix once it dominates the backing array.
+	rt.reclaimFifoLocked()
+	return true, nil
+}
+
+// reclaimFifoLocked drops the drained FIFO prefix once it dominates the
+// backing array. Callers hold rt.mu.
+func (rt *Router) reclaimFifoLocked() {
 	if rt.head > 64 && rt.head*2 > len(rt.fifo) {
 		rt.fifo = append([]uint64(nil), rt.fifo[rt.head:]...)
 		rt.head = 0
 	}
-	return nil
 }
 
 func (rt *Router) handleScore(w http.ResponseWriter, r *http.Request) {
@@ -739,11 +822,17 @@ func writeNDJSON(w http.ResponseWriter, n int, line func(enc *json.Encoder, i in
 
 // ---- drain / handoff ----------------------------------------------------
 
-// DrainResponse answers POST /v1/drain.
+// DrainResponse answers POST /v1/drain. LostEntries/LostCells are only
+// non-zero on a ?force=1 drain of an unreachable shard: the window entries
+// (and the distinct cells they occupied) that were dropped rather than
+// moved — the blast radius of the forced removal, also counted under
+// dod_route_forced_loss_total.
 type DrainResponse struct {
-	Drained string `json:"drained"`
-	Moved   int    `json:"moved"`
-	Epoch   int64  `json:"epoch"`
+	Drained     string `json:"drained"`
+	Moved       int    `json:"moved"`
+	Epoch       int64  `json:"epoch"`
+	LostEntries int    `json:"lost_entries,omitempty"`
+	LostCells   int    `json:"lost_cells,omitempty"`
 }
 
 // handleDrain gracefully removes a shard: its window slice is exported,
@@ -781,6 +870,7 @@ func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
 
 	// 1. Snapshot the departing shard's window slice.
 	var entries []Entry
+	lostEntries, lostCells := 0, 0
 	exportURL := topo.ShardURL(name) + PathShardExport
 	raw, err := rt.getBody(r.Context(), exportURL)
 	if err == nil {
@@ -794,6 +884,21 @@ func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
 		}
 		rt.met.failovers.Inc()
 		entries = nil
+		// The departing shard's slice is gone. Purge its residents from the
+		// router's window bookkeeping — their FIFO slots become ghosts that
+		// evictHeadLocked skips — and report exactly what was dropped, so a
+		// forced drain is an observable loss, never a silent one.
+		cells := map[string]bool{}
+		for id, res := range rt.residents {
+			if topo.Owner(res.cell) != name {
+				continue
+			}
+			cells[fmt.Sprint(res.cell)] = true
+			delete(rt.residents, id)
+			lostEntries++
+		}
+		lostCells = len(cells)
+		rt.met.forcedLoss.Add(int64(lostEntries))
 	}
 
 	// 2. Re-ring without the departing shard and tell the survivors first,
@@ -838,8 +943,12 @@ func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
 	rt.topo = next
 	rt.topoMu.Unlock()
 	rt.met.drains.Inc()
-	span.SetAttr(obs.Int("moved", int64(moved)), obs.Int("epoch", next.Epoch))
-	rt.writeJSON(w, http.StatusOK, DrainResponse{Drained: name, Moved: moved, Epoch: next.Epoch})
+	span.SetAttr(obs.Int("moved", int64(moved)), obs.Int("epoch", next.Epoch),
+		obs.Int("lost_entries", int64(lostEntries)), obs.Int("lost_cells", int64(lostCells)))
+	rt.writeJSON(w, http.StatusOK, DrainResponse{
+		Drained: name, Moved: moved, Epoch: next.Epoch,
+		LostEntries: lostEntries, LostCells: lostCells,
+	})
 }
 
 // getBody GETs a URL and returns its body, with bounded retries.
@@ -950,13 +1059,19 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Unlock()
 	topo := rt.topology()
 	type shardHealth struct {
-		Name    string `json:"name"`
-		URL     string `json:"url"`
-		Breaker string `json:"breaker"`
+		Name        string `json:"name"`
+		URL         string `json:"url"`
+		Standby     string `json:"standby,omitempty"`
+		Breaker     string `json:"breaker"`
+		ReplicaHead uint64 `json:"replica_head,omitempty"`
 	}
 	shards := make([]shardHealth, len(topo.Shards))
 	for i, s := range topo.Shards {
-		shards[i] = shardHealth{Name: s.Name, URL: s.URL, Breaker: rt.breaker(s.Name).State().String()}
+		shards[i] = shardHealth{
+			Name: s.Name, URL: s.URL, Standby: s.Standby,
+			Breaker:     rt.breaker(s.Name).State().String(),
+			ReplicaHead: rt.lastReplicaHead(s.Name),
+		}
 	}
 	rt.writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds":  rt.now().Sub(rt.started).Seconds(),
@@ -970,6 +1085,9 @@ func (rt *Router) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"line_errors":     rt.met.lineErrors.Value(),
 		"evictions":       rt.met.evictions.Value(),
 		"drains":          rt.met.drains.Value(),
+		"promotes":        rt.met.promotes.Value(),
+		"replica_lost":    rt.met.replicaLost.Value(),
+		"forced_loss":     rt.met.forcedLoss.Value(),
 		"rate_limited":    rt.met.rateLimited.Value(),
 		"shards":          shards,
 	})

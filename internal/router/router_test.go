@@ -30,8 +30,12 @@ type cluster struct {
 	rtSrv  *httptest.Server
 	shards map[string]*serve.ShardServer
 	srvs   map[string]*httptest.Server
-	ref    *serve.Server
-	refSrv *httptest.Server
+	// stbys/stbySrvs hold the warm standbys of clusterOpts.standbys shards;
+	// adoptStandby moves one into shards/srvs after its promotion.
+	stbys    map[string]*serve.ShardServer
+	stbySrvs map[string]*httptest.Server
+	ref      *serve.Server
+	refSrv   *httptest.Server
 }
 
 type clusterOpts struct {
@@ -42,6 +46,12 @@ type clusterOpts struct {
 	// shardTransport, when set, supplies each shard's peer-call transport
 	// (the chaos tests wrap fault injection here, keyed by shard name).
 	shardTransport func(name string) http.RoundTripper
+	// standbys lists shard names that get a warm standby: a -standby twin
+	// behind its own listener, with the primary replicating to it.
+	standbys []string
+	// replicaTransport, when set, supplies each primary's replication-hop
+	// transport (the failover chaos tests inject faults here).
+	replicaTransport func(name string) http.RoundTripper
 }
 
 const (
@@ -52,7 +62,14 @@ const (
 
 func newCluster(t *testing.T, o clusterOpts) *cluster {
 	t.Helper()
-	c := &cluster{t: t, shards: map[string]*serve.ShardServer{}, srvs: map[string]*httptest.Server{}}
+	c := &cluster{
+		t: t, shards: map[string]*serve.ShardServer{}, srvs: map[string]*httptest.Server{},
+		stbys: map[string]*serve.ShardServer{}, stbySrvs: map[string]*httptest.Server{},
+	}
+	standby := map[string]bool{}
+	for _, name := range o.standbys {
+		standby[name] = true
+	}
 	var infos []router.ShardInfo
 	for i := 0; i < o.shards; i++ {
 		name := fmt.Sprintf("s%d", i)
@@ -63,15 +80,41 @@ func newCluster(t *testing.T, o clusterOpts) *cluster {
 		if o.shardTransport != nil {
 			scfg.Transport = o.shardTransport(name)
 		}
+		info := router.ShardInfo{Name: name}
+		if standby[name] {
+			// The standby exists before its primary: the primary's shipper
+			// dials it from the first appended op.
+			sb, err := serve.NewShard(serve.ShardServerConfig{
+				Name: name, R: testR, K: testK, Dim: testDim,
+				Retry:   retry.Policy{Base: time.Millisecond},
+				Standby: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(sb.Close)
+			sbSrv := httptest.NewServer(sb.Handler())
+			t.Cleanup(sbSrv.Close)
+			c.stbys[name] = sb
+			c.stbySrvs[name] = sbSrv
+			scfg.Replica = sbSrv.URL
+			scfg.ReplicaInterval = 2 * time.Millisecond
+			if o.replicaTransport != nil {
+				scfg.ReplicaTransport = o.replicaTransport(name)
+			}
+			info.Standby = sbSrv.URL
+		}
 		ss, err := serve.NewShard(scfg)
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(ss.Close)
 		hs := httptest.NewServer(ss.Handler())
 		t.Cleanup(hs.Close)
 		c.shards[name] = ss
 		c.srvs[name] = hs
-		infos = append(infos, router.ShardInfo{Name: name, URL: hs.URL})
+		info.URL = hs.URL
+		infos = append(infos, info)
 	}
 	cfg := router.Config{
 		R: testR, K: testK, Dim: testDim,

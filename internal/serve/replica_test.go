@@ -1,0 +1,468 @@
+// Warm-standby replication tests at the serving layer: a real primary and
+// standby ShardServer pair over HTTP, exercising op shipping, digest
+// anti-entropy, snapshot bootstrap, readiness gating, promotion and the
+// replicated idempotency cache — the pieces the router's failover
+// transaction composes.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dod/internal/geom"
+	"dod/internal/replica"
+	"dod/internal/router"
+)
+
+const (
+	pairR   = 1.2
+	pairK   = 3
+	pairDim = 2
+)
+
+// replicaPair is a primary shard replicating to a warm standby, both behind
+// real listeners. The standby sits behind a swappable handler so tests can
+// model a standby process restart (the bootstrap-from-snapshot path) without
+// changing the URL the primary ships to.
+type replicaPair struct {
+	t        *testing.T
+	primary  *ShardServer
+	standby  *ShardServer
+	primSrv  *httptest.Server
+	stbySrv  *httptest.Server
+	stbySwap *atomic.Value // holds http.Handler
+	seq      uint64
+}
+
+func newStandby(t *testing.T) *ShardServer {
+	t.Helper()
+	sb, err := NewShard(ShardServerConfig{Name: "s0", R: pairR, K: pairK, Dim: pairDim, Standby: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sb.Close)
+	return sb
+}
+
+func newReplicaPair(t *testing.T) *replicaPair {
+	t.Helper()
+	p := &replicaPair{t: t, stbySwap: &atomic.Value{}}
+	p.standby = newStandby(t)
+	p.stbySwap.Store(p.standby.Handler())
+	p.stbySrv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.stbySwap.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(p.stbySrv.Close)
+
+	primary, err := NewShard(ShardServerConfig{
+		Name: "s0", R: pairR, K: pairK, Dim: pairDim,
+		Replica:         p.stbySrv.URL,
+		ReplicaInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(primary.Close)
+	p.primary = primary
+	p.primSrv = httptest.NewServer(primary.Handler())
+	t.Cleanup(p.primSrv.Close)
+
+	p.pushTopology(p.primSrv.URL, 1, p.primSrv.URL)
+	return p
+}
+
+// pushTopology POSTs a single-shard ownership view to a server.
+func (p *replicaPair) pushTopology(target string, epoch int64, shardURL string) {
+	p.t.Helper()
+	topo := router.Topology{
+		Epoch: epoch, Dim: pairDim, R: pairR, K: pairK, Block: 2,
+		Shards: []router.ShardInfo{{Name: "s0", URL: shardURL}},
+	}
+	raw, err := json.Marshal(&topo)
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	status, body := postBody(p.t, target+router.PathShardTopology, "", raw)
+	if status != http.StatusOK {
+		p.t.Fatalf("topology push to %s: status %d: %s", target, status, body)
+	}
+}
+
+// postBody POSTs raw bytes with an optional idempotency key.
+func postBody(t *testing.T, url, reqID string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if reqID != "" {
+		req.Header.Set(router.HeaderRequestID, reqID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// ingest admits one point through the primary's shard wire endpoint.
+func (p *replicaPair) ingest(id uint64, x, y float64) []byte {
+	p.t.Helper()
+	p.seq++
+	body := router.EncodeIngest(router.IngestHeader{Seq: p.seq, ArrivedNs: int64(p.seq)},
+		geom.Point{ID: id, Coords: []float64{x, y}})
+	status, raw := postBody(p.t, p.primSrv.URL+router.PathShardIngest, fmt.Sprintf("ing-%d", id), body)
+	if status != http.StatusOK {
+		p.t.Fatalf("ingest %d: status %d: %s", id, status, raw)
+	}
+	return raw
+}
+
+func (p *replicaPair) evict(id uint64) {
+	p.t.Helper()
+	raw, err := json.Marshal(router.EvictRequest{ID: id})
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	status, resp := postBody(p.t, p.primSrv.URL+router.PathShardEvict, fmt.Sprintf("evc-%d", id), raw)
+	if status != http.StatusOK || !bytes.Contains(resp, []byte(`"evicted":true`)) {
+		p.t.Fatalf("evict %d: status %d: %s", id, status, resp)
+	}
+}
+
+// waitSynced polls the primary's replication status until the standby has
+// acked its whole log.
+func (p *replicaPair) waitSynced() replica.StatusResponse {
+	p.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var st replica.StatusResponse
+	for time.Now().Before(deadline) {
+		getJSON(p.t, p.primSrv.URL+replica.PathStatus, &st)
+		if st.Role == "primary" && st.Synced {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	p.t.Fatalf("standby never caught up: last primary status %+v", st)
+	return st
+}
+
+func digestOf(t *testing.T, base string) replica.DigestResponse {
+	t.Helper()
+	var d replica.DigestResponse
+	if status := getJSON(t, base+replica.PathDigest, &d); status != http.StatusOK {
+		t.Fatalf("digest from %s: status %d", base, status)
+	}
+	return d
+}
+
+// TestReplicaMirrorsPrimary streams admissions and evictions through a
+// primary and asserts the standby converges to a bit-identical window: same
+// digest, same point count, digest anchored at the same log position.
+func TestReplicaMirrorsPrimary(t *testing.T) {
+	p := newReplicaPair(t)
+	for i := uint64(1); i <= 30; i++ {
+		p.ingest(i, float64(i%5), float64(i%4))
+	}
+	p.evict(3)
+	p.evict(17)
+
+	st := p.waitSynced()
+	if st.Head == 0 || st.Acked != st.Head {
+		t.Fatalf("primary status after sync: %+v", st)
+	}
+	dp := digestOf(t, p.primSrv.URL)
+	ds := digestOf(t, p.stbySrv.URL)
+	if dp.Digest != ds.Digest || dp.Points != ds.Points {
+		t.Fatalf("digest diverged: primary %+v standby %+v", dp, ds)
+	}
+	if dp.Seq != st.Head || ds.Seq != st.Head {
+		t.Fatalf("digest seq anchors: primary %d standby %d, want %d", dp.Seq, ds.Seq, st.Head)
+	}
+	if dp.Points != 28 {
+		t.Fatalf("points = %d, want 28 (30 admitted - 2 evicted)", dp.Points)
+	}
+
+	// The standby's window state is the primary's, entry for entry.
+	if got, want := p.standby.Window().Stats(), p.primary.Window().Stats(); got.Len != want.Len ||
+		got.Outliers != want.Outliers || got.FlipIn != want.FlipIn || got.FlipOut != want.FlipOut {
+		t.Fatalf("standby stats %+v != primary stats %+v", got, want)
+	}
+}
+
+// TestStandbyReadyzGatesOnSync pins the readiness satellite: a standby
+// answers 503 until it has bootstrapped and caught up with its primary, then
+// 200 — and reports its replication role on /healthz either way.
+func TestStandbyReadyzGatesOnSync(t *testing.T) {
+	lone := newStandby(t)
+	loneSrv := httptest.NewServer(lone.Handler())
+	t.Cleanup(loneSrv.Close)
+
+	var rz struct {
+		Ready   bool `json:"ready"`
+		Standby bool `json:"standby"`
+		Synced  bool `json:"synced"`
+	}
+	if status := getJSON(t, loneSrv.URL+"/readyz", &rz); status != http.StatusServiceUnavailable {
+		t.Fatalf("unsynced standby readyz: status %d, want 503", status)
+	}
+	if !rz.Standby || rz.Synced || rz.Ready {
+		t.Fatalf("unsynced standby readyz body: %+v", rz)
+	}
+
+	p := newReplicaPair(t)
+	p.ingest(1, 1, 1)
+	p.waitSynced()
+	if status := getJSON(t, p.stbySrv.URL+"/readyz", &rz); status != http.StatusOK || !rz.Ready || !rz.Synced {
+		t.Fatalf("synced standby readyz: status %d body %+v, want 200 ready", status, rz)
+	}
+
+	var hz struct {
+		Replica struct {
+			Role string `json:"role"`
+		} `json:"replica"`
+	}
+	getJSON(t, p.stbySrv.URL+"/healthz", &hz)
+	if hz.Replica.Role != "standby" {
+		t.Fatalf("standby healthz role = %q", hz.Replica.Role)
+	}
+	getJSON(t, p.primSrv.URL+"/healthz", &hz)
+	if hz.Replica.Role != "primary" {
+		t.Fatalf("primary healthz role = %q", hz.Replica.Role)
+	}
+}
+
+// TestSnapshotBootstrap models a standby process restart: a fresh standby
+// appears behind the same URL after the primary's log has been trimmed by
+// acks, so tailing is impossible — the shipper must fall back to a
+// codec-framed snapshot (window + topology), then resume tailing ops.
+func TestSnapshotBootstrap(t *testing.T) {
+	p := newReplicaPair(t)
+	for i := uint64(1); i <= 20; i++ {
+		p.ingest(i, float64(i%5), float64(i%4))
+	}
+	p.waitSynced() // acks advanced: the log below the head is trimmed
+
+	// The standby "process" dies and a fresh one starts at the same URL.
+	fresh := newStandby(t)
+	p.stbySwap.Store(fresh.Handler())
+
+	// New traffic ships ops past the fresh standby's empty cursor: it must
+	// answer NeedSnapshot, bootstrap, then tail to parity.
+	for i := uint64(21); i <= 25; i++ {
+		p.ingest(i, float64(i%5), float64(i%4))
+	}
+	p.waitSynced()
+	dp, ds := digestOf(t, p.primSrv.URL), digestOf(t, p.stbySrv.URL)
+	if dp.Digest != ds.Digest || dp.Seq != ds.Seq || dp.Points != ds.Points {
+		t.Fatalf("post-bootstrap digest diverged: primary %+v standby %+v", dp, ds)
+	}
+
+	// The snapshot carried the topology: the fresh standby knows the epoch
+	// without ever seeing a router push.
+	var hz struct {
+		Epoch int64 `json:"epoch"`
+	}
+	getJSON(t, p.stbySrv.URL+"/healthz", &hz)
+	if hz.Epoch != 1 {
+		t.Fatalf("bootstrapped standby epoch = %d, want 1", hz.Epoch)
+	}
+
+	// And the primary counted the bootstrap.
+	if n := metricValue(t, p.primSrv.URL, "dod_replica_snapshots_total"); n < 1 {
+		t.Fatalf("dod_replica_snapshots_total = %g, want >= 1", n)
+	}
+}
+
+// TestPromotionFlipsStandby covers the promotion handshake: a topology push
+// at a standby flips it to primary — it refuses further replica applies with
+// the "promoted" code (which halts the old primary's shipper) — and a
+// replayed idempotency key answers the exact bytes the old primary recorded,
+// making a router retry across the failover exactly-once.
+func TestPromotionFlipsStandby(t *testing.T) {
+	p := newReplicaPair(t)
+	for i := uint64(1); i <= 10; i++ {
+		p.ingest(i, float64(i%3), float64(i%3))
+	}
+
+	// A batched admission under one idempotency key, as the router sends.
+	items := []router.AdmitItem{
+		{Point: geom.Point{ID: 100, Coords: []float64{1, 1}}, Seq: 1000},
+		{Point: geom.Point{ID: 101, Coords: []float64{1.1, 1}}, Seq: 1001},
+	}
+	batch := router.EncodeIngestBatch(router.IngestBatchHeader{ArrivedNs: 5000, Count: len(items)}, items)
+	status, primResp := postBody(t, p.primSrv.URL+router.PathShardIngestBatch, "batch-route-1", batch)
+	if status != http.StatusOK {
+		t.Fatalf("primary batch: status %d: %s", status, primResp)
+	}
+	p.waitSynced()
+
+	// Promote: the router pushes the successor epoch at the standby.
+	p.pushTopology(p.stbySrv.URL, 2, p.stbySrv.URL)
+
+	var rz struct {
+		Ready    bool `json:"ready"`
+		Promoted bool `json:"promoted"`
+	}
+	if status := getJSON(t, p.stbySrv.URL+"/readyz", &rz); status != http.StatusOK || !rz.Promoted {
+		t.Fatalf("promoted standby readyz: status %d %+v", status, rz)
+	}
+
+	// Replica applies are now refused with the shipper's halt code.
+	applyBody := replica.EncodeApply(replica.ApplyHeader{From: "s0", Count: 0, Head: 99}, nil)
+	status, raw := postBody(t, p.stbySrv.URL+replica.PathApply, "", applyBody)
+	if status != http.StatusConflict || !bytes.Contains(raw, []byte("promoted")) {
+		t.Fatalf("apply after promotion: status %d: %s", status, raw)
+	}
+
+	// A retry of the in-flight batch against the promoted standby replays
+	// the primary's recorded bytes — and does not re-apply the admissions.
+	before := digestOf(t, p.stbySrv.URL)
+	status, stbyResp := postBody(t, p.stbySrv.URL+router.PathShardIngestBatch, "batch-route-1", batch)
+	if status != http.StatusOK || !bytes.Equal(stbyResp, primResp) {
+		t.Fatalf("replayed batch diverged (status %d)\nstandby: %s\nprimary: %s", status, stbyResp, primResp)
+	}
+	after := digestOf(t, p.stbySrv.URL)
+	if before.Digest != after.Digest || before.Points != after.Points {
+		t.Fatalf("idempotency replay mutated the window: %+v -> %+v", before, after)
+	}
+}
+
+// TestReplicaEndpointGuards pins the wire-level refusals: a primary is not a
+// standby, a standby only accepts its own primary's shipments, and corrupt
+// bodies are typed 400s.
+func TestReplicaEndpointGuards(t *testing.T) {
+	p := newReplicaPair(t)
+
+	applyBody := replica.EncodeApply(replica.ApplyHeader{From: "s0", Count: 0, Head: 0}, nil)
+	if status, raw := postBody(t, p.primSrv.URL+replica.PathApply, "", applyBody); status != http.StatusConflict ||
+		!bytes.Contains(raw, []byte("not_standby")) {
+		t.Fatalf("apply at primary: status %d: %s", status, raw)
+	}
+
+	wrong := replica.EncodeApply(replica.ApplyHeader{From: "s9", Count: 0, Head: 0}, nil)
+	if status, raw := postBody(t, p.stbySrv.URL+replica.PathApply, "", wrong); status != http.StatusConflict ||
+		!bytes.Contains(raw, []byte("wrong_primary")) {
+		t.Fatalf("apply from wrong primary: status %d: %s", status, raw)
+	}
+
+	if status, raw := postBody(t, p.stbySrv.URL+replica.PathApply, "", []byte("garbage")); status != http.StatusBadRequest ||
+		!bytes.Contains(raw, []byte("bad_wire")) {
+		t.Fatalf("garbage apply: status %d: %s", status, raw)
+	}
+	if status, raw := postBody(t, p.stbySrv.URL+replica.PathSnapshot, "", []byte("garbage")); status != http.StatusBadRequest ||
+		!bytes.Contains(raw, []byte("bad_wire")) {
+		t.Fatalf("garbage snapshot: status %d: %s", status, raw)
+	}
+}
+
+// TestDedupeCapacityAndMetrics covers the configurable-idempotency-cache
+// satellite: capacity bounds the cache FIFO, evictions and occupancy are
+// exported, and a still-cached key replays without re-running.
+func TestDedupeCapacityAndMetrics(t *testing.T) {
+	ss, err := NewShard(ShardServerConfig{
+		Name: "s0", R: pairR, K: pairK, Dim: pairDim, DedupeCapacity: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ss.Close)
+	srv := httptest.NewServer(ss.Handler())
+	t.Cleanup(srv.Close)
+	topo := router.Topology{
+		Epoch: 1, Dim: pairDim, R: pairR, K: pairK, Block: 2,
+		Shards: []router.ShardInfo{{Name: "s0", URL: srv.URL}},
+	}
+	raw, _ := json.Marshal(&topo)
+	if status, body := postBody(t, srv.URL+router.PathShardTopology, "", raw); status != http.StatusOK {
+		t.Fatalf("topology push: status %d: %s", status, body)
+	}
+
+	var last []byte
+	for i := uint64(1); i <= 3; i++ {
+		body := router.EncodeIngest(router.IngestHeader{Seq: i, ArrivedNs: int64(i)},
+			geom.Point{ID: i, Coords: []float64{float64(i), 0}})
+		status, resp := postBody(t, srv.URL+router.PathShardIngest, fmt.Sprintf("cap-%d", i), body)
+		if status != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, status, resp)
+		}
+		last = resp
+	}
+	if n := metricValue(t, srv.URL, "dod_shard_dedupe_evictions_total"); n != 1 {
+		t.Fatalf("dedupe evictions = %g, want 1 (capacity 2, 3 keys)", n)
+	}
+	if n := metricValue(t, srv.URL, "dod_shard_dedupe_size"); n != 2 {
+		t.Fatalf("dedupe size = %g, want 2", n)
+	}
+
+	// The newest key is still cached: a retry replays identical bytes and
+	// counts a hit, not a re-execution.
+	body := router.EncodeIngest(router.IngestHeader{Seq: 3, ArrivedNs: 3},
+		geom.Point{ID: 3, Coords: []float64{3, 0}})
+	status, resp := postBody(t, srv.URL+router.PathShardIngest, "cap-3", body)
+	if status != http.StatusOK || !bytes.Equal(resp, last) {
+		t.Fatalf("cached retry diverged (status %d): %s vs %s", status, resp, last)
+	}
+	if n := metricValue(t, srv.URL, "dod_shard_dedupe_hits_total"); n != 1 {
+		t.Fatalf("dedupe hits = %g, want 1", n)
+	}
+}
+
+// metricValue scrapes one unlabeled series from /metrics.
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+			t.Fatalf("parsing metric line %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in exposition", name)
+	return 0
+}

@@ -16,6 +16,7 @@ import (
 	"dod/internal/geom"
 	"dod/internal/httpapi"
 	"dod/internal/obs"
+	"dod/internal/replica"
 	"dod/internal/retry"
 	"dod/internal/router"
 	"dod/internal/stream"
@@ -64,6 +65,25 @@ type ShardServer struct {
 
 	topoMu sync.RWMutex
 	topo   *router.Topology
+
+	// Primary-side replication (nil unless cfg.Replica is set).
+	replog  *replica.Log
+	rec     *replica.Recorder
+	shipper *replica.Shipper
+
+	// Standby-side replication (nil unless cfg.Standby).
+	stby *standbyState
+}
+
+// standbyState is a warm standby's replay cursor: how far into the
+// primary's op log it has applied, whether it has caught up with the last
+// shipped head, and whether a router topology push has promoted it. All
+// replica applies serialize under mu, so applied-order equals log order.
+type standbyState struct {
+	mu       sync.Mutex
+	applied  uint64
+	synced   bool
+	promoted bool
 }
 
 // ShardServerConfig parameterizes a ShardServer.
@@ -89,7 +109,28 @@ type ShardServerConfig struct {
 	Retry retry.Policy
 	// RetryAttempts bounds peer-call attempts; default 8.
 	RetryAttempts int
+	// DedupeCapacity caps the idempotency replay cache (entries, FIFO);
+	// default DefaultDedupeCapacity. Size it above the peak number of
+	// in-flight request IDs a caller may retry.
+	DedupeCapacity int
+	// Replica, when set, is a warm standby's base URL: every window
+	// mutation is appended to a sequence-numbered op log and shipped to it
+	// asynchronously (internal/replica).
+	Replica string
+	// ReplicaTransport overrides the replication hop's HTTP transport —
+	// the fault-injection seam. Nil uses httpapi.NewTransport.
+	ReplicaTransport http.RoundTripper
+	// ReplicaInterval is the ship poll period (0 = replica default).
+	ReplicaInterval time.Duration
+	// Standby runs this server as a warm standby: it serves the
+	// /v1/replica endpoints, refuses readiness until bootstrap + log
+	// catch-up completes, and treats a router topology push as its
+	// promotion to primary.
+	Standby bool
 }
+
+// DefaultDedupeCapacity is the idempotency replay cache's default size.
+const DefaultDedupeCapacity = 4096
 
 // shardMetrics are the shard serving layer's instruments.
 type shardMetrics struct {
@@ -100,10 +141,12 @@ type shardMetrics struct {
 	supportRPCs   *obs.Counter
 	peerRetries   *obs.Counter
 	dedupeHits    *obs.Counter
+	dedupeEvicts  *obs.Counter
 	imports       *obs.Counter
 	exports       *obs.Counter
 	topoPushes    *obs.Counter
 	wireErrors    *obs.Counter
+	replicaOps    *obs.Counter // standby: ops applied from the primary's log
 }
 
 // NewShard builds a shard server with an empty window slice. It serves
@@ -117,6 +160,12 @@ func NewShard(cfg ShardServerConfig) (*ShardServer, error) {
 	}
 	if cfg.RetryAttempts <= 0 {
 		cfg.RetryAttempts = 8
+	}
+	if cfg.DedupeCapacity <= 0 {
+		cfg.DedupeCapacity = DefaultDedupeCapacity
+	}
+	if cfg.Standby && cfg.Replica != "" {
+		return nil, fmt.Errorf("shard %s: a standby cannot itself replicate (chained replication is unsupported)", cfg.Name)
 	}
 	sw, err := stream.NewShardWindow(stream.ShardConfig{
 		R: cfg.R, K: cfg.K, Dim: cfg.Dim, Shards: cfg.IndexShards, Obs: cfg.Obs,
@@ -134,9 +183,9 @@ func NewShard(cfg ShardServerConfig) (*ShardServer, error) {
 		mux:     http.NewServeMux(),
 		reg:     cfg.Obs,
 		client:  &http.Client{Transport: transport},
-		dedupe:  newDedupeCache(4096),
 		started: time.Now(),
 	}
+	s.dedupe = newDedupeCache(cfg.DedupeCapacity)
 	s.met = &shardMetrics{
 		ingests:       s.reg.Counter("dod_shard_ingests_total", "points admitted to this shard slice"),
 		evicts:        s.reg.Counter("dod_shard_evicts_total", "router-commanded evictions applied"),
@@ -145,11 +194,16 @@ func NewShard(cfg ShardServerConfig) (*ShardServer, error) {
 		supportRPCs:   s.reg.Counter("dod_support_rpc_total", "boundary support round trips issued over the wire"),
 		peerRetries:   s.reg.Counter("dod_shard_peer_retries_total", "retried peer support calls"),
 		dedupeHits:    s.reg.Counter("dod_shard_dedupe_hits_total", "mutating requests answered from the idempotency cache"),
+		dedupeEvicts:  s.reg.Counter("dod_shard_dedupe_evictions_total", "idempotency cache entries aged out FIFO"),
 		imports:       s.reg.Counter("dod_shard_imports_total", "entries adopted during drain/handoff"),
 		exports:       s.reg.Counter("dod_shard_exports_total", "entries exported during drain/handoff"),
 		topoPushes:    s.reg.Counter("dod_shard_topology_pushes_total", "topology epochs installed"),
 		wireErrors:    s.reg.Counter("dod_shard_wire_errors_total", "malformed or corrupt wire bodies rejected"),
+		replicaOps:    s.reg.Counter("dod_replica_ops_total", "replication log ops", obs.L("dir", "applied")),
 	}
+	s.dedupe.evictions = s.met.dedupeEvicts
+	s.reg.GaugeFunc("dod_shard_dedupe_size", "idempotency cache entries currently held",
+		func() float64 { return float64(s.dedupe.size()) })
 	s.reg.GaugeFunc("dod_shard_topology_epoch", "currently installed ownership epoch",
 		func() float64 {
 			s.topoMu.RLock()
@@ -166,6 +220,10 @@ func NewShard(cfg ShardServerConfig) (*ShardServer, error) {
 	s.mux.HandleFunc(router.PathShardExport, s.handleShardExport)
 	s.mux.HandleFunc(router.PathShardImport, s.handleShardImport)
 	s.mux.HandleFunc(router.PathShardTopology, s.handleShardTopology)
+	s.mux.HandleFunc(replica.PathApply, s.handleReplicaApply)
+	s.mux.HandleFunc(replica.PathSnapshot, s.handleReplicaSnapshot)
+	s.mux.HandleFunc(replica.PathStatus, s.handleReplicaStatus)
+	s.mux.HandleFunc(replica.PathDigest, s.handleShardDigest)
 	s.mux.HandleFunc("/healthz", s.handleShardHealthz)
 	s.mux.HandleFunc("/readyz", s.handleShardReadyz)
 	s.mux.HandleFunc("/statsz", s.handleShardStatsz)
@@ -173,7 +231,49 @@ func NewShard(cfg ShardServerConfig) (*ShardServer, error) {
 		w.Header().Set("Content-Type", obs.TextContentType)
 		s.reg.WritePrometheus(w)
 	})
+	if cfg.Standby {
+		s.stby = &standbyState{}
+	}
+	if cfg.Replica != "" {
+		s.replog = replica.NewLog(cfg.Obs)
+		s.rec = replica.NewRecorder(s.replog, cfg.Obs)
+		s.sw.SetRecorder(s.rec)
+		rt := cfg.ReplicaTransport
+		if rt == nil {
+			rt = httpapi.NewTransport()
+		}
+		shipper, err := replica.NewShipper(replica.ShipperConfig{
+			From:     cfg.Name,
+			Standby:  cfg.Replica,
+			Log:      s.replog,
+			Client:   &http.Client{Transport: rt},
+			Interval: cfg.ReplicaInterval,
+			Snapshot: s.replicaSnapshot,
+			Obs:      cfg.Obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.shipper = shipper
+		s.shipper.Start()
+	}
 	return s, nil
+}
+
+// Close stops background work (the replication shipper, if any).
+func (s *ShardServer) Close() {
+	if s.shipper != nil {
+		s.shipper.Close()
+	}
+}
+
+// recordDedupe mirrors one first-run idempotency-cache entry into the op
+// log so a promoted standby replays the same response to a retried request.
+func (s *ShardServer) recordDedupe(reqID string, status int, resp []byte) {
+	if s.rec == nil || reqID == "" {
+		return
+	}
+	s.rec.RecordDedupe(reqID, status, resp)
 }
 
 // Handler returns the shard's HTTP handler (request-ID echoing included).
@@ -321,9 +421,13 @@ func (s *ShardServer) handleShardTopology(w http.ResponseWriter, r *http.Request
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	raw, err := s.readWireBody(w, r)
+	if err != nil {
+		s.writeBatchError(w, r, err)
+		return
+	}
 	var topo router.Topology
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(&topo); err != nil {
+	if err := json.Unmarshal(raw, &topo); err != nil {
 		writeErrorBody(w, r, http.StatusBadRequest, "bad_request", "bad topology body: "+err.Error())
 		return
 	}
@@ -347,6 +451,17 @@ func (s *ShardServer) handleShardTopology(w http.ResponseWriter, r *http.Request
 		writeErrorBody(w, r, http.StatusConflict, "stale_epoch", "pushed epoch is older than installed")
 		return
 	}
+	if s.rec != nil {
+		s.rec.RecordTopology(raw)
+	}
+	if s.stby != nil {
+		// A router only pushes topology at a standby when it is promoting
+		// it: from here on this server is the shard's primary and stops
+		// accepting replica applies.
+		s.stby.mu.Lock()
+		s.stby.promoted = true
+		s.stby.mu.Unlock()
+	}
 	s.met.topoPushes.Inc()
 	s.writeShardJSON(w, http.StatusOK, router.TopologyResponse{
 		Epoch: topo.Epoch, Shard: s.cfg.Name, Points: s.sw.Stats().Len,
@@ -368,7 +483,7 @@ func (s *ShardServer) handleShardIngest(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	reqID := r.Header.Get(router.HeaderRequestID)
-	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
+	status, resp, ran := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
 		hdr, pt, err := router.DecodeIngest(body)
 		if err != nil {
 			s.met.wireErrors.Inc()
@@ -383,6 +498,9 @@ func (s *ShardServer) handleShardIngest(w http.ResponseWriter, r *http.Request) 
 			ID: v.ID, Seq: v.Seq, Neighbors: v.Neighbors, Outlier: v.Outlier, RequestID: reqID,
 		})
 	})
+	if ran {
+		s.recordDedupe(reqID, status, resp)
+	}
 	s.writeRaw(w, status, resp)
 }
 
@@ -405,7 +523,7 @@ func (s *ShardServer) handleShardIngestBatch(w http.ResponseWriter, r *http.Requ
 		return
 	}
 	reqID := r.Header.Get(router.HeaderRequestID)
-	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
+	status, resp, ran := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
 		hdr, items, err := router.DecodeIngestBatch(body)
 		if err != nil {
 			s.met.wireErrors.Inc()
@@ -430,6 +548,9 @@ func (s *ShardServer) handleShardIngestBatch(w http.ResponseWriter, r *http.Requ
 		}
 		return http.StatusOK, marshalJSON(out)
 	})
+	if ran {
+		s.recordDedupe(reqID, status, resp)
+	}
 	s.writeRaw(w, status, resp)
 }
 
@@ -449,7 +570,7 @@ func (s *ShardServer) handleShardEvict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqID := r.Header.Get(router.HeaderRequestID)
-	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
+	status, resp, ran := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
 		ok, err := s.sw.EvictByID(req.ID, s.owns(topo), s.supportFunc(r.Context(), topo, reqID))
 		if err != nil {
 			return http.StatusOK, marshalJSON(router.EvictResponse{Error: err.Error(), RequestID: reqID})
@@ -459,6 +580,9 @@ func (s *ShardServer) handleShardEvict(w http.ResponseWriter, r *http.Request) {
 		}
 		return http.StatusOK, marshalJSON(router.EvictResponse{Evicted: ok, RequestID: reqID})
 	})
+	if ran {
+		s.recordDedupe(reqID, status, resp)
+	}
 	s.writeRaw(w, status, resp)
 }
 
@@ -507,7 +631,10 @@ func (s *ShardServer) handleSupport(w http.ResponseWriter, r *http.Request) {
 		s.writeRaw(w, status, resp)
 		return
 	}
-	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, serve)
+	status, resp, ran := s.dedupe.do(reqID, s.met.dedupeHits, serve)
+	if ran {
+		s.recordDedupe(reqID, status, resp)
+	}
 	s.writeRaw(w, status, resp)
 }
 
@@ -536,7 +663,7 @@ func (s *ShardServer) handleShardImport(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	reqID := r.Header.Get(router.HeaderRequestID)
-	status, resp := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
+	status, resp, ran := s.dedupe.do(reqID, s.met.dedupeHits, func() (int, []byte) {
 		entries, err := router.DecodeEntries(body)
 		if err != nil {
 			s.met.wireErrors.Inc()
@@ -555,6 +682,9 @@ func (s *ShardServer) handleShardImport(w http.ResponseWriter, r *http.Request) 
 		s.met.imports.Add(int64(len(in)))
 		return http.StatusOK, marshalJSON(router.ImportResponse{Imported: len(in), RequestID: reqID})
 	})
+	if ran {
+		s.recordDedupe(reqID, status, resp)
+	}
 	s.writeRaw(w, status, resp)
 }
 
@@ -564,25 +694,57 @@ func (s *ShardServer) handleShardHealthz(w http.ResponseWriter, r *http.Request)
 	if topo := s.topology(); topo != nil {
 		epoch = topo.Epoch
 	}
-	s.writeShardJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status": "ok",
 		"shard":  s.cfg.Name,
 		"window": st.Len,
 		"epoch":  epoch,
-	})
+	}
+	if s.replog != nil {
+		out["replica"] = map[string]any{
+			"role":  "primary",
+			"head":  s.replog.Head(),
+			"acked": s.replog.Acked(),
+		}
+	} else if s.stby != nil {
+		s.stby.mu.Lock()
+		out["replica"] = map[string]any{
+			"role":     "standby",
+			"applied":  s.stby.applied,
+			"synced":   s.stby.synced,
+			"promoted": s.stby.promoted,
+		}
+		s.stby.mu.Unlock()
+	}
+	s.writeShardJSON(w, http.StatusOK, out)
 }
 
 func (s *ShardServer) handleShardReadyz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining.Load()
 	ready := !draining && s.topology() != nil
+	out := map[string]any{
+		"draining": draining,
+	}
+	if s.stby != nil {
+		// A standby is not ready to serve until it has bootstrapped and
+		// caught up with the primary's shipped head — or been promoted, at
+		// which point the ordinary topology rule takes over.
+		s.stby.mu.Lock()
+		synced, promoted := s.stby.synced, s.stby.promoted
+		s.stby.mu.Unlock()
+		if !promoted {
+			ready = !draining && synced
+		}
+		out["standby"] = true
+		out["synced"] = synced
+		out["promoted"] = promoted
+	}
+	out["ready"] = ready
 	status := http.StatusOK
 	if !ready {
 		status = http.StatusServiceUnavailable
 	}
-	s.writeShardJSON(w, status, map[string]any{
-		"ready":    ready,
-		"draining": draining,
-	})
+	s.writeShardJSON(w, status, out)
 }
 
 func (s *ShardServer) handleShardStatsz(w http.ResponseWriter, r *http.Request) {
@@ -630,10 +792,11 @@ func marshalJSON(v any) []byte {
 // response; concurrent or later arrivals (retries after a lost response)
 // wait for and replay the recorded bytes. Entries age out FIFO.
 type dedupeCache struct {
-	mu      sync.Mutex
-	max     int
-	order   []string
-	entries map[string]*dedupeEntry
+	mu        sync.Mutex
+	max       int
+	order     []string
+	entries   map[string]*dedupeEntry
+	evictions *obs.Counter
 }
 
 type dedupeEntry struct {
@@ -647,10 +810,13 @@ func newDedupeCache(max int) *dedupeCache {
 }
 
 // do runs fn exactly once per key, replaying the recorded response for
-// duplicates. An empty key disables deduplication.
-func (c *dedupeCache) do(key string, hits *obs.Counter, fn func() (int, []byte)) (int, []byte) {
+// duplicates. An empty key disables deduplication. ran reports whether fn
+// executed here (false for replays), so callers can record first-run
+// responses into a replication log without re-recording replays.
+func (c *dedupeCache) do(key string, hits *obs.Counter, fn func() (int, []byte)) (status int, resp []byte, ran bool) {
 	if key == "" {
-		return fn()
+		status, resp = fn()
+		return status, resp, true
 	}
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -659,18 +825,49 @@ func (c *dedupeCache) do(key string, hits *obs.Counter, fn func() (int, []byte))
 		if hits != nil {
 			hits.Inc()
 		}
-		return e.status, e.resp
+		return e.status, e.resp, false
 	}
 	e := &dedupeEntry{done: make(chan struct{})}
+	c.insertLocked(key, e)
+	c.mu.Unlock()
+	e.status, e.resp = fn()
+	close(e.done)
+	return e.status, e.resp, true
+}
+
+// seed installs a completed entry (replicated from a primary's cache) so a
+// caller retrying against a promoted standby replays the primary's recorded
+// response. An already-present key is left untouched.
+func (c *dedupeCache) seed(key string, status int, resp []byte) {
+	if key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	e := &dedupeEntry{done: make(chan struct{}), status: status, resp: resp}
+	close(e.done)
+	c.insertLocked(key, e)
+}
+
+// insertLocked adds an entry and ages out FIFO overflow; callers hold mu.
+func (c *dedupeCache) insertLocked(key string, e *dedupeEntry) {
 	c.entries[key] = e
 	c.order = append(c.order, key)
 	for len(c.order) > c.max {
 		old := c.order[0]
 		c.order = c.order[1:]
 		delete(c.entries, old)
+		if c.evictions != nil {
+			c.evictions.Inc()
+		}
 	}
-	c.mu.Unlock()
-	e.status, e.resp = fn()
-	close(e.done)
-	return e.status, e.resp
+}
+
+func (c *dedupeCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -38,12 +39,34 @@ type ShardWindow struct {
 	met *windowMetrics // nil when unobserved; shares dod_stream_* names
 
 	mu       sync.Mutex
+	rec      OpRecorder // nil when unreplicated
 	entries  map[uint64]*entry
 	ingested uint64
 	evicted  uint64
 	outliers int
 	flipIn   uint64
 	flipOut  uint64
+}
+
+// OpRecorder observes every successful window mutation for replication.
+// Calls arrive with the window mutex held, so the recorded order IS the
+// mutation order — replaying the records in sequence rebuilds the window
+// bit for bit. RecordSupport additionally mirrors the local half of a
+// mutation whose cross-shard phase failed after local deltas were applied
+// (Admit and EvictByID deliberately leak those deltas; the standby must
+// leak them identically).
+type OpRecorder interface {
+	RecordAdmit(p geom.Point, seq uint64, arrivedNs int64, foreign, crossLater int)
+	RecordEvict(id uint64)
+	RecordSupport(p geom.Point, cells [][]int64, delta int)
+	RecordImport(entries []ExportedEntry)
+}
+
+// SetRecorder attaches (or, with nil, detaches) the mutation recorder.
+func (sw *ShardWindow) SetRecorder(rec OpRecorder) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.rec = rec
 }
 
 // ShardConfig parameterizes a ShardWindow. R, K and Dim must match the
@@ -175,17 +198,30 @@ func (sw *ShardWindow) Admit(p geom.Point, seq uint64, now time.Time, owns OwnsF
 	if err != nil {
 		return Verdict{}, err
 	}
+	// From here on the local +1 deltas are in the window. If the operation
+	// fails midway (support or index error) they deliberately stay — and the
+	// standby must mirror the leak, so the failure paths record the local
+	// half as a bare support delta.
+	leakLocal := func() {
+		if sw.rec != nil && len(local) > 0 {
+			sw.rec.RecordSupport(p, local, +1)
+		}
+	}
+	foreign := 0
 	if len(remote) > 0 && support != nil {
 		rn, err := support(p, remote, +1, 0)
 		if err != nil {
+			leakLocal()
 			return Verdict{}, err
 		}
+		foreign = rn
 		n += rn
 	}
 	// One clone serves both the index and the entry: neither mutates
 	// coordinates, and Export clones again before anything leaves the lock.
 	pc := p.Clone()
 	if err := sw.ix.Insert(pc); err != nil {
+		leakLocal()
 		return Verdict{}, err
 	}
 	sw.ingested++
@@ -197,6 +233,9 @@ func (sw *ShardWindow) Admit(p geom.Point, seq uint64, now time.Time, owns OwnsF
 		sw.outliers++
 	}
 	sw.entries[p.ID] = e
+	if sw.rec != nil {
+		sw.rec.RecordAdmit(p, seq, now.UnixNano(), foreign, 0)
+	}
 	return Verdict{ID: p.ID, Seq: seq, Neighbors: n, Outlier: e.outlier}, nil
 }
 
@@ -246,6 +285,9 @@ func (sw *ShardWindow) AdmitBatch(items []PrecountedAdmission, now time.Time, ow
 		n += it.Foreign
 		pc := it.Point.Clone()
 		if err := sw.ix.Insert(pc); err != nil {
+			if sw.rec != nil && len(local) > 0 {
+				sw.rec.RecordSupport(it.Point, local, +1) // mirror the leaked local deltas
+			}
 			errsOut[i] = err
 			continue
 		}
@@ -258,6 +300,14 @@ func (sw *ShardWindow) AdmitBatch(items []PrecountedAdmission, now time.Time, ow
 			sw.outliers++
 		}
 		sw.entries[it.Point.ID] = e
+		// Recording the item's CrossLater with the admission lets the standby
+		// replay the run one item at a time, folding each item's deferred +1s
+		// immediately: counts only grow within a run, so each entry crosses K
+		// at most once whatever the interleaving — final counts, verdicts and
+		// flip totals are identical to the primary's batch-then-fold order.
+		if sw.rec != nil {
+			sw.rec.RecordAdmit(it.Point, it.Seq, now.UnixNano(), it.Foreign, it.CrossLater)
+		}
 		verdicts[i] = Verdict{ID: it.Point.ID, Seq: it.Seq, Neighbors: n, Outlier: e.outlier}
 	}
 	for i, it := range items {
@@ -289,6 +339,9 @@ func (sw *ShardWindow) EvictByID(id uint64, owns OwnsFunc, support SupportFunc) 
 	}
 	if len(remote) > 0 && support != nil {
 		if _, err := support(victim.pt, remote, -1, 0); err != nil {
+			if sw.rec != nil && len(local) > 0 {
+				sw.rec.RecordSupport(victim.pt, local, -1) // mirror the leaked local deltas
+			}
 			return false, err
 		}
 	}
@@ -300,6 +353,9 @@ func (sw *ShardWindow) EvictByID(id uint64, owns OwnsFunc, support SupportFunc) 
 	sw.evicted++
 	if sw.met != nil {
 		sw.met.evicted.Inc()
+	}
+	if sw.rec != nil {
+		sw.rec.RecordEvict(id)
 	}
 	return true, nil
 }
@@ -316,7 +372,11 @@ func (sw *ShardWindow) ApplySupport(p geom.Point, cells [][]int64, delta, limit 
 	if delta == 0 {
 		return sw.ix.NeighborsInCells(p, cells, limit, nil)
 	}
-	return sw.applyLocalDelta(p, cells, delta)
+	n, err := sw.applyLocalDelta(p, cells, delta)
+	if err == nil && sw.rec != nil {
+		sw.rec.RecordSupport(p, cells, delta)
+	}
+	return n, err
 }
 
 // Export captures every resident entry in global-sequence order — the
@@ -363,6 +423,9 @@ func (sw *ShardWindow) Import(entries []ExportedEntry) error {
 			sw.outliers++
 		}
 	}
+	if sw.rec != nil {
+		sw.rec.RecordImport(entries)
+	}
 	return nil
 }
 
@@ -375,6 +438,63 @@ type ExportedEntry struct {
 	Arrived time.Time
 	Count   int
 	Outlier bool
+}
+
+// Digest returns a deterministic FNV-64a hash over the window contents in
+// canonical (global-sequence) order, plus the resident count. Every field
+// a verdict can depend on is folded in — sequence, ID, arrival instant,
+// neighbor count, verdict, and the exact coordinate bits — so two windows
+// with equal digests hold bit-identical verdict state. This is the
+// anti-entropy check of the replication layer: a standby that replayed the
+// primary's op log to position S must produce the digest the primary had
+// at S.
+func (sw *ShardWindow) Digest() (uint64, int) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	ents := make([]*entry, 0, len(sw.entries))
+	for _, e := range sw.entries {
+		ents = append(ents, e)
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, e := range ents {
+		mix(e.seq)
+		mix(e.pt.ID)
+		mix(uint64(e.arrived.UnixNano()))
+		mix(uint64(int64(e.count)))
+		if e.outlier {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		for _, c := range e.pt.Coords {
+			mix(math.Float64bits(c))
+		}
+	}
+	return h, len(ents)
+}
+
+// Reset drops every resident entry from the window and the index — the
+// standby's preparation for installing a bootstrap snapshot. Monotone
+// counters (ingested, evicted, flips) are deliberately preserved: they are
+// instruments, not window state, and resetting them would break metric
+// monotonicity.
+func (sw *ShardWindow) Reset() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for _, e := range sw.entries {
+		sw.ix.Remove(e.pt)
+	}
+	sw.entries = make(map[uint64]*entry)
+	sw.outliers = 0
 }
 
 // Stats returns this shard slice's counters. Flip totals summed across
